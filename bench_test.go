@@ -1,0 +1,332 @@
+// Benchmarks regenerating the paper's evaluation figures, one benchmark
+// per figure (paper Figs. 7–12), plus ablation benches for the design
+// choices called out in DESIGN.md.
+//
+// Each sub-benchmark builds the access method once (cached across
+// iterations), runs nearest-neighbor queries from a held-out workload,
+// and reports the paper's metric — average *simulated* seconds per query —
+// as the custom metric "sim-sec/query" next to Go's wall-clock ns/op.
+// Benchmark scale is reduced from the paper's 500k points so the full
+// suite completes quickly; cmd/iqbench runs the full-scale sweeps.
+package repro_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/disk"
+	"repro/internal/experiments"
+	"repro/internal/scan"
+	"repro/internal/vafile"
+	"repro/internal/vec"
+	"repro/internal/xtree"
+)
+
+const (
+	benchN       = 20000
+	benchQueries = 32
+)
+
+type benchIndex struct {
+	dsk *disk.Disk
+	idx interface {
+		KNN(*disk.Session, vec.Point, int) []vec.Neighbor
+	}
+	queries []vec.Point
+}
+
+var (
+	benchMu    sync.Mutex
+	benchCache = map[string]*benchIndex{}
+)
+
+// getIndex builds (once) the given method over the given workload.
+func getIndex(b *testing.B, ds dataset.Name, n, dim int, method experiments.Method) *benchIndex {
+	b.Helper()
+	key := fmt.Sprintf("%s/%d/%d/%s", ds, n, dim, method)
+	benchMu.Lock()
+	defer benchMu.Unlock()
+	if bi, ok := benchCache[key]; ok {
+		return bi
+	}
+	pts, err := dataset.Generate(ds, 42, n+benchQueries, dim)
+	if err != nil {
+		b.Fatal(err)
+	}
+	db, queries := dataset.Split(pts, benchQueries)
+	dsk := disk.New(disk.DefaultConfig())
+	bi := &benchIndex{dsk: dsk, queries: queries}
+	switch method {
+	case experiments.IQTree, experiments.IQNoQuant, experiments.IQNoOptIO, experiments.IQPlain:
+		opt := core.DefaultOptions()
+		if method == experiments.IQNoQuant || method == experiments.IQPlain {
+			opt.Quantize = false
+		}
+		if method == experiments.IQNoOptIO || method == experiments.IQPlain {
+			opt.OptimizedIO = false
+		}
+		tr, err := core.Build(dsk, db, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bi.idx = tr
+	case experiments.XTree:
+		bi.idx = xtree.Build(dsk, db, xtree.DefaultOptions())
+	case experiments.VAFile:
+		cfg := experiments.Config{Dataset: ds, N: n, Dim: dim, Queries: benchQueries}
+		opt := vafile.DefaultOptions()
+		opt.Bits = experiments.TuneVAFile(cfg, db, queries, false)
+		bi.idx = vafile.Build(dsk, db, opt)
+	case experiments.Scan:
+		bi.idx = scan.Build(dsk, db, vec.Euclidean)
+	default:
+		b.Fatalf("unknown method %s", method)
+	}
+	benchCache[key] = bi
+	return bi
+}
+
+// runQueries benchmarks k-NN queries and reports simulated seconds/query.
+func runQueries(b *testing.B, bi *benchIndex, k int) {
+	b.Helper()
+	var sim disk.Stats
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := bi.dsk.NewSession()
+		bi.idx.KNN(s, bi.queries[i%len(bi.queries)], k)
+		sim.Add(s.Stats)
+	}
+	b.ReportMetric(sim.Time(bi.dsk.Config())/float64(b.N), "sim-sec/query")
+}
+
+// BenchmarkFig7 regenerates paper Fig. 7: the concept ablation (±
+// quantization × ± optimized page access) on UNIFORM data.
+func BenchmarkFig7(b *testing.B) {
+	for _, dim := range []int{8, 16} {
+		for _, m := range []experiments.Method{
+			experiments.IQTree, experiments.IQNoQuant, experiments.IQNoOptIO, experiments.IQPlain,
+		} {
+			b.Run(fmt.Sprintf("d=%d/%s", dim, short(m)), func(b *testing.B) {
+				runQueries(b, getIndex(b, dataset.Uniform, benchN, dim, m), 1)
+			})
+		}
+	}
+}
+
+// BenchmarkFig8 regenerates paper Fig. 8: IQ-tree vs X-tree, VA-file and
+// scan on UNIFORM data of varying dimensionality.
+func BenchmarkFig8(b *testing.B) {
+	for _, dim := range []int{4, 8, 16} {
+		for _, m := range []experiments.Method{
+			experiments.IQTree, experiments.XTree, experiments.VAFile, experiments.Scan,
+		} {
+			b.Run(fmt.Sprintf("d=%d/%s", dim, short(m)), func(b *testing.B) {
+				runQueries(b, getIndex(b, dataset.Uniform, benchN, dim, m), 1)
+			})
+		}
+	}
+}
+
+// BenchmarkFig9 regenerates paper Fig. 9: UNIFORM d=16, varying N.
+func BenchmarkFig9(b *testing.B) {
+	for _, n := range []int{10000, 20000, 40000} {
+		for _, m := range []experiments.Method{
+			experiments.IQTree, experiments.XTree, experiments.VAFile, experiments.Scan,
+		} {
+			b.Run(fmt.Sprintf("n=%d/%s", n, short(m)), func(b *testing.B) {
+				runQueries(b, getIndex(b, dataset.Uniform, n, 16, m), 1)
+			})
+		}
+	}
+}
+
+// BenchmarkFig10 regenerates paper Fig. 10: the CAD workload, varying N.
+func BenchmarkFig10(b *testing.B) {
+	benchSizeFigure(b, dataset.CAD, []experiments.Method{
+		experiments.IQTree, experiments.XTree, experiments.VAFile,
+	})
+}
+
+// BenchmarkFig11 regenerates paper Fig. 11: the COLOR workload, varying N.
+func BenchmarkFig11(b *testing.B) {
+	benchSizeFigure(b, dataset.Color, []experiments.Method{
+		experiments.IQTree, experiments.XTree, experiments.VAFile,
+	})
+}
+
+// BenchmarkFig12 regenerates paper Fig. 12: the WEATHER workload, varying
+// N (all four methods, like the paper).
+func BenchmarkFig12(b *testing.B) {
+	benchSizeFigure(b, dataset.Weather, []experiments.Method{
+		experiments.IQTree, experiments.XTree, experiments.VAFile, experiments.Scan,
+	})
+}
+
+func benchSizeFigure(b *testing.B, ds dataset.Name, methods []experiments.Method) {
+	for _, n := range []int{10000, 20000} {
+		for _, m := range methods {
+			b.Run(fmt.Sprintf("n=%d/%s", n, short(m)), func(b *testing.B) {
+				runQueries(b, getIndex(b, ds, n, 0, m), 1)
+			})
+		}
+	}
+}
+
+// BenchmarkAblationVABits regenerates the paper's manual VA-file tuning
+// (Section 4.2 tries 2..8 bits per dimension and keeps the best).
+func BenchmarkAblationVABits(b *testing.B) {
+	pts, _ := dataset.Generate(dataset.Uniform, 42, benchN+benchQueries, 16)
+	db, queries := dataset.Split(pts, benchQueries)
+	for _, bits := range []int{2, 4, 6, 8} {
+		b.Run(fmt.Sprintf("bits=%d", bits), func(b *testing.B) {
+			dsk := disk.New(disk.DefaultConfig())
+			opt := vafile.DefaultOptions()
+			opt.Bits = bits
+			v := vafile.Build(dsk, db, opt)
+			var sim disk.Stats
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s := dsk.NewSession()
+				v.KNN(s, queries[i%len(queries)], 1)
+				sim.Add(s.Stats)
+			}
+			b.ReportMetric(sim.Time(dsk.Config())/float64(b.N), "sim-sec/query")
+		})
+	}
+}
+
+// BenchmarkAblationCostModel contrasts the fractal cost model against the
+// uniformity assumption on clustered data (DESIGN.md ablation).
+func BenchmarkAblationCostModel(b *testing.B) {
+	pts, _ := dataset.Generate(dataset.Weather, 42, benchN+benchQueries, 0)
+	db, queries := dataset.Split(pts, benchQueries)
+	for _, uniform := range []bool{false, true} {
+		name := "fractal"
+		if uniform {
+			name = "uniform-assumption"
+		}
+		b.Run(name, func(b *testing.B) {
+			dsk := disk.New(disk.DefaultConfig())
+			opt := core.DefaultOptions()
+			opt.UniformModel = uniform
+			tr, err := core.Build(dsk, db, opt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var sim disk.Stats
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s := dsk.NewSession()
+				tr.KNN(s, queries[i%len(queries)], 1)
+				sim.Add(s.Stats)
+			}
+			b.ReportMetric(sim.Time(dsk.Config())/float64(b.N), "sim-sec/query")
+		})
+	}
+}
+
+// BenchmarkBuild measures construction cost (real time) of each method.
+func BenchmarkBuild(b *testing.B) {
+	pts, _ := dataset.Generate(dataset.Uniform, 42, benchN, 16)
+	b.Run("iqtree", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			dsk := repro.NewDisk(repro.DefaultDiskConfig())
+			if _, err := repro.BuildIQTree(dsk, pts, repro.DefaultIQTreeOptions()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("xtree", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			dsk := repro.NewDisk(repro.DefaultDiskConfig())
+			repro.BuildXTree(dsk, pts, repro.DefaultXTreeOptions())
+		}
+	})
+	b.Run("vafile", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			dsk := repro.NewDisk(repro.DefaultDiskConfig())
+			repro.BuildVAFile(dsk, pts, repro.DefaultVAFileOptions())
+		}
+	})
+}
+
+func short(m experiments.Method) string {
+	switch m {
+	case experiments.IQTree:
+		return "iqtree"
+	case experiments.IQNoQuant:
+		return "iq-noquant"
+	case experiments.IQNoOptIO:
+		return "iq-stdnn"
+	case experiments.IQPlain:
+		return "iq-plain"
+	case experiments.XTree:
+		return "xtree"
+	case experiments.VAFile:
+		return "vafile"
+	case experiments.Scan:
+		return "scan"
+	default:
+		return string(m)
+	}
+}
+
+// BenchmarkAblationFixedBits compares forcing one quantization level into
+// the tree against the optimized per-page choice (DESIGN.md ablation).
+func BenchmarkAblationFixedBits(b *testing.B) {
+	pts, _ := dataset.Generate(dataset.Uniform, 42, benchN+benchQueries, 16)
+	db, queries := dataset.Split(pts, benchQueries)
+	run := func(b *testing.B, opt core.Options) {
+		dsk := disk.New(disk.DefaultConfig())
+		tr, err := core.Build(dsk, db, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var sim disk.Stats
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s := dsk.NewSession()
+			tr.KNN(s, queries[i%len(queries)], 1)
+			sim.Add(s.Stats)
+		}
+		b.ReportMetric(sim.Time(dsk.Config())/float64(b.N), "sim-sec/query")
+	}
+	for _, bits := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("fixed-%dbit", bits), func(b *testing.B) {
+			opt := core.DefaultOptions()
+			opt.FixedBits = bits
+			run(b, opt)
+		})
+	}
+	b.Run("optimized", func(b *testing.B) {
+		run(b, core.DefaultOptions())
+	})
+}
+
+// BenchmarkIterator measures the incremental ranking iterator: cost of
+// the first pull and of a deep 100-neighbor pull.
+func BenchmarkIterator(b *testing.B) {
+	bi := getIndex(b, dataset.Uniform, benchN, 16, experiments.IQTree)
+	tr := bi.idx.(*core.Tree)
+	for _, pulls := range []int{1, 100} {
+		b.Run(fmt.Sprintf("pulls=%d", pulls), func(b *testing.B) {
+			var sim disk.Stats
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s := bi.dsk.NewSession()
+				it := tr.NewNNIterator(s, bi.queries[i%len(bi.queries)])
+				for p := 0; p < pulls; p++ {
+					if _, ok := it.Next(); !ok {
+						break
+					}
+				}
+				sim.Add(s.Stats)
+			}
+			b.ReportMetric(sim.Time(bi.dsk.Config())/float64(b.N), "sim-sec/query")
+		})
+	}
+}

@@ -1,0 +1,84 @@
+// Command iqbench regenerates the paper's evaluation figures (Figures
+// 7–12 of "Independent Quantization", ICDE 2000) on the simulated disk.
+//
+// Usage:
+//
+//	iqbench -fig all            # every figure at paper scale (slow)
+//	iqbench -fig 8 -scale 0.05  # figure 8 at 5% of the paper's N
+//	iqbench -fig 9 -csv out.csv # also dump CSV rows
+//
+// The reported numbers are average simulated seconds per nearest-neighbor
+// query; shapes (who wins, crossover dimensions, speed-up factors) are the
+// reproduction target, not the paper's absolute values.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		figFlag   = flag.String("fig", "all", "figure to run: 7..12, an ablation (va-bits | cost-model | knn), or 'all'")
+		scale     = flag.Float64("scale", 1.0, "fraction of the paper's database sizes")
+		queries   = flag.Int("queries", 50, "query points per configuration")
+		seed      = flag.Int64("seed", 42, "dataset seed")
+		csvPath   = flag.String("csv", "", "also write CSV rows to this file")
+		chart     = flag.Bool("chart", false, "also render ASCII charts")
+		quickFlag = flag.Bool("quick", false, "shorthand for -scale 0.04 -queries 20")
+	)
+	flag.Parse()
+	if *quickFlag {
+		*scale = 0.04
+		*queries = 20
+	}
+	opts := experiments.RunOpts{Scale: *scale, Queries: *queries, Seed: *seed}
+
+	runners := map[string]func(experiments.RunOpts) (experiments.Figure, error){
+		"7": experiments.Figure7, "8": experiments.Figure8, "9": experiments.Figure9,
+		"10": experiments.Figure10, "11": experiments.Figure11, "12": experiments.Figure12,
+		"va-bits": experiments.AblationVABits, "cost-model": experiments.AblationCostModel,
+		"knn": experiments.AblationKNN, "model": experiments.ModelValidation,
+		"fixed-bits": experiments.AblationFixedBits,
+	}
+	var order []string
+	if *figFlag == "all" {
+		order = []string{"7", "8", "9", "10", "11", "12"}
+	} else {
+		for _, f := range strings.Split(*figFlag, ",") {
+			f = strings.TrimSpace(f)
+			if _, ok := runners[f]; !ok {
+				fmt.Fprintf(os.Stderr, "iqbench: unknown figure %q (want 7..12 or all)\n", f)
+				os.Exit(2)
+			}
+			order = append(order, f)
+		}
+	}
+
+	var csv strings.Builder
+	for _, f := range order {
+		start := time.Now()
+		fig, err := runners[f](opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "iqbench: figure %s: %v\n", f, err)
+			os.Exit(1)
+		}
+		fmt.Println(fig.Format())
+		if *chart {
+			fmt.Println(fig.Chart(true))
+		}
+		fmt.Printf("(wall time %.1fs)\n\n", time.Since(start).Seconds())
+		csv.WriteString(fig.CSV())
+	}
+	if *csvPath != "" {
+		if err := os.WriteFile(*csvPath, []byte(csv.String()), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "iqbench: write csv: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}

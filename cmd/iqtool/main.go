@@ -1,0 +1,220 @@
+// Command iqtool builds an IQ-tree over a generated (or binary) data set,
+// prints its physical structure, and runs queries against it, reporting
+// the simulated cost of each.
+//
+// Usage:
+//
+//	iqtool -dataset color -n 50000 -stats
+//	iqtool -dataset uniform -d 16 -n 100000 -knn 10 -queries 5
+//	iqtool -in points.bin -range 0.2 -queries 3
+//	iqtool -dataset weather -n 50000 -compare   # vs X-tree/VA-file/scan
+package main
+
+import (
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/disk"
+	"repro/internal/scan"
+	"repro/internal/vafile"
+	"repro/internal/vec"
+	"repro/internal/xtree"
+)
+
+func main() {
+	var (
+		name     = flag.String("dataset", "uniform", "uniform | cad | color | weather")
+		in       = flag.String("in", "", "binary input file from datagen (overrides -dataset)")
+		n        = flag.Int("n", 50000, "number of points")
+		d        = flag.Int("d", 16, "dimensionality (uniform only)")
+		seed     = flag.Int64("seed", 42, "generator seed")
+		queries  = flag.Int("queries", 5, "number of held-out query points")
+		knn      = flag.Int("knn", 1, "k for k-nearest-neighbor queries")
+		rng      = flag.Float64("range", 0, "if > 0, run range queries with this radius instead of k-NN")
+		statsFlg = flag.Bool("stats", false, "print tree structure statistics only")
+		pagesFlg = flag.Bool("pages", false, "with -stats: also dump one line per quantized page")
+		verify   = flag.Bool("verify", false, "run the full structural invariant check after building")
+		explain  = flag.Bool("explain", false, "per query: print the T1st/T2nd/T3rd cost decomposition and physical work")
+		compare  = flag.Bool("compare", false, "also run X-tree, VA-file and scan on the same queries")
+		maxMet   = flag.Bool("lmax", false, "use the maximum metric instead of Euclidean")
+	)
+	flag.Parse()
+
+	var pts []vec.Point
+	var err error
+	if *in != "" {
+		pts, err = readBin(*in)
+	} else {
+		pts, err = dataset.Generate(dataset.Name(*name), *seed, *n+*queries, *d)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	db, qs := dataset.Split(pts, *queries)
+
+	opt := core.DefaultOptions()
+	if *maxMet {
+		opt.Metric = vec.Maximum
+	}
+	dsk := disk.New(disk.DefaultConfig())
+	tree, err := core.Build(dsk, db, opt)
+	if err != nil {
+		fatal(err)
+	}
+
+	st := tree.Stats()
+	fmt.Printf("IQ-tree: %d points, %d pages, D_F=%.2f\n", st.Points, st.Pages, st.FractalDim)
+	fmt.Printf("  bits histogram: %v\n", sortedHistogram(st.BitsHistogram))
+	fmt.Printf("  directory %s, quantized %s, exact %s\n",
+		size(st.DirectoryBytes), size(st.QuantizedBytes), size(st.ExactBytes))
+	fmt.Printf("  model-predicted NN query cost: %.4fs\n", st.PredictedCost)
+	if *verify {
+		if err := tree.CheckInvariants(); err != nil {
+			fatal(fmt.Errorf("invariant check FAILED: %w", err))
+		}
+		fmt.Println("  structural invariants: OK")
+	}
+	if *statsFlg {
+		if *pagesFlg {
+			fmt.Println("  pages (pos count bits volume):")
+			for _, row := range tree.DescribePages() {
+				fmt.Printf("    %6d %6d %3d %.3e\n", row.QPos, row.Count, row.Bits, row.Volume)
+			}
+		}
+		return
+	}
+
+	var others []competitor
+	if *compare {
+		xd := disk.New(disk.DefaultConfig())
+		vd := disk.New(disk.DefaultConfig())
+		sd := disk.New(disk.DefaultConfig())
+		others = []competitor{
+			{"X-tree", xd, xtree.Build(xd, db, xtree.DefaultOptions())},
+			{"VA-file", vd, vafile.Build(vd, db, vafile.DefaultOptions())},
+			{"Scan", sd, scan.Build(sd, db, opt.Metric)},
+		}
+	}
+
+	var iqTotal float64
+	totals := make([]float64, len(others))
+	for qi, q := range qs {
+		s := dsk.NewSession()
+		if *rng > 0 {
+			res := tree.RangeSearch(s, q, *rng)
+			fmt.Printf("query %d: %d results in range %.3f  (%.4fs simulated, %v)\n",
+				qi, len(res), *rng, s.Time(), s.Stats)
+		} else {
+			var trace core.Trace
+			res := tree.KNNTrace(s, q, *knn, &trace)
+			fmt.Printf("query %d (%.4fs simulated, %v):\n", qi, s.Time(), s.Stats)
+			for i, nb := range res {
+				fmt.Printf("   %2d. id=%-8d dist=%.5f\n", i+1, nb.ID, nb.Dist)
+			}
+			if *explain {
+				cfg := dsk.Config()
+				t1 := s.FileStats(core.DirFileName)
+				t2 := s.FileStats(core.QFileName)
+				t3 := s.FileStats(core.EFileName)
+				fmt.Printf("   T1st directory: %.4fs (%v)\n", t1.Time(cfg), t1)
+				fmt.Printf("   T2nd quantized: %.4fs (%v); %d pages in %d batches\n",
+					t2.Time(cfg), t2, trace.PagesRead, trace.Batches)
+				fmt.Printf("   T3rd exact:     %.4fs (%v); %d exact-page refinements\n",
+					t3.Time(cfg), t3, trace.Refinements)
+				fmt.Printf("   CPU:            %.4fs\n", s.Stats.CPUSeconds)
+			}
+		}
+		iqTotal += s.Time()
+		for ci, c := range others {
+			cs := c.dsk.NewSession()
+			if *rng > 0 {
+				c.idx.(interface {
+					RangeSearch(*disk.Session, vec.Point, float64) []vec.Neighbor
+				}).RangeSearch(cs, q, *rng)
+			} else {
+				c.idx.KNN(cs, q, *knn)
+			}
+			totals[ci] += cs.Time()
+		}
+	}
+	nq := float64(len(qs))
+	fmt.Printf("\naverage simulated seconds/query: IQ-tree %.4f\n", iqTotal/nq)
+	for ci, c := range others {
+		fmt.Printf("%33s %.4f  (%.1fx)\n", c.name, totals[ci]/nq, totals[ci]/math.Max(iqTotal, 1e-12))
+	}
+}
+
+type searcher interface {
+	KNN(s *disk.Session, q vec.Point, k int) []vec.Neighbor
+}
+
+type competitor struct {
+	name string
+	dsk  *disk.Disk
+	idx  searcher
+}
+
+func sortedHistogram(h map[int]int) string {
+	keys := make([]int, 0, len(h))
+	for k := range h {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	out := ""
+	for i, k := range keys {
+		if i > 0 {
+			out += ", "
+		}
+		out += fmt.Sprintf("%d-bit: %d pages", k, h[k])
+	}
+	return out
+}
+
+func size(b int) string {
+	switch {
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", b)
+	}
+}
+
+func readBin(path string) ([]vec.Point, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < 8 {
+		return nil, fmt.Errorf("truncated header")
+	}
+	le := binary.LittleEndian
+	n := int(le.Uint32(data[0:]))
+	d := int(le.Uint32(data[4:]))
+	if len(data) < 8+4*n*d {
+		return nil, fmt.Errorf("truncated payload: want %d points x %d dims", n, d)
+	}
+	pts := make([]vec.Point, n)
+	off := 8
+	for i := range pts {
+		p := make(vec.Point, d)
+		for j := 0; j < d; j++ {
+			p[j] = math.Float32frombits(le.Uint32(data[off:]))
+			off += 4
+		}
+		pts[i] = p
+	}
+	return pts, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "iqtool: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,72 @@
+// Cadsearch: find CAD objects with similar contours — the paper's CAD
+// workload (16-dimensional Fourier coefficients of curvature, moderately
+// clustered). The example demonstrates the maintenance path too: new
+// parts arrive, get inserted dynamically, and the page that overflows is
+// either split or re-quantized at a coarser level, whichever the cost
+// model predicts to be cheaper (paper Section 6).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	const dbSize = 40000
+	all := repro.GenCAD(11, dbSize+1005)
+	db, rest := repro.SplitDataset(all, 1005)
+	newParts, queries := rest[:1000], rest[1000:]
+
+	dsk := repro.NewDisk(repro.DefaultDiskConfig())
+	tree, err := repro.BuildIQTree(dsk, db, repro.DefaultIQTreeOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := tree.Stats()
+	fmt.Printf("CAD part database: %d contours (16 Fourier coefficients each)\n", dbSize)
+	fmt.Printf("IQ-tree: %d pages, bits %v, D_F=%.2f\n\n", st.Pages, st.BitsHistogram, st.FractalDim)
+
+	q := queries[0]
+	s := dsk.NewSession()
+	before := tree.KNN(s, q, 5)
+	fmt.Printf("5 most similar parts before the delivery (%.4fs simulated):\n", s.Time())
+	for _, nb := range before {
+		fmt.Printf("  part#%-6d dist=%.4f\n", nb.ID, nb.Dist)
+	}
+
+	// A batch of new parts arrives and is inserted dynamically.
+	maint := dsk.NewSession()
+	for i, p := range newParts {
+		if err := tree.Insert(maint, p, uint32(dbSize+i)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("\ninserted %d new parts (maintenance I/O: %.2fs simulated)\n",
+		len(newParts), maint.Time())
+	st = tree.Stats()
+	fmt.Printf("tree after inserts: %d points, %d pages, bits %v\n\n",
+		st.Points, st.Pages, st.BitsHistogram)
+
+	s = dsk.NewSession()
+	after := tree.KNN(s, q, 5)
+	fmt.Printf("5 most similar parts after the delivery (%.4fs simulated):\n", s.Time())
+	for _, nb := range after {
+		tag := ""
+		if nb.ID >= dbSize {
+			tag = "  <- newly inserted"
+		}
+		fmt.Printf("  part#%-6d dist=%.4f%s\n", nb.ID, nb.Dist, tag)
+	}
+
+	// Retire the closest match and verify it no longer appears.
+	s = dsk.NewSession()
+	if !tree.Delete(s, after[0].Point, after[0].ID) {
+		log.Fatal("delete failed")
+	}
+	s = dsk.NewSession()
+	again := tree.KNN(s, q, 1)
+	fmt.Printf("\nafter retiring part#%d the best match is part#%d (dist %.4f)\n",
+		after[0].ID, again[0].ID, again[0].Dist)
+}

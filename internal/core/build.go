@@ -1,0 +1,333 @@
+package core
+
+import (
+	"container/heap"
+
+	"repro/internal/page"
+	"repro/internal/quantize"
+	"repro/internal/vec"
+)
+
+// builder performs the bulk construction of Section 3.3: top-down
+// partitioning along the dimension of largest MBR extension (the
+// bulk-load strategy of [4]) followed by the optimal-quantization
+// refinement of Section 3.5.
+type builder struct {
+	t    *Tree
+	pts  []vec.Point
+	ids  []uint32 // ids[i] is the id of pts[i]; nil means identity
+	perm []int32  // permutation of point indices; nodes own ranges of it
+}
+
+// bnode is a node of the split tree (paper Fig. 5). Leaves of the final
+// frontier become quantized data pages.
+type bnode struct {
+	lo, hi      int // perm range [lo, hi)
+	mbr         vec.MBR
+	bits        int     // maximal quantization level fitting the page
+	varCost     float64 // refinement cost at `bits` (the variable cost)
+	left, right *bnode
+	benefit     float64 // varCost − left.varCost − right.varCost
+	splitStep   int     // step at which the greedy split this node; -1 = never
+	hidx        int     // index in the benefit heap
+}
+
+func (n *bnode) count() int { return n.hi - n.lo }
+
+func newBuilder(t *Tree, pts []vec.Point) *builder {
+	perm := make([]int32, len(pts))
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	return &builder{t: t, pts: pts, perm: perm}
+}
+
+func (b *builder) run() {
+	ranges := b.initialRanges()
+	if b.t.opt.Quantize && b.t.opt.FixedBits == 0 && b.t.opt.RefineCostFactor == 0 {
+		b.t.model.RefineFactor = b.calibrateRefinement(ranges)
+	}
+	roots := make([]*bnode, len(ranges))
+	for i, r := range ranges {
+		roots[i] = b.newNode(r.lo, r.hi, r.mbr)
+	}
+	var frontier []*bnode
+	switch {
+	case b.t.opt.FixedBits > 0:
+		// Fixed-level ablation: split until every page fits the fixed
+		// level, then store all pages at it.
+		for _, r := range roots {
+			frontier = append(frontier, b.splitToFixed(r, b.t.opt.FixedBits)...)
+		}
+	case b.t.opt.Quantize:
+		frontier = b.optimize(roots)
+	default:
+		// "No quantization" ablation: split all the way to exact pages.
+		for _, r := range roots {
+			frontier = append(frontier, b.splitToExact(r)...)
+		}
+	}
+	b.write(frontier)
+}
+
+// partRange is an initial partition before split-tree nodes exist.
+type partRange struct {
+	lo, hi int
+	mbr    vec.MBR
+}
+
+// mbrOf computes the MBR of the perm range [lo, hi).
+func (b *builder) mbrOf(lo, hi int) vec.MBR {
+	m := vec.NewMBR(b.t.dim)
+	for _, idx := range b.perm[lo:hi] {
+		m.Extend(b.pts[idx])
+	}
+	return m
+}
+
+// initialPartitions splits the data space top-down until every partition
+// fits a quantized page at the 1-bit level (Section 3.3), returning the
+// partitions in left-to-right (disk layout) order. Following the
+// bulk-load strategy of [4], the split position is aligned to a multiple
+// of the page capacity so that pages come out (nearly) full — a packed
+// layout, not a 50% median split.
+func (b *builder) initialRanges() []partRange {
+	cap1 := b.t.pageCapacity(1)
+	var out []partRange
+	var rec func(lo, hi int, mbr vec.MBR)
+	rec = func(lo, hi int, mbr vec.MBR) {
+		if hi-lo <= cap1 {
+			out = append(out, partRange{lo: lo, hi: hi, mbr: mbr})
+			return
+		}
+		mid := b.packedSplit(lo, hi, mbr, cap1)
+		rec(lo, mid, b.mbrOf(lo, mid))
+		rec(mid, hi, b.mbrOf(mid, hi))
+	}
+	rec(0, len(b.perm), b.mbrOf(0, len(b.perm)))
+	return out
+}
+
+// packedSplit reorders perm[lo:hi] along the MBR's longest dimension and
+// returns a split index aligned to the page capacity: the left side gets
+// ⌊pages/2⌋ full pages, so leaves end up packed.
+func (b *builder) packedSplit(lo, hi int, mbr vec.MBR, capacity int) int {
+	count := hi - lo
+	pages := (count + capacity - 1) / capacity
+	mid := lo + capacity*(pages/2)
+	if mid <= lo || mid >= hi {
+		mid = lo + count/2
+	}
+	dim, _ := mbr.MaxSide()
+	b.selectNth(lo, hi, mid, dim)
+	return mid
+}
+
+// newNode creates a split-tree node, computing its affordable quantization
+// level and variable (refinement) cost, and eagerly preparing its trial
+// split (the optimizer's determine_benefits step).
+func (b *builder) newNode(lo, hi int, mbr vec.MBR) *bnode {
+	n := &bnode{lo: lo, hi: hi, mbr: mbr, splitStep: -1, hidx: -1}
+	n.bits = b.t.fitBits(n.count())
+	if n.bits == 0 {
+		panic("core: partition does not fit at 1 bit") // initial split guarantees it does
+	}
+	if !b.t.opt.Quantize {
+		return n
+	}
+	n.varCost = b.t.model.RefinementCost(n.mbr, n.count(), n.bits)
+	if n.bits < quantize.ExactBits && n.count() >= 2 {
+		mid := b.medianSplit(lo, hi, mbr)
+		n.left = b.newNode(lo, mid, b.mbrOf(lo, mid))
+		n.right = b.newNode(mid, hi, b.mbrOf(mid, hi))
+		n.benefit = n.varCost - n.left.varCost - n.right.varCost
+	}
+	return n
+}
+
+// splitToExact recursively splits a node until every leaf fits at the
+// 32-bit exact level (used by the no-quantization ablation), packing
+// pages like the initial partitioning does.
+func (b *builder) splitToExact(n *bnode) []*bnode {
+	return b.splitToFixed(n, quantize.ExactBits)
+}
+
+// splitToFixed recursively splits a node until every leaf fits at the
+// given quantization level, which every leaf is then stored at.
+func (b *builder) splitToFixed(n *bnode, bits int) []*bnode {
+	if b.t.pageCapacity(bits) >= n.count() {
+		n.bits = bits
+		return []*bnode{n}
+	}
+	mid := b.packedSplit(n.lo, n.hi, n.mbr, b.t.pageCapacity(bits))
+	l := &bnode{lo: n.lo, hi: mid, mbr: b.mbrOf(n.lo, mid), splitStep: -1}
+	r := &bnode{lo: mid, hi: n.hi, mbr: b.mbrOf(mid, n.hi), splitStep: -1}
+	return append(b.splitToFixed(l, bits), b.splitToFixed(r, bits)...)
+}
+
+// medianSplit reorders perm[lo:hi] so that the lower half along the MBR's
+// longest dimension precedes the upper half, and returns the split index.
+func (b *builder) medianSplit(lo, hi int, mbr vec.MBR) int {
+	dim, _ := mbr.MaxSide()
+	mid := lo + (hi-lo)/2
+	b.selectNth(lo, hi, mid, dim)
+	return mid
+}
+
+// selectNth partially sorts perm[lo:hi] by coordinate `dim` such that the
+// element at position nth is in its sorted place and everything before it
+// compares ≤ (quickselect with median-of-three pivoting; deterministic).
+func (b *builder) selectNth(lo, hi, nth, dim int) {
+	coord := func(i int) float32 { return b.pts[b.perm[i]][dim] }
+	for hi-lo > 1 {
+		// Median-of-three pivot.
+		mid := lo + (hi-lo)/2
+		a, c, e := coord(lo), coord(mid), coord(hi-1)
+		pivot := a
+		if (c >= a && c <= e) || (c <= a && c >= e) {
+			pivot = c
+		} else if (e >= a && e <= c) || (e <= a && e >= c) {
+			pivot = e
+		}
+		// Three-way partition (Dutch national flag) to cope with heavy
+		// duplicate coordinates.
+		lt, i, gt := lo, lo, hi
+		for i < gt {
+			v := coord(i)
+			switch {
+			case v < pivot:
+				b.perm[lt], b.perm[i] = b.perm[i], b.perm[lt]
+				lt++
+				i++
+			case v > pivot:
+				gt--
+				b.perm[gt], b.perm[i] = b.perm[i], b.perm[gt]
+			default:
+				i++
+			}
+		}
+		switch {
+		case nth < lt:
+			hi = lt
+		case nth >= gt:
+			lo = gt
+		default:
+			return // nth lands in the pivot run
+		}
+	}
+}
+
+// benefitHeap is a max-heap of splittable nodes ordered by split benefit.
+type benefitHeap []*bnode
+
+func (h benefitHeap) Len() int            { return len(h) }
+func (h benefitHeap) Less(i, j int) bool  { return h[i].benefit > h[j].benefit }
+func (h benefitHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i]; h[i].hidx = i; h[j].hidx = j }
+func (h *benefitHeap) Push(x interface{}) { n := x.(*bnode); n.hidx = len(*h); *h = append(*h, n) }
+func (h *benefitHeap) Pop() interface{} {
+	old := *h
+	n := old[len(old)-1]
+	n.hidx = -1
+	*h = old[:len(old)-1]
+	return n
+}
+
+// optimize runs the optimal-quantization algorithm of Section 3.5: starting
+// from the initial partitions, greedily split the partition with the
+// largest variable-cost benefit, record the full-model cost after every
+// step, and return the frontier of the cheapest recorded step.
+func (b *builder) optimize(roots []*bnode) []*bnode {
+	var h benefitHeap
+	totalVar := 0.0
+	nPages := len(roots)
+	for _, r := range roots {
+		totalVar += r.varCost
+		if r.left != nil {
+			heap.Push(&h, r)
+		}
+	}
+	constCost := func(n int) float64 {
+		return b.t.model.DirectoryCost(n) + b.t.model.SecondLevelCost(n)
+	}
+	bestCost := constCost(nPages) + totalVar
+	bestStep := 0
+	step := 0
+	for h.Len() > 0 {
+		n := heap.Pop(&h).(*bnode)
+		n.splitStep = step
+		step++
+		totalVar += n.left.varCost + n.right.varCost - n.varCost
+		nPages++
+		if n.left.left != nil {
+			heap.Push(&h, n.left)
+		}
+		if n.right.left != nil {
+			heap.Push(&h, n.right)
+		}
+		if c := constCost(nPages) + totalVar; c < bestCost {
+			bestCost = c
+			bestStep = step
+		}
+	}
+	// Undo all splits past the best step: the frontier consists of the
+	// shallowest nodes not split before bestStep.
+	var frontier []*bnode
+	var collect func(n *bnode)
+	collect = func(n *bnode) {
+		if n.splitStep >= 0 && n.splitStep < bestStep {
+			collect(n.left)
+			collect(n.right)
+			return
+		}
+		frontier = append(frontier, n)
+	}
+	for _, r := range roots {
+		collect(r)
+	}
+	return frontier
+}
+
+// write lays the frontier out on disk in partition order: quantized pages
+// back to back in the second-level file (so spatially adjacent partitions
+// are adjacent on disk), exact pages in the same order in the third-level
+// file, and one directory entry each.
+func (b *builder) write(frontier []*bnode) {
+	t := b.t
+	dirBuf := make([]byte, 0, len(frontier)*page.DirEntrySize(t.dim))
+	entryBuf := make([]byte, page.DirEntrySize(t.dim))
+	for qpos, n := range frontier {
+		pts := make([]vec.Point, n.count())
+		ids := make([]uint32, n.count())
+		for i := 0; i < n.count(); i++ {
+			idx := b.perm[n.lo+i]
+			pts[i] = b.pts[idx]
+			if b.ids != nil {
+				ids[i] = b.ids[idx]
+			} else {
+				ids[i] = uint32(idx)
+			}
+		}
+		grid := quantize.NewGrid(n.mbr, n.bits)
+		e := page.DirEntry{
+			Count: uint32(n.count()),
+			Bits:  uint8(n.bits),
+			QPos:  uint32(qpos),
+			Base:  uint32(n.lo),
+			MBR:   n.mbr,
+		}
+		if n.bits < quantize.ExactBits {
+			epos, eblocks := t.eFile.Append(page.MarshalExact(pts, ids))
+			e.EPos = uint32(epos)
+			e.EBlocks = uint32(eblocks)
+			t.qFile.Append(page.MarshalQPage(grid, pts, nil, t.qPageBytes()))
+		} else {
+			t.qFile.Append(page.MarshalQPage(grid, pts, ids, t.qPageBytes()))
+		}
+		e.Marshal(entryBuf, t.dim)
+		dirBuf = append(dirBuf, entryBuf...)
+		t.entries = append(t.entries, e)
+		t.grids = append(t.grids, grid)
+		t.free = append(t.free, false)
+	}
+	t.dirFile.SetContents(dirBuf)
+}

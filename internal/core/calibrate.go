@@ -1,0 +1,115 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/mathx"
+	"repro/internal/quantize"
+	"repro/internal/vec"
+)
+
+// calibrationQueries is the number of self-queries sampled from the data
+// to calibrate the refinement cost model.
+const calibrationQueries = 16
+
+// calibrateRefinement measures how far the closed-form refinement
+// probability of the cost model (Eq. 15) is off on the actual data and
+// returns a multiplicative correction.
+//
+// The paper's model keeps the right *shape* across quantization levels
+// (its monotonicity is what the optimality proof rests on), but its
+// absolute scale can be off by a sizable factor on strongly non-uniform
+// data — e.g. on histogram data whose page MBRs overestimate the occupied
+// volume. A wrong scale shifts the split/quantize trade-off against the
+// constant (per-page) cost, so we pin it empirically: sample a few query
+// points from the data (queries follow the data distribution), find their
+// true nearest-neighbor distances by brute force, count how many point
+// approximations of the initial 1-bit configuration would need
+// refinement, and compare with the model's prediction for the same
+// configuration.
+func (b *builder) calibrateRefinement(ranges []partRange) float64 {
+	t := b.t
+	queries := b.sampleQueries()
+	if len(queries) == 0 {
+		return 1
+	}
+	radii := b.nnRadii(queries)
+
+	var predicted float64
+	for _, r := range ranges {
+		bits := t.fitBits(r.hi - r.lo)
+		if bits >= quantize.ExactBits {
+			continue
+		}
+		predicted += float64(r.hi-r.lo) * t.model.RefinementProbability(r.mbr, r.hi-r.lo, bits)
+	}
+	predicted *= float64(len(queries))
+
+	var observed float64
+	for qi, q := range queries {
+		rq := radii[qi]
+		for _, r := range ranges {
+			bits := t.fitBits(r.hi - r.lo)
+			if bits >= quantize.ExactBits {
+				continue
+			}
+			if r.mbr.MinDist(q, t.opt.Metric) >= rq {
+				continue // no cell of this page can undercut the NN distance
+			}
+			grid := quantize.NewGrid(r.mbr, bits)
+			cells := make([]uint32, t.dim)
+			for i := r.lo; i < r.hi; i++ {
+				p := b.pts[b.perm[i]]
+				cells = grid.Encode(p, cells)
+				if grid.MinDist(q, cells, t.opt.Metric) < rq {
+					observed++
+				}
+			}
+		}
+	}
+	if predicted <= 0 || observed <= 0 {
+		return 1
+	}
+	return mathx.Clamp(observed/predicted, 0.25, 32)
+}
+
+// sampleQueries picks calibration queries from the data with a fixed
+// stride (queries are assumed to follow the data distribution, as in the
+// paper's model).
+func (b *builder) sampleQueries() []vec.Point {
+	n := len(b.pts)
+	if n < 2 {
+		return nil
+	}
+	count := calibrationQueries
+	if count > n {
+		count = n
+	}
+	stride := n / count
+	if stride == 0 {
+		stride = 1
+	}
+	out := make([]vec.Point, 0, count)
+	for i := 0; i < n && len(out) < count; i += stride {
+		out = append(out, b.pts[i])
+	}
+	return out
+}
+
+// nnRadii computes, by brute force, the nearest-neighbor distance of each
+// query over the whole database, excluding the query point itself.
+func (b *builder) nnRadii(queries []vec.Point) []float64 {
+	met := b.t.opt.Metric
+	radii := make([]float64, len(queries))
+	for qi, q := range queries {
+		best := math.Inf(1)
+		for _, p := range b.pts {
+			d := met.Dist(q, p)
+			if d > 0 && d < best {
+				best = d
+			}
+		}
+		radii[qi] = best
+	}
+	return radii
+}

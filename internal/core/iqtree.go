@@ -1,0 +1,310 @@
+// Package core implements the IQ-tree, the paper's primary contribution:
+// a three-level compressed index for exact nearest-neighbor, k-nearest-
+// neighbor and range search in high-dimensional point databases.
+//
+// Level 1 is a flat directory of exact MBRs, scanned sequentially per
+// query. Level 2 holds fixed-size quantized data pages whose per-page
+// quantization level g ∈ {1,2,4,8,16,32} is chosen by the cost-model
+// optimization of Section 3.5. Level 3 holds exact coordinates, consulted
+// only when a query cannot be decided on the approximation; 32-bit pages
+// store exact data at level 2 and have no level-3 page.
+//
+// Queries run against a simulated disk (package disk) and report their
+// cost in simulated seconds, reproducing the paper's time-based
+// evaluation.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/costmodel"
+	"repro/internal/disk"
+	"repro/internal/fractal"
+	"repro/internal/page"
+	"repro/internal/quantize"
+	"repro/internal/vec"
+)
+
+// Options configures construction of an IQ-tree.
+type Options struct {
+	// Metric is the query metric. Default Euclidean.
+	Metric vec.Metric
+	// QPageBlocks is the fixed size of a quantized data page in disk
+	// blocks. Default 1.
+	QPageBlocks int
+	// Quantize enables independent quantization. When false, every page
+	// stores exact 32-bit coordinates (the "no quantization" ablation of
+	// paper Fig. 7: a plain bulk-loaded flat index).
+	Quantize bool
+	// OptimizedIO enables the time-optimized page access strategy of
+	// Section 2.1. When false, the search loads one page per random
+	// access, like a conventional index (the "standard NN-search"
+	// ablation of Fig. 7).
+	OptimizedIO bool
+	// FractalDim is the fractal dimension D_F used by the cost model;
+	// 0 means "estimate from the data" (correlation dimension).
+	FractalDim float64
+	// UniformModel forces the uniformity/independence cost model
+	// (D_F = d) regardless of FractalDim; an ablation knob.
+	UniformModel bool
+	// RefineCostFactor scales the cost model's refinement (third-level)
+	// cost during optimization. 1 uses the paper's model as-is; 0 means
+	// "calibrate empirically from sampled self-queries" (the default).
+	RefineCostFactor float64
+	// KNNTarget is the neighbor count the cost model optimizes for
+	// (paper footnote: the k-NN extension of Eq. 7/14/17). Default 1.
+	// Queries with any k remain exact regardless of this knob.
+	KNNTarget int
+	// FixedBits, when non-zero, disables the optimal quantization and
+	// stores every page at this level (must be one of 1,2,4,8,16,32) —
+	// the "VA-file inside a tree" ablation against which the independent
+	// (per-page) quantization is compared.
+	FixedBits int
+	// MaxBufferBlocks caps the length of one contiguous read during
+	// range-query page fetching (the buffer-limited variant of Seeger et
+	// al. [19]). 0 means unlimited.
+	MaxBufferBlocks int
+}
+
+// DefaultOptions returns the paper's full IQ-tree configuration.
+func DefaultOptions() Options {
+	return Options{
+		Metric:      vec.Euclidean,
+		QPageBlocks: 1,
+		Quantize:    true,
+		OptimizedIO: true,
+	}
+}
+
+// Tree is an immutable-by-default IQ-tree; Insert and Delete take the
+// write lock, searches the read lock, so concurrent searches are safe.
+type Tree struct {
+	mu  sync.RWMutex
+	opt Options
+	dsk *disk.Disk
+
+	metaFile *disk.File // superblock (see persist.go)
+	dirFile  *disk.File // level 1: directory entries
+	qFile    *disk.File // level 2: fixed-size quantized pages
+	eFile    *disk.File // level 3: exact pages (variable size)
+
+	dim        int
+	n          int // live points
+	dataSpace  vec.MBR
+	fractalDim float64
+	model      costmodel.Model
+
+	entries []page.DirEntry // decoded directory, index = quantized page position
+	grids   []quantize.Grid // per-entry quantization grid
+	free    []bool          // entries logically deleted (empty after merges)
+}
+
+// Dim returns the dimensionality of the indexed points.
+func (t *Tree) Dim() int { return t.dim }
+
+// Len returns the number of live points.
+func (t *Tree) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.n
+}
+
+// NumPages returns the number of live quantized data pages.
+func (t *Tree) NumPages() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	n := 0
+	for i := range t.entries {
+		if !t.free[i] {
+			n++
+		}
+	}
+	return n
+}
+
+// Options returns the tree's construction options.
+func (t *Tree) Options() Options { return t.opt }
+
+// FractalDim returns the fractal dimension used by the cost model.
+func (t *Tree) FractalDim() float64 { return t.fractalDim }
+
+// Model returns a copy of the tree's cost model.
+func (t *Tree) Model() costmodel.Model { return t.model }
+
+// qPageBytes returns the byte size of one quantized page.
+func (t *Tree) qPageBytes() int { return t.opt.QPageBlocks * t.dsk.Config().BlockSize }
+
+// qPayloadBytes returns the payload capacity of one quantized page.
+func (t *Tree) qPayloadBytes() int { return t.qPageBytes() - page.QHeaderSize }
+
+// pageCapacity returns the number of points a quantized page holds at the
+// given level. Capacities follow the exact halving ladder of the split
+// tree — cap(g) = cap(32)·32/g — so that splitting a full page always
+// yields two full pages at the doubled level (the physical bit capacity
+// is slightly larger for g < 32; the difference is the id overhead of the
+// exact level, ~d/(d+1)).
+func (t *Tree) pageCapacity(bits int) int {
+	cap32 := page.QPageCapacity(t.qPayloadBytes(), t.dim, quantize.ExactBits)
+	return cap32 * quantize.ExactBits / bits
+}
+
+// fitBits returns the largest quantization level whose page capacity
+// accommodates count points, or 0 if count does not even fit at 1 bit.
+func (t *Tree) fitBits(count int) int {
+	best := 0
+	for _, b := range quantize.Levels {
+		if t.pageCapacity(b) >= count {
+			best = b
+		}
+	}
+	return best
+}
+
+// Build constructs an IQ-tree over pts on the given simulated disk.
+// Point i is assigned id i. The point slice is not retained.
+func Build(dsk *disk.Disk, pts []vec.Point, opt Options) (*Tree, error) {
+	if len(pts) == 0 {
+		return nil, errors.New("core: cannot build over an empty point set")
+	}
+	dim := len(pts[0])
+	if dim == 0 {
+		return nil, errors.New("core: zero-dimensional points")
+	}
+	for i, p := range pts {
+		if len(p) != dim {
+			return nil, fmt.Errorf("core: point %d has dimension %d, want %d", i, len(p), dim)
+		}
+	}
+	if opt.QPageBlocks <= 0 {
+		opt.QPageBlocks = 1
+	}
+	t := &Tree{
+		opt:      opt,
+		dsk:      dsk,
+		metaFile: dsk.NewFile(MetaFileName),
+		dirFile:  dsk.NewFile(DirFileName),
+		qFile:    dsk.NewFile(QFileName),
+		eFile:    dsk.NewFile(EFileName),
+		dim:      dim,
+		n:        len(pts),
+	}
+	t.dataSpace = vec.MBROf(pts)
+
+	df := opt.FractalDim
+	if opt.UniformModel {
+		df = float64(dim)
+	} else if df <= 0 {
+		df = fractal.Estimate(pts, opt.Metric)
+	}
+	t.fractalDim = df
+	t.model = costmodel.Model{
+		Disk:          dsk.Config(),
+		Metric:        opt.Metric,
+		Dim:           dim,
+		N:             len(pts),
+		FractalDim:    df,
+		DataSpace:     t.dataSpace,
+		DirEntryBytes: page.DirEntrySize(dim),
+		QPageBlocks:   opt.QPageBlocks,
+		ExactBlocks:   1,
+		RefineFactor:  opt.RefineCostFactor,
+		K:             opt.KNNTarget,
+	}
+
+	if page.QPageCapacity(t.qPayloadBytes(), dim, quantize.ExactBits) < 1 {
+		return nil, fmt.Errorf("core: quantized page too small for even one %d-dimensional point", dim)
+	}
+
+	b := newBuilder(t, pts)
+	b.run()
+	t.writeMeta()
+	return t, nil
+}
+
+// CostEstimate returns the cost model's predicted time per nearest-
+// neighbor query for the current page configuration (Eq. 23).
+func (t *Tree) CostEstimate() float64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.model.Total(t.pageInfos())
+}
+
+// pageInfos snapshots the live pages for cost-model evaluation.
+// Callers must hold at least the read lock.
+func (t *Tree) pageInfos() []costmodel.PageInfo {
+	infos := make([]costmodel.PageInfo, 0, len(t.entries))
+	for i, e := range t.entries {
+		if t.free[i] {
+			continue
+		}
+		infos = append(infos, costmodel.PageInfo{MBR: e.MBR, Count: int(e.Count), Bits: int(e.Bits)})
+	}
+	return infos
+}
+
+// Stats summarizes the physical structure of the tree.
+type Stats struct {
+	Points         int
+	Pages          int
+	BitsHistogram  map[int]int // quantization level → page count
+	DirectoryBytes int
+	QuantizedBytes int
+	ExactBytes     int
+	FractalDim     float64
+	PredictedCost  float64 // model-estimated seconds per NN query
+}
+
+// Stats returns structural statistics of the tree.
+func (t *Tree) Stats() Stats {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	st := Stats{
+		Points:         t.n,
+		BitsHistogram:  make(map[int]int),
+		DirectoryBytes: t.dirFile.Bytes(),
+		QuantizedBytes: t.qFile.Bytes(),
+		ExactBytes:     t.eFile.Bytes(),
+		FractalDim:     t.fractalDim,
+	}
+	for i, e := range t.entries {
+		if t.free[i] {
+			continue
+		}
+		st.Pages++
+		st.BitsHistogram[int(e.Bits)]++
+	}
+	st.PredictedCost = t.model.Total(t.pageInfos())
+	return st
+}
+
+// PageInfoRow describes one live quantized page for introspection.
+type PageInfoRow struct {
+	QPos   int
+	Count  int
+	Bits   int
+	Volume float64
+	MBR    vec.MBR
+}
+
+// DescribePages returns one row per live page, in disk order — the raw
+// material behind Stats' bits histogram, used by cmd/iqtool and tests.
+func (t *Tree) DescribePages() []PageInfoRow {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	rows := make([]PageInfoRow, 0, len(t.entries))
+	for i, e := range t.entries {
+		if t.free[i] {
+			continue
+		}
+		rows = append(rows, PageInfoRow{
+			QPos:   int(e.QPos),
+			Count:  int(e.Count),
+			Bits:   int(e.Bits),
+			Volume: e.MBR.Volume(),
+			MBR:    e.MBR.Clone(),
+		})
+	}
+	return rows
+}

@@ -1,0 +1,208 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/disk"
+	"repro/internal/vec"
+)
+
+func randPoints(r *rand.Rand, n, d int) []vec.Point {
+	pts := make([]vec.Point, n)
+	for i := range pts {
+		p := make(vec.Point, d)
+		for j := range p {
+			p[j] = r.Float32()
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+func bruteKNN(pts []vec.Point, q vec.Point, k int, met vec.Metric) []float64 {
+	ds := make([]float64, len(pts))
+	for i, p := range pts {
+		ds[i] = met.Dist(q, p)
+	}
+	sort.Float64s(ds)
+	if k > len(ds) {
+		k = len(ds)
+	}
+	return ds[:k]
+}
+
+func buildTree(t *testing.T, pts []vec.Point, opt Options) *Tree {
+	t.Helper()
+	dsk := disk.New(disk.DefaultConfig())
+	tr, err := Build(dsk, pts, opt)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return tr
+}
+
+func checkKNN(t *testing.T, tr *Tree, pts []vec.Point, queries []vec.Point, k int, met vec.Metric) {
+	t.Helper()
+	for qi, q := range queries {
+		s := tr.dsk.NewSession()
+		got := tr.KNN(s, q, k)
+		want := bruteKNN(pts, q, k, met)
+		if len(got) != len(want) {
+			t.Fatalf("query %d: got %d results, want %d", qi, len(got), len(want))
+		}
+		for i := range got {
+			if math.Abs(got[i].Dist-want[i]) > 1e-5 {
+				t.Fatalf("query %d result %d: dist %.8f, want %.8f", qi, i, got[i].Dist, want[i])
+			}
+		}
+		if !sort.SliceIsSorted(got, func(a, b int) bool { return got[a].Dist < got[b].Dist }) {
+			t.Fatalf("query %d: results not sorted", qi)
+		}
+	}
+}
+
+func TestKNNMatchesBruteForce(t *testing.T) {
+	for _, met := range []vec.Metric{vec.Euclidean, vec.Maximum} {
+		for _, d := range []int{2, 8, 16} {
+			r := rand.New(rand.NewSource(42))
+			pts := randPoints(r, 3000, d)
+			opt := DefaultOptions()
+			opt.Metric = met
+			tr := buildTree(t, pts, opt)
+			checkKNN(t, tr, pts, randPoints(r, 15, d), 5, met)
+		}
+	}
+}
+
+func TestKNNAblationVariants(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	pts := randPoints(r, 2500, 8)
+	queries := randPoints(r, 10, 8)
+	for _, quant := range []bool{true, false} {
+		for _, optIO := range []bool{true, false} {
+			opt := DefaultOptions()
+			opt.Quantize = quant
+			opt.OptimizedIO = optIO
+			tr := buildTree(t, pts, opt)
+			checkKNN(t, tr, pts, queries, 3, vec.Euclidean)
+		}
+	}
+}
+
+func TestRangeSearchMatchesBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	pts := randPoints(r, 2000, 6)
+	tr := buildTree(t, pts, DefaultOptions())
+	for qi, q := range randPoints(r, 10, 6) {
+		eps := 0.3
+		s := tr.dsk.NewSession()
+		got := tr.RangeSearch(s, q, eps)
+		var want int
+		for _, p := range pts {
+			if vec.Euclidean.Dist(q, p) <= eps {
+				want++
+			}
+		}
+		if len(got) != want {
+			t.Fatalf("query %d: got %d results, want %d", qi, len(got), want)
+		}
+		for _, nb := range got {
+			if nb.Dist > eps {
+				t.Fatalf("query %d: result at dist %f > eps", qi, nb.Dist)
+			}
+			if !pts[nb.ID].Equal(nb.Point) {
+				t.Fatalf("query %d: id %d coordinates mismatch", qi, nb.ID)
+			}
+		}
+	}
+}
+
+func TestInsertDelete(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	pts := randPoints(r, 1000, 4)
+	tr := buildTree(t, pts, DefaultOptions())
+	s := tr.dsk.NewSession()
+
+	extra := randPoints(r, 200, 4)
+	all := append(append([]vec.Point{}, pts...), extra...)
+	for i, p := range extra {
+		if err := tr.Insert(s, p, uint32(len(pts)+i)); err != nil {
+			t.Fatalf("Insert %d: %v", i, err)
+		}
+	}
+	if tr.Len() != len(all) {
+		t.Fatalf("Len = %d, want %d", tr.Len(), len(all))
+	}
+	checkKNN(t, tr, all, randPoints(r, 10, 4), 4, vec.Euclidean)
+
+	// Delete every third point and re-verify.
+	var remaining []vec.Point
+	for i, p := range all {
+		if i%3 == 0 {
+			if !tr.Delete(s, p, uint32(i)) {
+				t.Fatalf("Delete %d failed", i)
+			}
+		} else {
+			remaining = append(remaining, p)
+		}
+	}
+	if tr.Len() != len(remaining) {
+		t.Fatalf("Len after delete = %d, want %d", tr.Len(), len(remaining))
+	}
+	for qi, q := range randPoints(r, 10, 4) {
+		s := tr.dsk.NewSession()
+		got := tr.KNN(s, q, 3)
+		want := bruteKNN(remaining, q, 3, vec.Euclidean)
+		for i := range got {
+			if math.Abs(got[i].Dist-want[i]) > 1e-5 {
+				t.Fatalf("query %d after delete: dist %.8f, want %.8f", qi, got[i].Dist, want[i])
+			}
+		}
+	}
+}
+
+func TestAllPointsRoundtrip(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	pts := randPoints(r, 1500, 10)
+	tr := buildTree(t, pts, DefaultOptions())
+	got, ids := tr.AllPoints()
+	if len(got) != len(pts) {
+		t.Fatalf("AllPoints returned %d points, want %d", len(got), len(pts))
+	}
+	seen := make(map[uint32]bool)
+	for i, id := range ids {
+		if seen[id] {
+			t.Fatalf("duplicate id %d", id)
+		}
+		seen[id] = true
+		if !pts[id].Equal(got[i]) {
+			t.Fatalf("id %d: coordinates mismatch", id)
+		}
+	}
+}
+
+func TestStats(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	pts := randPoints(r, 5000, 16)
+	tr := buildTree(t, pts, DefaultOptions())
+	st := tr.Stats()
+	if st.Points != 5000 {
+		t.Fatalf("Points = %d", st.Points)
+	}
+	if st.Pages == 0 || st.QuantizedBytes == 0 || st.DirectoryBytes == 0 {
+		t.Fatalf("implausible stats: %+v", st)
+	}
+	var total int
+	for _, c := range st.BitsHistogram {
+		total += c
+	}
+	if total != st.Pages {
+		t.Fatalf("bits histogram sums to %d, want %d pages", total, st.Pages)
+	}
+	if st.PredictedCost <= 0 {
+		t.Fatalf("predicted cost %f", st.PredictedCost)
+	}
+}

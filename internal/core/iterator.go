@@ -1,0 +1,264 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/disk"
+	"repro/internal/page"
+	"repro/internal/pagesched"
+	"repro/internal/quantize"
+	"repro/internal/vec"
+)
+
+// NNIterator enumerates the neighbors of a query point in increasing
+// distance order, on demand — the incremental ranking of Hjaltason and
+// Samet (the paper's reference [13]), running over the IQ-tree's three
+// levels. Unlike KNN it needs no a-priori k: callers pull neighbors until
+// satisfied (e.g. distance browsing, joins).
+//
+// The iterator holds the tree's read lock between Next calls only while
+// it works; it must not be used concurrently with updates to the tree.
+type NNIterator struct {
+	t *Tree
+	s *disk.Session
+	q vec.Point
+
+	minD      []float64
+	processed []bool
+	sorted    []int32
+	heap      []pqItem // min-heap on lower-bound distance
+
+	// confirmed holds refined (exact) neighbors not yet emitted, as a
+	// min-heap on distance.
+	confirmed  []Neighbor
+	exactCache map[int32]exactPage
+	regionBuf  []pagesched.Region
+	started    bool
+}
+
+// NewNNIterator starts an incremental nearest-neighbor ranking for q.
+// All simulated I/O and CPU is charged to s.
+func (t *Tree) NewNNIterator(s *disk.Session, q vec.Point) *NNIterator {
+	return &NNIterator{t: t, s: s, q: q}
+}
+
+// Next returns the next neighbor in increasing distance order, or
+// ok=false when the database is exhausted.
+func (it *NNIterator) Next() (Neighbor, bool) {
+	it.t.mu.RLock()
+	defer it.t.mu.RUnlock()
+	if !it.started {
+		it.start()
+	}
+	for {
+		// Emit a confirmed neighbor as soon as nothing in the priority
+		// list could still be closer.
+		if len(it.confirmed) > 0 && (len(it.heap) == 0 || it.confirmed[0].Dist <= it.heap[0].dist) {
+			return it.popConfirmed(), true
+		}
+		if len(it.heap) == 0 {
+			return Neighbor{}, false
+		}
+		item := it.popItem()
+		if item.pt >= 0 {
+			it.refine(item)
+			continue
+		}
+		if it.processed[item.entry] {
+			continue
+		}
+		it.processPage(int(item.entry))
+	}
+}
+
+func (it *NNIterator) start() {
+	it.started = true
+	t := it.t
+	met := t.opt.Metric
+	if t.dirFile.Blocks() > 0 {
+		it.s.Read(t.dirFile, 0, t.dirFile.Blocks())
+	}
+	it.s.ChargeApproxCPU(t.dim, len(t.entries))
+	it.minD = make([]float64, len(t.entries))
+	it.processed = make([]bool, len(t.entries))
+	for i, e := range t.entries {
+		if t.free[i] {
+			it.processed[i] = true
+			continue
+		}
+		it.minD[i] = e.MBR.MinDist(it.q, met)
+		it.pushItem(pqItem{dist: it.minD[i], entry: int32(i), pt: -1})
+		it.sorted = append(it.sorted, int32(i))
+	}
+	sort.Slice(it.sorted, func(a, b int) bool { return it.minD[it.sorted[a]] < it.minD[it.sorted[b]] })
+}
+
+// processPage loads (batched, if enabled) and decodes quantized pages,
+// feeding point approximations into the priority list. Unlike the
+// k-bounded search, nothing can be pruned: every point will eventually be
+// emitted.
+func (it *NNIterator) processPage(entry int) {
+	t := it.t
+	first, last := entry, entry
+	if t.opt.OptimizedIO {
+		sched := &pagesched.Scheduler{
+			Cfg:        t.dsk.Config(),
+			PageBlocks: t.opt.QPageBlocks,
+			NumPages:   t.qFile.Blocks() / t.opt.QPageBlocks,
+			Prob:       it.accessProb,
+		}
+		first, last = sched.Batch(int(t.entries[entry].QPos))
+	}
+	buf := it.s.Read(t.qFile, first*t.opt.QPageBlocks, (last-first+1)*t.opt.QPageBlocks)
+	pageBytes := t.qPageBytes()
+	met := t.opt.Metric
+	for pos := first; pos <= last; pos++ {
+		if pos >= len(t.entries) || it.processed[pos] || t.free[pos] {
+			continue
+		}
+		it.processed[pos] = true
+		qp := page.UnmarshalQPage(buf[(pos-first)*pageBytes : (pos-first+1)*pageBytes])
+		if qp.Bits == quantize.ExactBits {
+			pts, ids := qp.ExactPoints(t.dim)
+			it.s.ChargeDistCPU(t.dim, len(pts))
+			for i, p := range pts {
+				it.pushConfirmed(Neighbor{ID: ids[i], Dist: met.Dist(it.q, p), Point: p})
+			}
+			continue
+		}
+		grid := t.grids[pos]
+		cells := qp.Cells(grid)
+		it.s.ChargeApproxCPU(t.dim, qp.Count)
+		for i := 0; i < qp.Count; i++ {
+			lb := grid.MinDist(it.q, cells[i*t.dim:(i+1)*t.dim], met)
+			it.pushItem(pqItem{dist: lb, entry: int32(pos), pt: int32(i)})
+		}
+	}
+}
+
+func (it *NNIterator) accessProb(pos int) float64 {
+	t := it.t
+	if pos >= len(t.entries) || it.processed[pos] || t.free[pos] {
+		return 0
+	}
+	r := it.minD[pos]
+	it.regionBuf = it.regionBuf[:0]
+	for _, e := range it.sorted {
+		if it.minD[e] >= r {
+			break
+		}
+		if it.processed[e] || int(e) == pos {
+			continue
+		}
+		it.regionBuf = append(it.regionBuf, pagesched.Region{
+			MBR:     t.entries[e].MBR,
+			Count:   int(t.entries[e].Count),
+			MinDist: it.minD[e],
+		})
+	}
+	return pagesched.AccessProbability(it.q, t.opt.Metric, r, it.regionBuf)
+}
+
+func (it *NNIterator) refine(item pqItem) {
+	t := it.t
+	ep, ok := it.exactCache[item.entry]
+	if !ok {
+		e := t.entries[item.entry]
+		entrySize := page.ExactEntrySize(t.dim)
+		raw, rel := it.s.ReadRange(t.eFile, int(e.EPos)*t.dsk.Config().BlockSize, int(e.Count)*entrySize)
+		ep = exactPage{pts: make([]vec.Point, e.Count), ids: make([]uint32, e.Count)}
+		for i := 0; i < int(e.Count); i++ {
+			ep.pts[i], ep.ids[i] = page.UnmarshalExactEntry(raw[rel+i*entrySize:], t.dim)
+		}
+		if it.exactCache == nil {
+			it.exactCache = make(map[int32]exactPage)
+		}
+		it.exactCache[item.entry] = ep
+	}
+	it.s.ChargeDistCPU(t.dim, 1)
+	it.pushConfirmed(Neighbor{
+		ID:    ep.ids[item.pt],
+		Dist:  t.opt.Metric.Dist(it.q, ep.pts[item.pt]),
+		Point: ep.pts[item.pt],
+	})
+}
+
+// --- heaps ---
+
+func (it *NNIterator) pushItem(item pqItem) {
+	it.heap = append(it.heap, item)
+	a := it.heap
+	i := len(a) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if a[p].dist <= a[i].dist {
+			break
+		}
+		a[p], a[i] = a[i], a[p]
+		i = p
+	}
+}
+
+func (it *NNIterator) popItem() pqItem {
+	a := it.heap
+	top := a[0]
+	a[0] = a[len(a)-1]
+	it.heap = a[:len(a)-1]
+	a = it.heap
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < len(a) && a[l].dist < a[m].dist {
+			m = l
+		}
+		if r < len(a) && a[r].dist < a[m].dist {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		a[i], a[m] = a[m], a[i]
+		i = m
+	}
+	return top
+}
+
+func (it *NNIterator) pushConfirmed(nb Neighbor) {
+	it.confirmed = append(it.confirmed, nb)
+	a := it.confirmed
+	i := len(a) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if a[p].Dist <= a[i].Dist {
+			break
+		}
+		a[p], a[i] = a[i], a[p]
+		i = p
+	}
+}
+
+func (it *NNIterator) popConfirmed() Neighbor {
+	a := it.confirmed
+	top := a[0]
+	a[0] = a[len(a)-1]
+	it.confirmed = a[:len(a)-1]
+	a = it.confirmed
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < len(a) && a[l].Dist < a[m].Dist {
+			m = l
+		}
+		if r < len(a) && a[r].Dist < a[m].Dist {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		a[i], a[m] = a[m], a[i]
+		i = m
+	}
+	return top
+}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/vec"
+)
+
+func TestIteratorFullRanking(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	pts := randPoints(r, 1200, 6)
+	tr := buildTree(t, pts, DefaultOptions())
+	q := randPoints(r, 1, 6)[0]
+
+	want := make([]float64, len(pts))
+	for i, p := range pts {
+		want[i] = vec.Euclidean.Dist(q, p)
+	}
+	sort.Float64s(want)
+
+	it := tr.NewNNIterator(tr.dsk.NewSession(), q)
+	for i := 0; i < len(pts); i++ {
+		nb, ok := it.Next()
+		if !ok {
+			t.Fatalf("iterator exhausted after %d of %d", i, len(pts))
+		}
+		if math.Abs(nb.Dist-want[i]) > 1e-5 {
+			t.Fatalf("rank %d: dist %.7f, want %.7f", i, nb.Dist, want[i])
+		}
+	}
+	if _, ok := it.Next(); ok {
+		t.Fatal("iterator returned more points than the database holds")
+	}
+}
+
+func TestIteratorPrefixMatchesKNN(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	pts := randPoints(r, 3000, 10)
+	tr := buildTree(t, pts, DefaultOptions())
+	for qi, q := range randPoints(r, 5, 10) {
+		knn := tr.KNN(tr.dsk.NewSession(), q, 12)
+		it := tr.NewNNIterator(tr.dsk.NewSession(), q)
+		for i := 0; i < 12; i++ {
+			nb, ok := it.Next()
+			if !ok {
+				t.Fatalf("query %d: iterator dry at %d", qi, i)
+			}
+			if math.Abs(nb.Dist-knn[i].Dist) > 1e-6 {
+				t.Fatalf("query %d rank %d: %.7f vs KNN %.7f", qi, i, nb.Dist, knn[i].Dist)
+			}
+		}
+	}
+}
+
+func TestIteratorCostGrowsWithPulls(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	pts := randPoints(r, 5000, 8)
+	tr := buildTree(t, pts, DefaultOptions())
+	q := randPoints(r, 1, 8)[0]
+
+	s := tr.dsk.NewSession()
+	it := tr.NewNNIterator(s, q)
+	it.Next()
+	after1 := s.Time()
+	for i := 0; i < 500; i++ {
+		it.Next()
+	}
+	after500 := s.Time()
+	if after500 <= after1 {
+		t.Fatalf("pulling 500 more neighbors cost nothing: %f vs %f", after500, after1)
+	}
+	// The first pull must not have paid for the whole database.
+	sFull := tr.dsk.NewSession()
+	full := tr.NewNNIterator(sFull, q)
+	for {
+		if _, ok := full.Next(); !ok {
+			break
+		}
+	}
+	if after1 >= sFull.Time() {
+		t.Fatalf("first pull cost the full enumeration: %f vs %f", after1, sFull.Time())
+	}
+}
+
+func TestIteratorVariants(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	pts := randPoints(r, 1000, 5)
+	for _, opt := range []Options{
+		DefaultOptions(),
+		{Metric: vec.Maximum, QPageBlocks: 1, Quantize: true, OptimizedIO: true},
+		{Metric: vec.Euclidean, QPageBlocks: 1, Quantize: false, OptimizedIO: false},
+	} {
+		tr := buildTree(t, pts, opt)
+		q := randPoints(r, 1, 5)[0]
+		want := make([]float64, len(pts))
+		for i, p := range pts {
+			want[i] = opt.Metric.Dist(q, p)
+		}
+		sort.Float64s(want)
+		it := tr.NewNNIterator(tr.dsk.NewSession(), q)
+		for i := 0; i < 50; i++ {
+			nb, ok := it.Next()
+			if !ok || math.Abs(nb.Dist-want[i]) > 1e-5 {
+				t.Fatalf("opt %+v rank %d: %+v want %.7f", opt, i, nb, want[i])
+			}
+		}
+	}
+}

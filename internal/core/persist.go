@@ -1,0 +1,138 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/costmodel"
+	"repro/internal/disk"
+	"repro/internal/page"
+	"repro/internal/quantize"
+	"repro/internal/vec"
+)
+
+// File names of the IQ-tree's on-disk structure. The three data files
+// correspond to the three levels of paper Fig. 3; the meta file is a
+// superblock holding what a reopening process cannot recover from the
+// levels themselves.
+const (
+	MetaFileName = "iq.meta"
+	DirFileName  = "iq.dir"
+	QFileName    = "iq.quant"
+	EFileName    = "iq.exact"
+)
+
+// metaMagic identifies the superblock format.
+const metaMagic = 0x49515452 // "IQTR"
+
+const metaVersion = 1
+
+// writeMeta serializes the superblock. Layout (little-endian):
+//
+//	magic u32 | version u32 | dim u32 | entries u32 | live points u64 |
+//	metric u8 | quantize u8 | optimizedIO u8 | pad | qpageBlocks u32 |
+//	fractalDim f64 | refineFactor f64
+func (t *Tree) writeMeta() {
+	buf := make([]byte, 48)
+	le := binary.LittleEndian
+	le.PutUint32(buf[0:], metaMagic)
+	le.PutUint32(buf[4:], metaVersion)
+	le.PutUint32(buf[8:], uint32(t.dim))
+	le.PutUint32(buf[12:], uint32(len(t.entries)))
+	le.PutUint64(buf[16:], uint64(t.n))
+	buf[24] = uint8(t.opt.Metric)
+	buf[25] = b2u(t.opt.Quantize)
+	buf[26] = b2u(t.opt.OptimizedIO)
+	le.PutUint32(buf[28:], uint32(t.opt.QPageBlocks))
+	le.PutUint64(buf[32:], math.Float64bits(t.fractalDim))
+	le.PutUint64(buf[40:], math.Float64bits(t.model.RefineFactor))
+	t.metaFile.SetContents(buf)
+}
+
+func b2u(b bool) uint8 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Open reconstructs an IQ-tree from the files a previous Build (plus any
+// later maintenance) left on the disk. The returned tree answers queries
+// and accepts updates exactly like the original.
+func Open(dsk *disk.Disk) (*Tree, error) {
+	meta := dsk.File(MetaFileName)
+	dir := dsk.File(DirFileName)
+	qf := dsk.File(QFileName)
+	ef := dsk.File(EFileName)
+	if meta == nil || dir == nil || qf == nil || ef == nil {
+		return nil, errors.New("core: no IQ-tree on this disk")
+	}
+	if meta.Blocks() == 0 {
+		return nil, errors.New("core: empty meta file")
+	}
+	buf := meta.BlockAt(0)
+	le := binary.LittleEndian
+	if le.Uint32(buf[0:]) != metaMagic {
+		return nil, errors.New("core: bad meta magic")
+	}
+	if v := le.Uint32(buf[4:]); v != metaVersion {
+		return nil, fmt.Errorf("core: unsupported meta version %d", v)
+	}
+	t := &Tree{
+		dsk:      dsk,
+		metaFile: meta,
+		dirFile:  dir,
+		qFile:    qf,
+		eFile:    ef,
+		dim:      int(le.Uint32(buf[8:])),
+		n:        int(le.Uint64(buf[16:])),
+	}
+	nEntries := int(le.Uint32(buf[12:]))
+	t.opt = Options{
+		Metric:      vec.Metric(buf[24]),
+		Quantize:    buf[25] == 1,
+		OptimizedIO: buf[26] == 1,
+		QPageBlocks: int(le.Uint32(buf[28:])),
+	}
+	t.fractalDim = math.Float64frombits(le.Uint64(buf[32:]))
+
+	// Rebuild the in-memory directory from level 1.
+	entrySize := page.DirEntrySize(t.dim)
+	if dir.Bytes() < nEntries*entrySize {
+		return nil, fmt.Errorf("core: directory file too small for %d entries", nEntries)
+	}
+	raw := make([]byte, 0, nEntries*entrySize)
+	for b := 0; b < dir.Blocks(); b++ {
+		raw = append(raw, dir.BlockAt(b)...)
+	}
+	t.dataSpace = vec.NewMBR(t.dim)
+	for i := 0; i < nEntries; i++ {
+		e := page.UnmarshalDirEntry(raw[i*entrySize:], t.dim)
+		t.entries = append(t.entries, e)
+		bits := int(e.Bits)
+		if bits < 1 || bits > quantize.ExactBits {
+			bits = 1 // freed placeholder entries may carry stale levels
+		}
+		t.grids = append(t.grids, quantize.NewGrid(e.MBR, bits))
+		free := e.Count == 0
+		t.free = append(t.free, free)
+		if !free {
+			t.dataSpace.ExtendMBR(e.MBR)
+		}
+	}
+	t.model = costmodel.Model{
+		Disk:          dsk.Config(),
+		Metric:        t.opt.Metric,
+		Dim:           t.dim,
+		N:             t.n,
+		FractalDim:    t.fractalDim,
+		DataSpace:     t.dataSpace,
+		DirEntryBytes: entrySize,
+		QPageBlocks:   t.opt.QPageBlocks,
+		ExactBlocks:   1,
+		RefineFactor:  math.Float64frombits(le.Uint64(buf[40:])),
+	}
+	return t, nil
+}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/disk"
+	"repro/internal/vec"
+)
+
+func TestOpenReconstructsTree(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	pts := randPoints(r, 3000, 8)
+	dsk := disk.New(disk.DefaultConfig())
+	orig, err := Build(dsk, pts, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reopened, err := Open(dsk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reopened.Len() != orig.Len() || reopened.Dim() != orig.Dim() {
+		t.Fatalf("metadata mismatch: %d/%d vs %d/%d",
+			reopened.Len(), reopened.Dim(), orig.Len(), orig.Dim())
+	}
+	if reopened.NumPages() != orig.NumPages() {
+		t.Fatalf("pages %d vs %d", reopened.NumPages(), orig.NumPages())
+	}
+	if reopened.FractalDim() != orig.FractalDim() {
+		t.Fatalf("fractal dim %f vs %f", reopened.FractalDim(), orig.FractalDim())
+	}
+
+	queries := randPoints(r, 15, 8)
+	for qi, q := range queries {
+		a := orig.KNN(dsk.NewSession(), q, 5)
+		b := reopened.KNN(dsk.NewSession(), q, 5)
+		if len(a) != len(b) {
+			t.Fatalf("query %d: result counts differ", qi)
+		}
+		for i := range a {
+			if a[i].Dist != b[i].Dist {
+				t.Fatalf("query %d: %f vs %f", qi, a[i].Dist, b[i].Dist)
+			}
+		}
+	}
+}
+
+func TestOpenedTreeAcceptsUpdates(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	pts := randPoints(r, 1000, 4)
+	dsk := disk.New(disk.DefaultConfig())
+	if _, err := Build(dsk, pts, DefaultOptions()); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Open(dsk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := dsk.NewSession()
+	extra := randPoints(r, 300, 4)
+	all := append(append([]vec.Point{}, pts...), extra...)
+	for i, p := range extra {
+		if err := tr.Insert(s, p, uint32(1000+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	checkKNN(t, tr, all, randPoints(r, 8, 4), 3, vec.Euclidean)
+
+	// Reopen once more after the updates and verify again.
+	tr2, err := Open(dsk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr2.Len() != len(all) {
+		t.Fatalf("post-update reopen Len = %d, want %d", tr2.Len(), len(all))
+	}
+	checkKNN(t, tr2, all, randPoints(r, 8, 4), 3, vec.Euclidean)
+}
+
+func TestOpenWithDeletedPages(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	pts := randPoints(r, 800, 3)
+	dsk := disk.New(disk.DefaultConfig())
+	tr, err := Build(dsk, pts, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := dsk.NewSession()
+	var remaining []vec.Point
+	for i, p := range pts {
+		if i < 400 {
+			if !tr.Delete(s, p, uint32(i)) {
+				t.Fatalf("delete %d failed", i)
+			}
+		} else {
+			remaining = append(remaining, p)
+		}
+	}
+	tr2, err := Open(dsk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr2.Len() != len(remaining) {
+		t.Fatalf("Len %d, want %d", tr2.Len(), len(remaining))
+	}
+	for qi, q := range randPoints(r, 6, 3) {
+		got := tr2.KNN(dsk.NewSession(), q, 2)
+		want := bruteKNN(remaining, q, 2, vec.Euclidean)
+		for i := range got {
+			if diff := got[i].Dist - want[i]; diff > 1e-5 || diff < -1e-5 {
+				t.Fatalf("query %d: %f vs %f", qi, got[i].Dist, want[i])
+			}
+		}
+	}
+}
+
+func TestOpenErrors(t *testing.T) {
+	dsk := disk.New(disk.DefaultConfig())
+	if _, err := Open(dsk); err == nil {
+		t.Fatal("open on an empty disk should fail")
+	}
+	// Corrupt the magic.
+	r := rand.New(rand.NewSource(4))
+	tr, err := Build(dsk, randPoints(r, 100, 2), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = tr
+	meta := dsk.File(MetaFileName)
+	blk := make([]byte, dsk.Config().BlockSize)
+	meta.WriteBlocks(0, blk)
+	if _, err := Open(dsk); err == nil {
+		t.Fatal("corrupt magic should fail")
+	}
+}

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/disk"
+	"repro/internal/page"
+	"repro/internal/pagesched"
+	"repro/internal/quantize"
+	"repro/internal/vec"
+)
+
+// RangeSearch returns all points within distance eps of q (under the
+// tree's metric), ordered by increasing distance. Because the affected
+// pages are known in advance from the directory, the second level is
+// fetched with the optimal known-set schedule of paper Section 2 (Fig. 1).
+func (t *Tree) RangeSearch(s *disk.Session, q vec.Point, eps float64) []Neighbor {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	met := t.opt.Metric
+	res := t.scanCandidates(s,
+		func(mbr vec.MBR) bool { return mbr.MinDist(q, met) <= eps },
+		func(g quantize.Grid, cells []uint32) candState {
+			if g.MinDist(q, cells, met) > eps {
+				return candOut
+			}
+			return candCheck
+		},
+		func(p vec.Point) (float64, bool) {
+			d := met.Dist(q, p)
+			return d, d <= eps
+		},
+	)
+	sort.Slice(res, func(i, j int) bool { return res[i].Dist < res[j].Dist })
+	return res
+}
+
+// WindowQuery returns all points inside the query window w. Dist fields of
+// the results are 0.
+func (t *Tree) WindowQuery(s *disk.Session, w vec.MBR) []Neighbor {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.scanCandidates(s,
+		func(mbr vec.MBR) bool { return mbr.Intersects(w) },
+		func(g quantize.Grid, cells []uint32) candState {
+			box := g.CellBox(cells)
+			if !w.Intersects(box) {
+				return candOut
+			}
+			return candCheck
+		},
+		func(p vec.Point) (float64, bool) { return 0, w.Contains(p) },
+	)
+}
+
+// candState classifies a point approximation during a range/window scan.
+type candState uint8
+
+const (
+	candOut   candState = iota // certainly not a result
+	candCheck                  // needs the exact point (for the id, and possibly the decision)
+)
+
+// scanCandidates drives both range-style queries: select pages via
+// pageHit, classify approximations via approxHit, and refine candidates
+// via exactHit (which returns the result distance and whether the exact
+// point qualifies). Every qualifying point must be refined regardless of
+// certainty, because point ids live in the exact pages.
+func (t *Tree) scanCandidates(s *disk.Session,
+	pageHit func(vec.MBR) bool,
+	approxHit func(quantize.Grid, []uint32) candState,
+	exactHit func(vec.Point) (float64, bool),
+) []Neighbor {
+	// Level 1: directory scan.
+	if t.dirFile.Blocks() > 0 {
+		s.Read(t.dirFile, 0, t.dirFile.Blocks())
+	}
+	s.ChargeApproxCPU(t.dim, len(t.entries))
+
+	var positions []int
+	for i, e := range t.entries {
+		if t.free[i] {
+			continue
+		}
+		if pageHit(e.MBR) {
+			positions = append(positions, int(e.QPos))
+		}
+	}
+	if len(positions) == 0 {
+		return nil
+	}
+	sort.Ints(positions)
+
+	// Level 2: optimal known-set fetch (Fig. 1), optionally buffer-capped.
+	runs := pagesched.PlanKnownSet(positions, t.opt.QPageBlocks, t.dsk.Config(), t.opt.MaxBufferBlocks)
+	hit := make(map[int]bool, len(positions))
+	for _, p := range positions {
+		hit[p] = true
+	}
+	pageBytes := t.qPageBytes()
+	var out []Neighbor
+	for _, run := range runs {
+		buf := s.Read(t.qFile, run.Pos*t.opt.QPageBlocks, run.Blocks)
+		firstPage := run.Pos
+		nPages := run.Blocks / t.opt.QPageBlocks
+		for j := 0; j < nPages; j++ {
+			pos := firstPage + j
+			if !hit[pos] {
+				continue
+			}
+			out = append(out, t.rangePage(s, pos, buf[j*pageBytes:(j+1)*pageBytes], approxHit, exactHit)...)
+		}
+	}
+	return out
+}
+
+// rangePage processes one candidate page of a range-style query.
+func (t *Tree) rangePage(s *disk.Session, entry int, buf []byte,
+	approxHit func(quantize.Grid, []uint32) candState,
+	exactHit func(vec.Point) (float64, bool),
+) []Neighbor {
+	qp := page.UnmarshalQPage(buf)
+	var out []Neighbor
+	if qp.Bits == quantize.ExactBits {
+		pts, ids := qp.ExactPoints(t.dim)
+		s.ChargeDistCPU(t.dim, len(pts))
+		for i, p := range pts {
+			if d, ok := exactHit(p); ok {
+				out = append(out, Neighbor{ID: ids[i], Dist: d, Point: p})
+			}
+		}
+		return out
+	}
+	grid := t.grids[entry]
+	cells := qp.Cells(grid)
+	s.ChargeApproxCPU(t.dim, qp.Count)
+	var need []int
+	for i := 0; i < qp.Count; i++ {
+		if approxHit(grid, cells[i*t.dim:(i+1)*t.dim]) == candCheck {
+			need = append(need, i)
+		}
+	}
+	if len(need) == 0 {
+		return nil
+	}
+	// Level 3: candidates of one page are contiguous in the exact file;
+	// read the covering range in a single operation.
+	e := t.entries[entry]
+	entrySize := page.ExactEntrySize(t.dim)
+	base := int(e.EPos) * t.dsk.Config().BlockSize
+	lo := base + need[0]*entrySize
+	hi := base + (need[len(need)-1]+1)*entrySize
+	raw, rel := s.ReadRange(t.eFile, lo, hi-lo)
+	s.ChargeDistCPU(t.dim, len(need))
+	for _, i := range need {
+		off := rel + (i-need[0])*entrySize
+		p, id := page.UnmarshalExactEntry(raw[off:], t.dim)
+		if d, ok := exactHit(p); ok {
+			out = append(out, Neighbor{ID: id, Dist: d, Point: p})
+		}
+	}
+	return out
+}

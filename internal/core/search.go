@@ -1,0 +1,428 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/disk"
+	"repro/internal/page"
+	"repro/internal/pagesched"
+	"repro/internal/quantize"
+	"repro/internal/vec"
+)
+
+// Neighbor is one search result.
+type Neighbor = vec.Neighbor
+
+// Trace records the physical work of one query, for the ablation studies.
+type Trace struct {
+	PagesRead   int // quantized pages transferred
+	Batches     int // contiguous second-level read operations
+	Refinements int // exact-geometry look-ups
+}
+
+// NearestNeighbor returns the nearest neighbor of q, charging all
+// simulated I/O and CPU to session s.
+func (t *Tree) NearestNeighbor(s *disk.Session, q vec.Point) (Neighbor, bool) {
+	res := t.KNN(s, q, 1)
+	if len(res) == 0 {
+		return Neighbor{}, false
+	}
+	return res[0], true
+}
+
+// KNN returns the k nearest neighbors of q ordered by increasing distance.
+func (t *Tree) KNN(s *disk.Session, q vec.Point, k int) []Neighbor {
+	return t.KNNTrace(s, q, k, nil)
+}
+
+// KNNTrace is KNN with an optional physical-work trace.
+func (t *Tree) KNNTrace(s *disk.Session, q vec.Point, k int, tr *Trace) []Neighbor {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if k <= 0 || t.n == 0 {
+		return nil
+	}
+	if tr == nil {
+		tr = &Trace{}
+	}
+	st := &nnSearch{t: t, s: s, q: q, k: k, tr: tr}
+	st.run()
+	return st.results()
+}
+
+// pqItem is an entry of the search priority list (paper Sec. 3.2): either
+// a whole quantized page or the box approximation of a single point.
+type pqItem struct {
+	dist  float64
+	entry int32 // directory entry index
+	pt    int32 // point index within the page; -1 for a page item
+}
+
+type nnSearch struct {
+	t  *Tree
+	s  *disk.Session
+	q  vec.Point
+	k  int
+	tr *Trace
+
+	minD      []float64 // MINDIST per directory entry
+	processed []bool
+	sorted    []int32 // live entries ordered by MINDIST (for probabilities)
+
+	heap []pqItem // min-heap on dist
+
+	res resHeap   // k best refined neighbors (max-heap on dist)
+	ub  []float64 // max-heap of the k smallest upper bounds seen
+
+	regionBuf []pagesched.Region
+
+	// exactCache holds decoded third-level pages, keyed by entry index.
+	// The third level is organized in variable-size pages, one per
+	// partition (paper Fig. 3): the first refinement from a partition
+	// loads its whole exact page, later refinements are free.
+	exactCache map[int32]exactPage
+}
+
+type exactPage struct {
+	pts []vec.Point
+	ids []uint32
+}
+
+// nnDist is the exact kth-best distance found so far.
+func (st *nnSearch) nnDist() float64 {
+	if len(st.res) < st.k {
+		return math.Inf(1)
+	}
+	return st.res[0].Dist
+}
+
+// bound is the kth-smallest upper bound seen so far: at least k points lie
+// within it, so anything farther can be discarded (VA-file style pruning,
+// implied by the paper's b-sphere argument).
+func (st *nnSearch) bound() float64 {
+	if len(st.ub) < st.k {
+		return math.Inf(1)
+	}
+	return st.ub[0]
+}
+
+func (st *nnSearch) prune() float64 { return math.Min(st.nnDist(), st.bound()) }
+
+func (st *nnSearch) run() {
+	t := st.t
+	met := t.opt.Metric
+
+	// Level 1: sequential scan of the flat directory.
+	if t.dirFile.Blocks() > 0 {
+		st.s.Read(t.dirFile, 0, t.dirFile.Blocks())
+	}
+	st.s.ChargeApproxCPU(t.dim, len(t.entries))
+
+	st.minD = make([]float64, len(t.entries))
+	st.processed = make([]bool, len(t.entries))
+	for i, e := range t.entries {
+		if t.free[i] {
+			st.processed[i] = true
+			continue
+		}
+		st.minD[i] = e.MBR.MinDist(st.q, met)
+		st.pushItem(pqItem{dist: st.minD[i], entry: int32(i), pt: -1})
+		st.sorted = append(st.sorted, int32(i))
+	}
+	sort.Slice(st.sorted, func(a, b int) bool { return st.minD[st.sorted[a]] < st.minD[st.sorted[b]] })
+
+	for len(st.heap) > 0 {
+		it := st.popItem()
+		if it.dist >= st.nnDist() {
+			break // nothing left can improve the result set
+		}
+		if it.dist > st.bound() {
+			continue // k closer points certainly exist
+		}
+		if it.pt >= 0 {
+			st.refine(it)
+			continue
+		}
+		if st.processed[it.entry] {
+			continue
+		}
+		if t.opt.OptimizedIO {
+			st.processBatch(int(it.entry))
+		} else {
+			st.processSingle(int(it.entry))
+		}
+	}
+}
+
+// processSingle loads exactly one quantized page with a random access
+// (the "standard NN-search" of Fig. 7).
+func (st *nnSearch) processSingle(entry int) {
+	t := st.t
+	buf := st.s.Read(t.qFile, int(t.entries[entry].QPos)*t.opt.QPageBlocks, t.opt.QPageBlocks)
+	st.tr.PagesRead++
+	st.tr.Batches++
+	st.processPage(entry, buf)
+}
+
+// processBatch runs the time-optimized strategy of Sec. 2.1: around the
+// pivot page it loads the contiguous page sequence whose cumulated cost
+// balance is favorable, then processes every still-pending page in it.
+func (st *nnSearch) processBatch(entry int) {
+	t := st.t
+	pivot := int(t.entries[entry].QPos)
+	sched := &pagesched.Scheduler{
+		Cfg:        t.dsk.Config(),
+		PageBlocks: t.opt.QPageBlocks,
+		NumPages:   t.qFile.Blocks() / t.opt.QPageBlocks,
+		Prob:       st.accessProb,
+	}
+	first, last := sched.Batch(pivot)
+	buf := st.s.Read(t.qFile, first*t.opt.QPageBlocks, (last-first+1)*t.opt.QPageBlocks)
+	st.tr.PagesRead += last - first + 1
+	st.tr.Batches++
+	pageBytes := t.qPageBytes()
+	for pos := first; pos <= last; pos++ {
+		e := pos // entry index == quantized page position (build invariant)
+		if e >= len(t.entries) || st.processed[e] || t.free[e] {
+			continue
+		}
+		st.processPage(e, buf[(pos-first)*pageBytes:(pos-first+1)*pageBytes])
+	}
+}
+
+// accessProb estimates the probability that the pending page at file
+// position pos must be loaded (Sec. 2.2): the probability that no
+// higher-priority page contains a point inside the page's b-sphere.
+func (st *nnSearch) accessProb(pos int) float64 {
+	t := st.t
+	if pos >= len(t.entries) || st.processed[pos] || t.free[pos] {
+		return 0
+	}
+	r := st.minD[pos]
+	if r >= st.prune() {
+		return 0 // page is already pruned
+	}
+	st.regionBuf = st.regionBuf[:0]
+	for _, e := range st.sorted {
+		if st.minD[e] >= r {
+			break
+		}
+		if st.processed[e] || int(e) == pos {
+			continue
+		}
+		st.regionBuf = append(st.regionBuf, pagesched.Region{
+			MBR:     t.entries[e].MBR,
+			Count:   int(t.entries[e].Count),
+			MinDist: st.minD[e],
+		})
+	}
+	return pagesched.AccessProbability(st.q, t.opt.Metric, r, st.regionBuf)
+}
+
+// processPage decodes one quantized page: exact (32-bit) pages yield final
+// distances directly; compressed pages yield per-point box approximations
+// that enter the priority list.
+func (st *nnSearch) processPage(entry int, buf []byte) {
+	t := st.t
+	st.processed[entry] = true
+	if st.minD[entry] >= st.prune() {
+		return // transferred as part of a batch but certainly irrelevant
+	}
+	qp := page.UnmarshalQPage(buf)
+	met := t.opt.Metric
+	if qp.Bits == quantize.ExactBits {
+		pts, ids := qp.ExactPoints(t.dim)
+		st.s.ChargeDistCPU(t.dim, len(pts))
+		for i, p := range pts {
+			d := met.Dist(st.q, p)
+			st.pushUB(d)
+			st.addResult(Neighbor{ID: ids[i], Dist: d, Point: p})
+		}
+		return
+	}
+	grid := t.grids[entry]
+	cells := qp.Cells(grid)
+	st.s.ChargeApproxCPU(t.dim, qp.Count)
+	for i := 0; i < qp.Count; i++ {
+		cs := cells[i*t.dim : (i+1)*t.dim]
+		lb := grid.MinDist(st.q, cs, met)
+		ubD := grid.MaxDist(st.q, cs, met)
+		st.pushUB(ubD)
+		if lb < st.prune() {
+			st.pushItem(pqItem{dist: lb, entry: int32(entry), pt: int32(i)})
+		}
+	}
+}
+
+// refine resolves one point approximation against the exact geometry: the
+// first refinement from a partition loads that partition's variable-size
+// exact page (one level-3 access); further candidates from the same
+// partition are served from the per-query cache.
+func (st *nnSearch) refine(it pqItem) {
+	t := st.t
+	ep, ok := st.exactCache[it.entry]
+	if !ok {
+		e := t.entries[it.entry]
+		entrySize := page.ExactEntrySize(t.dim)
+		raw, rel := st.s.ReadRange(t.eFile, int(e.EPos)*t.dsk.Config().BlockSize, int(e.Count)*entrySize)
+		st.tr.Refinements++
+		ep = exactPage{pts: make([]vec.Point, e.Count), ids: make([]uint32, e.Count)}
+		for i := 0; i < int(e.Count); i++ {
+			ep.pts[i], ep.ids[i] = page.UnmarshalExactEntry(raw[rel+i*entrySize:], t.dim)
+		}
+		if st.exactCache == nil {
+			st.exactCache = make(map[int32]exactPage)
+		}
+		st.exactCache[it.entry] = ep
+	}
+	p, id := ep.pts[it.pt], ep.ids[it.pt]
+	st.s.ChargeDistCPU(t.dim, 1)
+	st.addResult(Neighbor{ID: id, Dist: t.opt.Metric.Dist(st.q, p), Point: p})
+}
+
+func (st *nnSearch) addResult(nb Neighbor) {
+	if nb.Dist >= st.nnDist() {
+		return
+	}
+	st.res.push(nb)
+	if len(st.res) > st.k {
+		st.res.pop()
+	}
+}
+
+func (st *nnSearch) results() []Neighbor {
+	out := make([]Neighbor, len(st.res))
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = st.res.pop()
+	}
+	return out
+}
+
+// pushUB records a candidate upper bound in the k-smallest-UB max-heap.
+func (st *nnSearch) pushUB(ub float64) {
+	if len(st.ub) == st.k {
+		if ub >= st.ub[0] {
+			return
+		}
+		st.ub[0] = ub
+		siftDownF(st.ub, 0)
+		return
+	}
+	st.ub = append(st.ub, ub)
+	siftUpF(st.ub, len(st.ub)-1)
+}
+
+// --- small specialized heaps (avoid container/heap interface boxing in
+// the inner search loop) ---
+
+func (st *nnSearch) pushItem(it pqItem) {
+	st.heap = append(st.heap, it)
+	i := len(st.heap) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if st.heap[p].dist <= st.heap[i].dist {
+			break
+		}
+		st.heap[p], st.heap[i] = st.heap[i], st.heap[p]
+		i = p
+	}
+}
+
+func (st *nnSearch) popItem() pqItem {
+	h := st.heap
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	st.heap = h[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < last && st.heap[l].dist < st.heap[m].dist {
+			m = l
+		}
+		if r < last && st.heap[r].dist < st.heap[m].dist {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		st.heap[i], st.heap[m] = st.heap[m], st.heap[i]
+		i = m
+	}
+	return top
+}
+
+// resHeap is a max-heap of neighbors by distance.
+type resHeap []Neighbor
+
+func (h *resHeap) push(nb Neighbor) {
+	*h = append(*h, nb)
+	a := *h
+	i := len(a) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if a[p].Dist >= a[i].Dist {
+			break
+		}
+		a[p], a[i] = a[i], a[p]
+		i = p
+	}
+}
+
+func (h *resHeap) pop() Neighbor {
+	a := *h
+	top := a[0]
+	last := len(a) - 1
+	a[0] = a[last]
+	*h = a[:last]
+	a = *h
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < len(a) && a[l].Dist > a[m].Dist {
+			m = l
+		}
+		if r < len(a) && a[r].Dist > a[m].Dist {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		a[i], a[m] = a[m], a[i]
+		i = m
+	}
+	return top
+}
+
+// float max-heap helpers for the upper-bound heap.
+func siftUpF(a []float64, i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if a[p] >= a[i] {
+			break
+		}
+		a[p], a[i] = a[i], a[p]
+		i = p
+	}
+}
+
+func siftDownF(a []float64, i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < len(a) && a[l] > a[m] {
+			m = l
+		}
+		if r < len(a) && a[r] > a[m] {
+			m = r
+		}
+		if m == i {
+			return
+		}
+		a[i], a[m] = a[m], a[i]
+		i = m
+	}
+}

@@ -1,0 +1,434 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/disk"
+	"repro/internal/page"
+	"repro/internal/quantize"
+	"repro/internal/vec"
+)
+
+// Insert adds one point to the tree (paper Section 6 / end of 3.6): the
+// point goes to the page needing least MBR enlargement; on page overflow
+// the cost model decides between splitting the page and re-quantizing it
+// at a coarser level. I/O performed by the maintenance operation is
+// charged to s.
+func (t *Tree) Insert(s *disk.Session, p vec.Point, id uint32) error {
+	if len(p) != t.dim {
+		return fmt.Errorf("core: insert dimension %d, want %d", len(p), t.dim)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+
+	target := t.chooseEntry(p)
+	if target < 0 {
+		return fmt.Errorf("core: no page available for insert")
+	}
+	pts, ids := t.readPagePoints(s, target)
+	pts = append(pts, p.Clone())
+	ids = append(ids, id)
+
+	t.n++
+	t.model.N = t.n
+	t.dataSpace.Extend(p)
+	t.model.DataSpace = t.dataSpace
+
+	t.storeGroup(s, target, pts, ids, int(t.entries[target].Bits))
+	t.rewriteDirectory()
+	return nil
+}
+
+// InsertBatch adds many points at once, grouping them by target page so
+// that each affected page is read, re-quantized and rewritten exactly
+// once, and the directory is rewritten once at the end.
+func (t *Tree) InsertBatch(s *disk.Session, pts []vec.Point, ids []uint32) error {
+	if len(pts) != len(ids) {
+		return fmt.Errorf("core: %d points but %d ids", len(pts), len(ids))
+	}
+	for i, p := range pts {
+		if len(p) != t.dim {
+			return fmt.Errorf("core: point %d has dimension %d, want %d", i, len(p), t.dim)
+		}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+
+	groups := make(map[int][]int)
+	for i, p := range pts {
+		target := t.chooseEntry(p)
+		if target < 0 {
+			return fmt.Errorf("core: no page available for insert")
+		}
+		groups[target] = append(groups[target], i)
+		t.dataSpace.Extend(p)
+	}
+	t.n += len(pts)
+	t.model.N = t.n
+	t.model.DataSpace = t.dataSpace
+
+	// Deterministic processing order (map iteration is randomized, and the
+	// order determines the disk layout of appended pages).
+	targets := make([]int, 0, len(groups))
+	for target := range groups {
+		targets = append(targets, target)
+	}
+	sort.Ints(targets)
+	for _, target := range targets {
+		members := groups[target]
+		oldBits := int(t.entries[target].Bits)
+		pagePts, pageIDs := t.readPagePoints(s, target)
+		for _, i := range members {
+			pagePts = append(pagePts, pts[i].Clone())
+			pageIDs = append(pageIDs, ids[i])
+		}
+		t.storeGroup(s, target, pagePts, pageIDs, oldBits)
+	}
+	t.rewriteDirectory()
+	return nil
+}
+
+// storeGroup writes a grown point group back to the page at `entry`: keep
+// the page (possibly at a coarser level) or split it — recursively if the
+// batch overflowed more than one level — with the cost model arbitrating
+// between coarsening and splitting (Section 6).
+func (t *Tree) storeGroup(s *disk.Session, entry int, pts []vec.Point, ids []uint32, oldBits int) {
+	newBits := t.fitBits(len(pts))
+	if newBits > 0 {
+		if newBits < oldBits && len(pts) >= 2 && t.splitIsCheaper(entry, pts, newBits) {
+			t.splitGroup(s, entry, pts, ids)
+		} else {
+			t.rewritePage(s, entry, pts, ids, newBits)
+		}
+		return
+	}
+	t.splitGroup(s, entry, pts, ids)
+}
+
+// splitGroup median-splits a point group: the left half replaces the page
+// at `entry`, the right half goes to a freshly appended page; halves that
+// still do not fit any level split further.
+func (t *Tree) splitGroup(s *disk.Session, entry int, pts []vec.Point, ids []uint32) {
+	left, right := splitPoints(pts, ids)
+	if bits := t.fitBits(len(left.pts)); bits > 0 {
+		t.rewritePage(s, entry, left.pts, left.ids, bits)
+	} else {
+		t.splitGroup(s, entry, left.pts, left.ids)
+	}
+	sibling := t.appendEmptyPage()
+	if bits := t.fitBits(len(right.pts)); bits > 0 {
+		t.rewritePage(s, sibling, right.pts, right.ids, bits)
+	} else {
+		t.splitGroup(s, sibling, right.pts, right.ids)
+	}
+}
+
+// appendEmptyPage reserves a new quantized page slot and directory entry,
+// preserving the entry-index == page-position invariant.
+func (t *Tree) appendEmptyPage() int {
+	t.entries = append(t.entries, page.DirEntry{QPos: uint32(len(t.entries))})
+	t.grids = append(t.grids, quantize.Grid{})
+	t.free = append(t.free, false)
+	t.qFile.Append(make([]byte, t.qPageBytes()))
+	return len(t.entries) - 1
+}
+
+// Delete removes the point with the given coordinates and id. It returns
+// false if no such point exists.
+func (t *Tree) Delete(s *disk.Session, p vec.Point, id uint32) bool {
+	if len(p) != t.dim {
+		return false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i, e := range t.entries {
+		if t.free[i] || !e.MBR.Contains(p) {
+			continue
+		}
+		pts, ids := t.readPagePoints(s, i)
+		for j := range ids {
+			if ids[j] == id && pts[j].Equal(p) {
+				pts = append(pts[:j], pts[j+1:]...)
+				ids = append(ids[:j], ids[j+1:]...)
+				t.n--
+				t.model.N = t.n
+				if len(pts) == 0 {
+					t.free[i] = true
+					t.entries[i].Count = 0
+				} else {
+					t.rewritePage(s, i, pts, ids, t.fitBits(len(pts)))
+					t.tryMerge(s, i)
+				}
+				t.rewriteDirectory()
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// tryMerge implements the paper's "undo the split" maintenance (Section 6
+// and end of 3.6): when a page has shrunk enough, look for a merge
+// partner such that the combined page — stored at its affordable level —
+// is predicted cheaper by the cost model than keeping the two pages (one
+// fewer directory entry and second-level page). The partner with the
+// smallest union volume is considered.
+func (t *Tree) tryMerge(s *disk.Session, entry int) {
+	e := t.entries[entry]
+	if int(e.Count) > t.pageCapacity(quantize.ExactBits)/2 {
+		return // not small enough to bother
+	}
+	best, bestVol := -1, math.Inf(1)
+	for j := range t.entries {
+		if j == entry || t.free[j] {
+			continue
+		}
+		if t.fitBits(int(e.Count)+int(t.entries[j].Count)) == 0 {
+			continue // combined page would not fit any level
+		}
+		u := e.MBR.Clone()
+		u.ExtendMBR(t.entries[j].MBR)
+		if v := u.Volume(); v < bestVol {
+			bestVol = v
+			best = j
+		}
+	}
+	if best < 0 {
+		return
+	}
+	o := t.entries[best]
+	union := e.MBR.Clone()
+	union.ExtendMBR(o.MBR)
+	mergedCount := int(e.Count) + int(o.Count)
+	mergedBits := t.fitBits(mergedCount)
+	mergedVar := t.model.RefinementCost(union, mergedCount, mergedBits)
+	separateVar := t.model.RefinementCost(e.MBR, int(e.Count), int(e.Bits)) +
+		t.model.RefinementCost(o.MBR, int(o.Count), int(o.Bits))
+	n := t.livePages()
+	constNow := t.model.DirectoryCost(n) + t.model.SecondLevelCost(n)
+	constMerged := t.model.DirectoryCost(n-1) + t.model.SecondLevelCost(n-1)
+	if constMerged+mergedVar >= constNow+separateVar {
+		return // keeping the split is predicted cheaper
+	}
+	pts, ids := t.readPagePoints(s, entry)
+	pts2, ids2 := t.readPagePoints(s, best)
+	pts = append(pts, pts2...)
+	ids = append(ids, ids2...)
+	t.rewritePage(s, entry, pts, ids, mergedBits)
+	t.free[best] = true
+	t.entries[best].Count = 0
+}
+
+// chooseEntry picks the page for an insert: the containing page with the
+// smallest volume, else the page with the least volume enlargement
+// (the classic R-tree ChooseLeaf on a flat directory).
+func (t *Tree) chooseEntry(p vec.Point) int {
+	best := -1
+	bestVol := math.Inf(1)
+	for i, e := range t.entries {
+		if t.free[i] {
+			continue
+		}
+		if e.MBR.Contains(p) {
+			if v := e.MBR.Volume(); v < bestVol {
+				bestVol = v
+				best = i
+			}
+		}
+	}
+	if best >= 0 {
+		return best
+	}
+	bestEnl := math.Inf(1)
+	for i, e := range t.entries {
+		if t.free[i] {
+			continue
+		}
+		ext := e.MBR.Clone()
+		ext.Extend(p)
+		enl := ext.Volume() - e.MBR.Volume()
+		if enl < bestEnl || (enl == bestEnl && best >= 0 && ext.Volume() < bestVol) {
+			bestEnl = enl
+			bestVol = ext.Volume()
+			best = i
+		}
+	}
+	return best
+}
+
+// readPagePoints loads the exact points and ids of a page, charging s.
+func (t *Tree) readPagePoints(s *disk.Session, entry int) ([]vec.Point, []uint32) {
+	e := t.entries[entry]
+	if e.Bits == quantize.ExactBits {
+		buf := s.Read(t.qFile, int(e.QPos)*t.opt.QPageBlocks, t.opt.QPageBlocks)
+		qp := page.UnmarshalQPage(buf)
+		return qp.ExactPoints(t.dim)
+	}
+	entrySize := page.ExactEntrySize(t.dim)
+	raw, rel := s.ReadRange(t.eFile, int(e.EPos)*t.dsk.Config().BlockSize, int(e.Count)*entrySize)
+	pts := make([]vec.Point, e.Count)
+	ids := make([]uint32, e.Count)
+	for i := 0; i < int(e.Count); i++ {
+		pts[i], ids[i] = page.UnmarshalExactEntry(raw[rel+i*entrySize:], t.dim)
+	}
+	return pts, ids
+}
+
+// splitIsCheaper compares, under the cost model, coarsening the page to
+// newBits against splitting it into two pages (each at its own affordable
+// level). It returns true when the split is predicted cheaper.
+func (t *Tree) splitIsCheaper(entry int, pts []vec.Point, newBits int) bool {
+	mbr := vec.MBROf(pts)
+	coarsenVar := t.model.RefinementCost(mbr, len(pts), newBits)
+
+	lpts, rpts := splitPoints(pts, nil)
+	lm, rm := vec.MBROf(lpts.pts), vec.MBROf(rpts.pts)
+	splitVar := t.model.RefinementCost(lm, len(lpts.pts), t.fitBits(len(lpts.pts))) +
+		t.model.RefinementCost(rm, len(rpts.pts), t.fitBits(len(rpts.pts)))
+
+	nLive := t.livePages()
+	constNow := t.model.DirectoryCost(nLive) + t.model.SecondLevelCost(nLive)
+	constSplit := t.model.DirectoryCost(nLive+1) + t.model.SecondLevelCost(nLive+1)
+	return constSplit+splitVar < constNow+coarsenVar
+}
+
+func (t *Tree) livePages() int {
+	n := 0
+	for i := range t.entries {
+		if !t.free[i] {
+			n++
+		}
+	}
+	return n
+}
+
+// half carries one side of a point split.
+type half struct {
+	pts []vec.Point
+	ids []uint32
+}
+
+// splitPoints splits a point set at the median of its MBR's longest
+// dimension (the builder's split heuristic). ids may be nil.
+func splitPoints(pts []vec.Point, ids []uint32) (left, right half) {
+	mbr := vec.MBROf(pts)
+	dim, _ := mbr.MaxSide()
+	ord := make([]int, len(pts))
+	for i := range ord {
+		ord[i] = i
+	}
+	sort.Slice(ord, func(a, b int) bool { return pts[ord[a]][dim] < pts[ord[b]][dim] })
+	mid := len(pts) / 2
+	for i, o := range ord {
+		h := &left
+		if i >= mid {
+			h = &right
+		}
+		h.pts = append(h.pts, pts[o])
+		if ids != nil {
+			h.ids = append(h.ids, ids[o])
+		}
+	}
+	return left, right
+}
+
+// rewritePage re-quantizes a page in place: new MBR, new level, new
+// second-level page, and (for compressed levels) a fresh exact page. The
+// old exact region becomes garbage, as in any out-of-place update scheme.
+func (t *Tree) rewritePage(s *disk.Session, entry int, pts []vec.Point, ids []uint32, bits int) {
+	if bits <= 0 {
+		panic("core: rewritePage with non-fitting bits")
+	}
+	mbr := vec.MBROf(pts)
+	grid := quantize.NewGrid(mbr, bits)
+	e := &t.entries[entry]
+	e.Count = uint32(len(pts))
+	e.Bits = uint8(bits)
+	e.MBR = mbr
+	if bits < quantize.ExactBits {
+		exact := page.MarshalExact(pts, ids)
+		blocks := t.dsk.Config().Blocks(len(exact))
+		if e.EBlocks >= uint32(blocks) && e.EBlocks > 0 {
+			// Fits in the old region: rewrite in place.
+			padded := make([]byte, int(e.EBlocks)*t.dsk.Config().BlockSize)
+			copy(padded, exact)
+			t.eFile.WriteBlocks(int(e.EPos), padded)
+		} else {
+			epos, eblocks := t.eFile.Append(exact)
+			e.EPos = uint32(epos)
+			e.EBlocks = uint32(eblocks)
+		}
+		t.qFile.WriteBlocks(int(e.QPos)*t.opt.QPageBlocks, page.MarshalQPage(grid, pts, nil, t.qPageBytes()))
+	} else {
+		e.EPos, e.EBlocks = 0, 0
+		t.qFile.WriteBlocks(int(e.QPos)*t.opt.QPageBlocks, page.MarshalQPage(grid, pts, ids, t.qPageBytes()))
+	}
+	t.grids[entry] = grid
+	// Write cost: one seek plus the page transfer(s).
+	s.Stats.Seeks++
+	s.Stats.BlocksRead += t.opt.QPageBlocks
+}
+
+// rewriteDirectory re-serializes the whole first-level directory (it is
+// small and scanned linearly anyway).
+func (t *Tree) rewriteDirectory() {
+	dirBuf := make([]byte, 0, len(t.entries)*page.DirEntrySize(t.dim))
+	entryBuf := make([]byte, page.DirEntrySize(t.dim))
+	for i := range t.entries {
+		t.entries[i].Marshal(entryBuf, t.dim)
+		dirBuf = append(dirBuf, entryBuf...)
+	}
+	t.dirFile.SetContents(dirBuf)
+	t.writeMeta()
+}
+
+// Reoptimize rebuilds the tree's physical structure from scratch over its
+// current contents: fresh packed partitions, a fresh optimal quantization,
+// and compacted files (garbage exact regions from past updates are
+// dropped). The paper notes that updates require "careful book-keeping"
+// to maintain optimality; this is the batch variant — run it after heavy
+// update traffic, guided by CostEstimate.
+func (t *Tree) Reoptimize() error {
+	pts, ids := t.AllPoints()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(pts) == 0 {
+		return fmt.Errorf("core: cannot reoptimize an empty tree")
+	}
+	t.qFile.SetContents(nil)
+	t.eFile.SetContents(nil)
+	t.entries = t.entries[:0]
+	t.grids = t.grids[:0]
+	t.free = t.free[:0]
+	t.n = len(pts)
+	t.model.N = t.n
+	t.dataSpace = vec.MBROf(pts)
+	t.model.DataSpace = t.dataSpace
+
+	b := newBuilder(t, pts)
+	b.ids = ids
+	b.run()
+	t.writeMeta()
+	return nil
+}
+
+// AllPoints returns every live (point, id) pair by reading the data files
+// without charging any session (a maintenance/verification helper).
+func (t *Tree) AllPoints() ([]vec.Point, []uint32) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	free := t.dsk.NewSession()
+	var pts []vec.Point
+	var ids []uint32
+	for i := range t.entries {
+		if t.free[i] {
+			continue
+		}
+		p, id := t.readPagePoints(free, i)
+		pts = append(pts, p...)
+		ids = append(ids, id...)
+	}
+	return pts, ids
+}

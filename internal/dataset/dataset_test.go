@@ -1,0 +1,178 @@
+package dataset
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/fractal"
+	"repro/internal/vec"
+)
+
+func TestGenerateDispatch(t *testing.T) {
+	cases := []struct {
+		name Name
+		d    int
+		want int
+	}{
+		{Uniform, 8, 8},
+		{CAD, 0, 16},
+		{Color, 0, 16},
+		{Weather, 0, 9},
+	}
+	for _, c := range cases {
+		pts, err := Generate(c.name, 1, 500, c.d)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if len(pts) != 500 {
+			t.Fatalf("%s: %d points", c.name, len(pts))
+		}
+		for _, p := range pts {
+			if len(p) != c.want {
+				t.Fatalf("%s: dimension %d, want %d", c.name, len(p), c.want)
+			}
+		}
+	}
+	if _, err := Generate("bogus", 1, 10, 2); err == nil {
+		t.Fatal("unknown dataset should error")
+	}
+	if _, err := Generate(Uniform, 1, 10, 0); err == nil {
+		t.Fatal("uniform without dimension should error")
+	}
+}
+
+func TestNameDim(t *testing.T) {
+	if Uniform.Dim() != 0 || CAD.Dim() != 16 || Color.Dim() != 16 || Weather.Dim() != 9 {
+		t.Fatal("natural dimensions wrong")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	for _, name := range []Name{CAD, Color, Weather} {
+		a, _ := Generate(name, 42, 200, 0)
+		b, _ := Generate(name, 42, 200, 0)
+		for i := range a {
+			if !a[i].Equal(b[i]) {
+				t.Fatalf("%s not deterministic at point %d", name, i)
+			}
+		}
+		c, _ := Generate(name, 43, 200, 0)
+		same := true
+		for i := range a {
+			if !a[i].Equal(c[i]) {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatalf("%s: different seeds gave identical data", name)
+		}
+	}
+}
+
+func TestSplit(t *testing.T) {
+	pts := GenUniform(1, 100, 2)
+	db, qs := Split(pts, 10)
+	if len(db) != 90 || len(qs) != 10 {
+		t.Fatalf("split sizes %d/%d", len(db), len(qs))
+	}
+	db2, qs2 := Split(pts, 1000)
+	if db2 != nil || len(qs2) != 100 {
+		t.Fatal("oversized query split should hand everything to queries")
+	}
+}
+
+func TestValueRanges(t *testing.T) {
+	for _, name := range []Name{CAD, Color, Weather} {
+		pts, _ := Generate(name, 5, 2000, 0)
+		for _, p := range pts {
+			for j, v := range p {
+				if v < 0 || v > 1 || math.IsNaN(float64(v)) {
+					t.Fatalf("%s: coordinate %d = %f out of [0,1]", name, j, v)
+				}
+			}
+		}
+	}
+}
+
+func TestColorHistogramsNormalized(t *testing.T) {
+	pts := GenColor(2, 1000)
+	for i, p := range pts {
+		var sum float64
+		for _, v := range p {
+			if v < 0 {
+				t.Fatalf("negative bin weight at %d", i)
+			}
+			sum += float64(v)
+		}
+		if math.Abs(sum-1) > 1e-4 {
+			t.Fatalf("histogram %d sums to %f", i, sum)
+		}
+	}
+}
+
+// The generators must reproduce the clustering properties the paper
+// reports: WEATHER and CAD clearly below the embedding dimension, COLOR
+// higher than both, UNIFORM highest among the 16-d sets.
+func TestFractalDimensionOrdering(t *testing.T) {
+	const n = 8000
+	uni, _ := Generate(Uniform, 1, n, 16)
+	cad, _ := Generate(CAD, 1, n, 0)
+	col, _ := Generate(Color, 1, n, 0)
+	wea, _ := Generate(Weather, 1, n, 0)
+	dUni := fractal.Estimate(uni, vec.Euclidean)
+	dCad := fractal.Estimate(cad, vec.Euclidean)
+	dCol := fractal.Estimate(col, vec.Euclidean)
+	dWea := fractal.Estimate(wea, vec.Euclidean)
+
+	if dWea > 6 {
+		t.Fatalf("WEATHER D2 = %f, want low (highly clustered)", dWea)
+	}
+	if dCad > 6 {
+		t.Fatalf("CAD D2 = %f, want moderate-low", dCad)
+	}
+	if dCol <= dCad || dCol <= dWea {
+		t.Fatalf("COLOR D2 = %f should exceed CAD %f and WEATHER %f", dCol, dCad, dWea)
+	}
+	if dUni <= dCol {
+		t.Fatalf("UNIFORM-16 D2 = %f should exceed COLOR %f", dUni, dCol)
+	}
+}
+
+func TestGenClustered(t *testing.T) {
+	pts := GenClustered(1, 1000, 4, 5, 0.02)
+	if len(pts) != 1000 || len(pts[0]) != 4 {
+		t.Fatal("wrong shape")
+	}
+	d := fractal.Estimate(pts, vec.Euclidean)
+	uni := fractal.Estimate(GenUniform(1, 1000, 4), vec.Euclidean)
+	if d >= uni {
+		t.Fatalf("clustered D2 %f should be below uniform %f", d, uni)
+	}
+}
+
+func TestGammaSampleMoments(t *testing.T) {
+	// Gamma(alpha, 1) has mean alpha and variance alpha.
+	r := rand.New(rand.NewSource(9))
+	for _, alpha := range []float64{0.2, 1, 3} {
+		var sum, sumSq float64
+		const n = 20000
+		for i := 0; i < n; i++ {
+			v := gammaSample(r, alpha)
+			if v < 0 {
+				t.Fatalf("negative gamma sample %f", v)
+			}
+			sum += v
+			sumSq += v * v
+		}
+		mean := sum / n
+		variance := sumSq/n - mean*mean
+		if math.Abs(mean-alpha) > 0.1*alpha+0.02 {
+			t.Fatalf("alpha=%f: mean %f", alpha, mean)
+		}
+		if math.Abs(variance-alpha) > 0.2*alpha+0.05 {
+			t.Fatalf("alpha=%f: variance %f", alpha, variance)
+		}
+	}
+}

@@ -1,0 +1,220 @@
+package disk
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func testConfig() Config {
+	return Config{BlockSize: 64, Seek: 0.01, Xfer: 0.001, DistCPU: 1e-7, ApproxCPU: 1e-7}
+}
+
+func TestAppendAlignsToBlocks(t *testing.T) {
+	d := New(testConfig())
+	f := d.NewFile("t")
+	pos, n := f.Append(make([]byte, 100))
+	if pos != 0 || n != 2 {
+		t.Fatalf("first append pos=%d n=%d", pos, n)
+	}
+	pos, n = f.Append(make([]byte, 1))
+	if pos != 2 || n != 1 {
+		t.Fatalf("second append pos=%d n=%d", pos, n)
+	}
+	pos, n = f.Append(nil)
+	if pos != 3 || n != 1 {
+		t.Fatalf("empty append pos=%d n=%d (should reserve one block)", pos, n)
+	}
+	if f.Blocks() != 4 || f.Bytes() != 256 {
+		t.Fatalf("blocks=%d bytes=%d", f.Blocks(), f.Bytes())
+	}
+}
+
+func TestReadRoundtripAndCost(t *testing.T) {
+	d := New(testConfig())
+	f := d.NewFile("t")
+	payload := []byte("hello, block world")
+	f.Append(payload)
+	f.Append(bytes.Repeat([]byte{7}, 64))
+
+	s := d.NewSession()
+	got := s.Read(f, 0, 1)
+	if !bytes.Equal(got[:len(payload)], payload) {
+		t.Fatal("read returned wrong bytes")
+	}
+	if s.Stats.Seeks != 1 || s.Stats.BlocksRead != 1 {
+		t.Fatalf("first read stats: %+v", s.Stats)
+	}
+	// Sequential continuation: no extra seek.
+	s.Read(f, 1, 1)
+	if s.Stats.Seeks != 1 || s.Stats.BlocksRead != 2 {
+		t.Fatalf("sequential read stats: %+v", s.Stats)
+	}
+	// Going backwards costs a seek.
+	s.Read(f, 0, 1)
+	if s.Stats.Seeks != 2 {
+		t.Fatalf("backward read stats: %+v", s.Stats)
+	}
+	wantTime := 2*0.01 + 3*0.001
+	if math.Abs(s.Time()-wantTime) > 1e-12 {
+		t.Fatalf("time %f, want %f", s.Time(), wantTime)
+	}
+}
+
+func TestCrossFileSeek(t *testing.T) {
+	d := New(testConfig())
+	a := d.NewFile("a")
+	b := d.NewFile("b")
+	a.Append(make([]byte, 64))
+	b.Append(make([]byte, 64))
+	s := d.NewSession()
+	s.Read(a, 0, 1)
+	s.Read(b, 0, 1) // different file: must seek
+	if s.Stats.Seeks != 2 {
+		t.Fatalf("cross-file seeks = %d, want 2", s.Stats.Seeks)
+	}
+}
+
+func TestReadRange(t *testing.T) {
+	d := New(testConfig())
+	f := d.NewFile("t")
+	data := make([]byte, 300)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	f.Append(data)
+	s := d.NewSession()
+	// Bytes 100..149 span blocks 1..2.
+	buf, rel := s.ReadRange(f, 100, 50)
+	if s.Stats.BlocksRead != 2 {
+		t.Fatalf("blocks read %d, want 2", s.Stats.BlocksRead)
+	}
+	for i := 0; i < 50; i++ {
+		if buf[rel+i] != byte(100+i) {
+			t.Fatalf("byte %d = %d, want %d", i, buf[rel+i], 100+i)
+		}
+	}
+}
+
+func TestWriteBlocksAndSetContents(t *testing.T) {
+	d := New(testConfig())
+	f := d.NewFile("t")
+	f.Append(make([]byte, 128))
+	repl := bytes.Repeat([]byte{9}, 64)
+	f.WriteBlocks(1, repl)
+	if !bytes.Equal(f.BlockAt(1), repl) {
+		t.Fatal("WriteBlocks did not replace the block")
+	}
+	f.SetContents([]byte{1, 2, 3})
+	if f.Blocks() != 1 || f.BlockAt(0)[0] != 1 {
+		t.Fatal("SetContents wrong")
+	}
+	f.SetContents(nil)
+	if f.Blocks() != 0 {
+		t.Fatal("SetContents(nil) should truncate")
+	}
+}
+
+func TestWriteBlocksPanics(t *testing.T) {
+	d := New(testConfig())
+	f := d.NewFile("t")
+	f.Append(make([]byte, 64))
+	for _, fn := range []func(){
+		func() { f.WriteBlocks(0, make([]byte, 10)) }, // unaligned
+		func() { f.WriteBlocks(1, make([]byte, 64)) }, // past end
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestReadPastEndPanics(t *testing.T) {
+	d := New(testConfig())
+	f := d.NewFile("t")
+	f.Append(make([]byte, 64))
+	s := d.NewSession()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic reading past end")
+		}
+	}()
+	s.Read(f, 0, 2)
+}
+
+func TestCPUCharges(t *testing.T) {
+	d := New(testConfig())
+	s := d.NewSession()
+	s.ChargeDistCPU(16, 10)   // 16e-6
+	s.ChargeApproxCPU(8, 100) // 80e-6
+	s.ChargeCPU(1e-3)
+	want := 16*10*1e-7 + 8*100*1e-7 + 1e-3
+	if math.Abs(s.Stats.CPUSeconds-want) > 1e-15 {
+		t.Fatalf("cpu %g, want %g", s.Stats.CPUSeconds, want)
+	}
+}
+
+func TestStatsAddAndString(t *testing.T) {
+	a := Stats{Seeks: 1, BlocksRead: 2, Reads: 3, CPUSeconds: 0.5}
+	b := Stats{Seeks: 10, BlocksRead: 20, Reads: 30, CPUSeconds: 1.5}
+	a.Add(b)
+	if a.Seeks != 11 || a.BlocksRead != 22 || a.Reads != 33 || a.CPUSeconds != 2 {
+		t.Fatalf("add wrong: %+v", a)
+	}
+	if a.String() == "" {
+		t.Fatal("empty string form")
+	}
+}
+
+// Property: Stats.Time is linear in its counters.
+func TestStatsTimeLinearity(t *testing.T) {
+	cfg := testConfig()
+	f := func(s1, b1, s2, b2 uint8) bool {
+		a := Stats{Seeks: int(s1), BlocksRead: int(b1)}
+		b := Stats{Seeks: int(s2), BlocksRead: int(b2)}
+		sum := a
+		sum.Add(b)
+		return math.Abs(sum.Time(cfg)-(a.Time(cfg)+b.Time(cfg))) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOverreadHorizonAndBlocks(t *testing.T) {
+	cfg := testConfig()
+	if v := cfg.OverreadHorizon(); v != 10 {
+		t.Fatalf("horizon %d, want 10", v)
+	}
+	if cfg.Blocks(0) != 0 || cfg.Blocks(1) != 1 || cfg.Blocks(64) != 1 || cfg.Blocks(65) != 2 {
+		t.Fatal("Blocks rounding wrong")
+	}
+	if (Config{}).OverreadHorizon() != 0 {
+		t.Fatal("zero config horizon should be 0")
+	}
+}
+
+func TestTotalBlocks(t *testing.T) {
+	d := New(testConfig())
+	d.NewFile("a").Append(make([]byte, 65))
+	d.NewFile("b").Append(make([]byte, 64))
+	if d.TotalBlocks() != 3 {
+		t.Fatalf("total blocks %d", d.TotalBlocks())
+	}
+}
+
+func TestDefaultConfigSane(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.BlockSize <= 0 || cfg.Seek <= cfg.Xfer || cfg.Xfer <= 0 {
+		t.Fatalf("implausible default config: %+v", cfg)
+	}
+	if h := cfg.OverreadHorizon(); h < 2 {
+		t.Fatalf("default horizon %d too small for the paper's trade-off", h)
+	}
+}

@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// chartWidth and chartHeight are the plot-area dimensions of Chart.
+const (
+	chartWidth  = 64
+	chartHeight = 18
+)
+
+// seriesMarks are the per-series plot symbols, assigned in order.
+var seriesMarks = []byte{'*', 'x', 'o', '+', '#', '@'}
+
+// Chart renders the figure as an ASCII line chart (linear X, linear or
+// log Y), mirroring the paper's figure layout: time on the Y axis, the
+// swept parameter on the X axis, one mark per series. It is what
+// EXPERIMENTS.md embeds next to the paper's curves.
+func (f Figure) Chart(logY bool) string {
+	var xs []float64
+	var ys []float64
+	for _, s := range f.Series {
+		xs = append(xs, s.X...)
+		ys = append(ys, s.Y...)
+	}
+	if len(xs) == 0 {
+		return "(empty figure)\n"
+	}
+	xMin, xMax := minMax(xs)
+	yMin, yMax := minMax(ys)
+	if logY {
+		if yMin <= 0 {
+			logY = false
+		} else {
+			yMin, yMax = math.Log10(yMin), math.Log10(yMax)
+		}
+	}
+	if xMax == xMin {
+		xMax = xMin + 1
+	}
+	if yMax == yMin {
+		yMax = yMin + 1
+	}
+
+	grid := make([][]byte, chartHeight)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", chartWidth))
+	}
+	for si, s := range f.Series {
+		mark := seriesMarks[si%len(seriesMarks)]
+		for i := range s.X {
+			y := s.Y[i]
+			if logY {
+				y = math.Log10(y)
+			}
+			col := int((s.X[i] - xMin) / (xMax - xMin) * float64(chartWidth-1))
+			row := chartHeight - 1 - int((y-yMin)/(yMax-yMin)*float64(chartHeight-1))
+			if col >= 0 && col < chartWidth && row >= 0 && row < chartHeight {
+				grid[row][col] = mark
+			}
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s", f.ID, f.Title)
+	if logY {
+		b.WriteString("  (log y)")
+	}
+	b.WriteString("\n")
+	yTop, yBot := yMax, yMin
+	if logY {
+		yTop, yBot = math.Pow(10, yMax), math.Pow(10, yMin)
+	}
+	for r, row := range grid {
+		switch r {
+		case 0:
+			fmt.Fprintf(&b, "%9.4f |%s|\n", yTop, string(row))
+		case chartHeight - 1:
+			fmt.Fprintf(&b, "%9.4f |%s|\n", yBot, string(row))
+		default:
+			fmt.Fprintf(&b, "          |%s|\n", string(row))
+		}
+	}
+	fmt.Fprintf(&b, "          %s\n", strings.Repeat("-", chartWidth+2))
+	fmt.Fprintf(&b, "          %-10.4g%*s%.4g  (%s)\n", xMin, chartWidth-18, "", xMax, f.XLabel)
+	for si, s := range f.Series {
+		fmt.Fprintf(&b, "          %c %s\n", seriesMarks[si%len(seriesMarks)], s.Label)
+	}
+	return b.String()
+}
+
+func minMax(vs []float64) (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, v := range vs {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	return lo, hi
+}

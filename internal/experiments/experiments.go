@@ -1,0 +1,222 @@
+// Package experiments reproduces the paper's evaluation (Section 4,
+// Figures 7–12): it builds the competing access methods over the paper's
+// workloads, runs nearest-neighbor query batches against the simulated
+// disk, and reports the average simulated seconds per query — the same
+// metric, series and axes as the paper's figures.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/disk"
+	"repro/internal/scan"
+	"repro/internal/vafile"
+	"repro/internal/vec"
+	"repro/internal/xtree"
+)
+
+// Method identifies an access method (or IQ-tree ablation variant).
+type Method string
+
+// The methods compared in the paper's figures.
+const (
+	IQTree     Method = "IQ-tree"
+	IQNoQuant  Method = "IQ-tree (no quantization)"
+	IQNoOptIO  Method = "IQ-tree (standard NN-search)"
+	IQPlain    Method = "IQ-tree (no quant, standard NN)"
+	XTree      Method = "X-tree"
+	VAFile     Method = "VA-file"
+	Scan       Method = "Scan"
+	IQUniform  Method = "IQ-tree (uniform cost model)"
+	VAFileUnif Method = "VA-file (uniform bounds)"
+)
+
+// Config describes one experimental cell: a workload plus query batch.
+type Config struct {
+	Dataset dataset.Name
+	Seed    int64
+	N       int // database size
+	Dim     int // dimensionality (uniform only; fixed for real sets)
+	Queries int // number of query points (held out of the database)
+	K       int // neighbors per query (the paper uses 1)
+	Disk    disk.Config
+	VABits  []int // candidate VA-file bits per dimension (paper: 2..8)
+}
+
+// withDefaults fills zero fields with the paper's defaults.
+func (c Config) withDefaults() Config {
+	if c.Queries <= 0 {
+		c.Queries = 50
+	}
+	if c.K <= 0 {
+		c.K = 1
+	}
+	if c.Disk.BlockSize == 0 {
+		c.Disk = disk.DefaultConfig()
+	}
+	if len(c.VABits) == 0 {
+		c.VABits = []int{2, 3, 4, 5, 6, 7, 8}
+	}
+	if d := c.Dataset.Dim(); d != 0 {
+		c.Dim = d
+	}
+	return c
+}
+
+// data generates the database and the held-out query workload.
+func (c Config) data() (db, queries []vec.Point, err error) {
+	pts, err := dataset.Generate(c.Dataset, c.Seed, c.N+c.Queries, c.Dim)
+	if err != nil {
+		return nil, nil, err
+	}
+	db, queries = dataset.Split(pts, c.Queries)
+	return db, queries, nil
+}
+
+// Result is the measured cost of one method on one configuration.
+type Result struct {
+	Method  Method
+	Seconds float64    // average simulated seconds per query
+	Stats   disk.Stats // aggregate over the whole batch
+	Detail  string     // method-specific notes (e.g. chosen VA-file bits)
+}
+
+// Run measures the given methods on one configuration. Every method gets
+// its own fresh simulated disk; queries run sequentially, each on its own
+// session, and the reported time is the per-query average.
+func Run(cfg Config, methods []Method) ([]Result, error) {
+	cfg = cfg.withDefaults()
+	db, queries, err := cfg.data()
+	if err != nil {
+		return nil, err
+	}
+	results := make([]Result, 0, len(methods))
+	for _, m := range methods {
+		res, err := runMethod(cfg, m, db, queries)
+		if err != nil {
+			return nil, err
+		}
+		results = append(results, res)
+	}
+	return results, nil
+}
+
+// searcher is the common query interface of all access methods.
+type searcher interface {
+	KNN(s *disk.Session, q vec.Point, k int) []vec.Neighbor
+}
+
+func runMethod(cfg Config, m Method, db, queries []vec.Point) (Result, error) {
+	dsk := disk.New(cfg.Disk)
+	var (
+		idx    searcher
+		detail string
+	)
+	switch m {
+	case IQTree, IQNoQuant, IQNoOptIO, IQPlain, IQUniform:
+		opt := core.DefaultOptions()
+		switch m {
+		case IQNoQuant:
+			opt.Quantize = false
+		case IQNoOptIO:
+			opt.OptimizedIO = false
+		case IQPlain:
+			opt.Quantize = false
+			opt.OptimizedIO = false
+		case IQUniform:
+			opt.UniformModel = true
+		}
+		t, err := core.Build(dsk, db, opt)
+		if err != nil {
+			return Result{}, err
+		}
+		st := t.Stats()
+		detail = fmt.Sprintf("pages=%d D_F=%.1f", st.Pages, st.FractalDim)
+		idx = t
+	case XTree:
+		t := xtree.Build(dsk, db, xtree.DefaultOptions())
+		st := t.Stats()
+		detail = fmt.Sprintf("leaves=%d supernodes=%d height=%d", st.Leaves, st.Supernodes, st.Height)
+		idx = t
+	case VAFile, VAFileUnif:
+		bits := TuneVAFile(cfg, db, queries, m == VAFileUnif)
+		opt := vafile.DefaultOptions()
+		opt.Bits = bits
+		opt.Uniform = m == VAFileUnif
+		detail = fmt.Sprintf("bits=%d", bits)
+		idx = vafile.Build(dsk, db, opt)
+	case Scan:
+		idx = scan.Build(dsk, db, vec.Euclidean)
+	default:
+		return Result{}, fmt.Errorf("experiments: unknown method %q", m)
+	}
+	secs, stats := measure(dsk, idx, queries, cfg.K)
+	return Result{Method: m, Seconds: secs, Stats: stats, Detail: detail}, nil
+}
+
+// measure runs the query batch and returns the per-query average simulated
+// time plus aggregate stats. Queries run on parallel workers to cut the
+// harness's wall-clock time; each query gets its own session, and the
+// per-query stats are merged in query order, so the result is
+// deterministic regardless of scheduling.
+func measure(dsk *disk.Disk, idx searcher, queries []vec.Point, k int) (float64, disk.Stats) {
+	perQuery := make([]disk.Stats, len(queries))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	var wg sync.WaitGroup
+	next := int64(-1)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= len(queries) {
+					return
+				}
+				s := dsk.NewSession()
+				idx.KNN(s, queries[i], k)
+				perQuery[i] = s.Stats
+			}
+		}()
+	}
+	wg.Wait()
+	var agg disk.Stats
+	for _, st := range perQuery {
+		agg.Add(st)
+	}
+	return agg.Time(dsk.Config()) / float64(len(queries)), agg
+}
+
+// TuneVAFile replicates the paper's hand-tuning of the VA-file: it tries
+// every candidate bits-per-dimension on a small prefix of the query
+// workload and returns the cheapest. The paper stresses that the VA-file
+// needs this manual step while the IQ-tree adapts automatically.
+func TuneVAFile(cfg Config, db, queries []vec.Point, uniform bool) int {
+	cfg = cfg.withDefaults()
+	tuneQ := queries
+	if len(tuneQ) > 10 {
+		tuneQ = tuneQ[:10]
+	}
+	best, bestT := cfg.VABits[0], math.Inf(1)
+	for _, b := range cfg.VABits {
+		dsk := disk.New(cfg.Disk)
+		opt := vafile.DefaultOptions()
+		opt.Bits = b
+		opt.Uniform = uniform
+		v := vafile.Build(dsk, db, opt)
+		secs, _ := measure(dsk, v, tuneQ, cfg.K)
+		if secs < bestT {
+			best, bestT = b, secs
+		}
+	}
+	return best
+}

@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/disk"
+	"repro/internal/scan"
+	"repro/internal/vafile"
+	"repro/internal/vec"
+	"repro/internal/xtree"
+)
+
+// TestWindowQueryAgreement cross-checks window (box) queries across every
+// access method.
+func TestWindowQueryAgreement(t *testing.T) {
+	cfg := Config{Dataset: dataset.Uniform, Seed: 9, N: 5000, Dim: 6, Queries: 0}
+	cfg = cfg.withDefaults()
+	pts, err := dataset.Generate(cfg.Dataset, cfg.Seed, cfg.N, cfg.Dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	windows := []vec.MBR{
+		{Lo: vec.Point{0.1, 0.1, 0.1, 0.1, 0.1, 0.1}, Hi: vec.Point{0.5, 0.5, 0.6, 0.7, 0.8, 0.9}},
+		{Lo: vec.Point{0.4, 0, 0, 0, 0, 0}, Hi: vec.Point{0.6, 1, 1, 1, 1, 1}},
+		{Lo: vec.Point{0.9, 0.9, 0.9, 0.9, 0.9, 0.9}, Hi: vec.Point{1, 1, 1, 1, 1, 1}},
+	}
+
+	want := make([]map[uint32]bool, len(windows))
+	for wi, w := range windows {
+		want[wi] = map[uint32]bool{}
+		for i, p := range pts {
+			if w.Contains(p) {
+				want[wi][uint32(i)] = true
+			}
+		}
+	}
+
+	check := func(name string, run func(w vec.MBR) []vec.Neighbor) {
+		for wi, w := range windows {
+			got := run(w)
+			if len(got) != len(want[wi]) {
+				t.Fatalf("%s window %d: %d results, want %d", name, wi, len(got), len(want[wi]))
+			}
+			for _, nb := range got {
+				if !want[wi][nb.ID] {
+					t.Fatalf("%s window %d: unexpected id %d", name, wi, nb.ID)
+				}
+			}
+		}
+	}
+
+	iqDisk := disk.New(cfg.Disk)
+	tr, err := core.Build(iqDisk, pts, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("iqtree", func(w vec.MBR) []vec.Neighbor { return tr.WindowQuery(iqDisk.NewSession(), w) })
+
+	xDisk := disk.New(cfg.Disk)
+	xt := xtree.Build(xDisk, pts, xtree.DefaultOptions())
+	check("xtree", func(w vec.MBR) []vec.Neighbor { return xt.WindowQuery(xDisk.NewSession(), w) })
+
+	vDisk := disk.New(cfg.Disk)
+	va := vafile.Build(vDisk, pts, vafile.DefaultOptions())
+	check("vafile", func(w vec.MBR) []vec.Neighbor { return va.WindowQuery(vDisk.NewSession(), w) })
+
+	sDisk := disk.New(cfg.Disk)
+	sc := scan.Build(sDisk, pts, vec.Euclidean)
+	check("scan", func(w vec.MBR) []vec.Neighbor { return sc.WindowQuery(sDisk.NewSession(), w) })
+}

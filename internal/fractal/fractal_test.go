@@ -1,0 +1,175 @@
+package fractal
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/vec"
+)
+
+func uniformPoints(r *rand.Rand, n, d int) []vec.Point {
+	pts := make([]vec.Point, n)
+	for i := range pts {
+		p := make(vec.Point, d)
+		for j := range p {
+			p[j] = r.Float32()
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+// linePoints embeds a 1-dimensional manifold in d dimensions.
+func linePoints(r *rand.Rand, n, d int) []vec.Point {
+	pts := make([]vec.Point, n)
+	for i := range pts {
+		tt := r.Float64()
+		p := make(vec.Point, d)
+		for j := range p {
+			p[j] = float32(tt * float64(j+1) / float64(d))
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+// planePoints embeds a 2-dimensional manifold in d dimensions.
+func planePoints(r *rand.Rand, n, d int) []vec.Point {
+	pts := make([]vec.Point, n)
+	for i := range pts {
+		u, v := r.Float64(), r.Float64()
+		p := make(vec.Point, d)
+		for j := range p {
+			if j%2 == 0 {
+				p[j] = float32(u)
+			} else {
+				p[j] = float32(v * (1 + 0.1*float64(j)))
+			}
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+func TestCorrelationDimensionLowDimensionalManifolds(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	line := CorrelationDimension(linePoints(r, 5000, 8), vec.Euclidean)
+	if math.Abs(line-1) > 0.35 {
+		t.Fatalf("line D2 = %f, want ~1", line)
+	}
+	plane := CorrelationDimension(planePoints(r, 5000, 8), vec.Euclidean)
+	if math.Abs(plane-2) > 0.6 {
+		t.Fatalf("plane D2 = %f, want ~2", plane)
+	}
+	if line >= plane {
+		t.Fatalf("line D2 %f should be below plane D2 %f", line, plane)
+	}
+}
+
+func TestCorrelationDimensionLowUniformDims(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for _, d := range []int{2, 3} {
+		got := CorrelationDimension(uniformPoints(r, 5000, d), vec.Euclidean)
+		if math.Abs(got-float64(d)) > 0.7 {
+			t.Fatalf("uniform d=%d: D2 = %f", d, got)
+		}
+	}
+}
+
+func TestCorrelationDimensionOrderingAcrossDims(t *testing.T) {
+	// In high dimensions the estimator is biased low (finite-sample
+	// bound), but the ordering must be preserved.
+	r := rand.New(rand.NewSource(3))
+	d4 := CorrelationDimension(uniformPoints(r, 5000, 4), vec.Euclidean)
+	d8 := CorrelationDimension(uniformPoints(r, 5000, 8), vec.Euclidean)
+	d16 := CorrelationDimension(uniformPoints(r, 5000, 16), vec.Euclidean)
+	if !(d4 < d8 && d8 < d16) {
+		t.Fatalf("ordering broken: %f %f %f", d4, d8, d16)
+	}
+}
+
+func TestCorrelationDimensionClamped(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	pts := uniformPoints(r, 1000, 3)
+	got := CorrelationDimension(pts, vec.Euclidean)
+	if got < 0.5 || got > 3 {
+		t.Fatalf("D2 %f outside clamp [0.5, 3]", got)
+	}
+}
+
+func TestCorrelationDimensionDegenerateInputs(t *testing.T) {
+	if got := CorrelationDimension(nil, vec.Euclidean); got != 1 {
+		t.Fatalf("empty input: %f", got)
+	}
+	// All points identical: nearly all pair distances are 0.
+	same := make([]vec.Point, 100)
+	for i := range same {
+		same[i] = vec.Point{1, 2, 3}
+	}
+	if got := CorrelationDimension(same, vec.Euclidean); got != 0.5 {
+		t.Fatalf("identical points: %f, want 0.5 (clamp floor)", got)
+	}
+	// Too few points: fall back to the embedding dimension.
+	few := []vec.Point{{0, 0}, {1, 1}}
+	if got := CorrelationDimension(few, vec.Euclidean); got != 2 {
+		t.Fatalf("few points: %f, want 2", got)
+	}
+}
+
+func TestBoxCountingDimension(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	line := BoxCountingDimension(linePoints(r, 4000, 6))
+	if math.Abs(line-1) > 0.4 {
+		t.Fatalf("line D0 = %f, want ~1", line)
+	}
+	uni2 := BoxCountingDimension(uniformPoints(r, 4000, 2))
+	if math.Abs(uni2-2) > 0.6 {
+		t.Fatalf("uniform 2-d D0 = %f, want ~2", uni2)
+	}
+	if line >= uni2 {
+		t.Fatalf("line D0 %f should be below plane D0 %f", line, uni2)
+	}
+	if got := BoxCountingDimension(nil); got != 1 {
+		t.Fatalf("empty input: %f", got)
+	}
+}
+
+func TestEstimateIsDeterministic(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	pts := uniformPoints(r, 3000, 5)
+	a := Estimate(pts, vec.Euclidean)
+	b := Estimate(pts, vec.Euclidean)
+	if a != b {
+		t.Fatalf("estimate not deterministic: %f vs %f", a, b)
+	}
+}
+
+func TestFitSlope(t *testing.T) {
+	// Perfect line y = 3x + 1.
+	xs := []float64{0, 1, 2, 3}
+	ys := []float64{1, 4, 7, 10}
+	slope, ok := fitSlope(xs, ys)
+	if !ok || math.Abs(slope-3) > 1e-12 {
+		t.Fatalf("slope %f ok=%v", slope, ok)
+	}
+	if _, ok := fitSlope([]float64{1}, []float64{1}); ok {
+		t.Fatal("single point should not fit")
+	}
+	if _, ok := fitSlope([]float64{2, 2}, []float64{1, 5}); ok {
+		t.Fatal("vertical data should not fit")
+	}
+}
+
+func TestSampleBounds(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	big := uniformPoints(r, MaxSample*5, 2)
+	s := sample(big)
+	if len(s) > MaxSample {
+		t.Fatalf("sample too large: %d", len(s))
+	}
+	small := uniformPoints(r, 10, 2)
+	if len(sample(small)) != 10 {
+		t.Fatal("small inputs should pass through")
+	}
+}

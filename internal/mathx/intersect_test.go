@@ -1,0 +1,127 @@
+package mathx
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestBoxSphereIntersectMaxKnownCases(t *testing.T) {
+	lo := []float64{0, 0}
+	hi := []float64{1, 1}
+	// L∞ ball around the center with radius 0.25 lies fully inside.
+	if got := BoxSphereIntersectMax(lo, hi, []float64{0.5, 0.5}, 0.25); math.Abs(got-0.25) > 1e-12 {
+		t.Fatalf("inside cube: %f, want 0.25", got)
+	}
+	// Ball covering the whole box.
+	if got := BoxSphereIntersectMax(lo, hi, []float64{0.5, 0.5}, 10); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("covering cube: %f, want 1", got)
+	}
+	// Disjoint.
+	if got := BoxSphereIntersectMax(lo, hi, []float64{5, 5}, 1); got != 0 {
+		t.Fatalf("disjoint: %f, want 0", got)
+	}
+	// Corner overlap: query at the origin corner with r=0.5 overlaps a
+	// quarter... for L∞ the overlap is [0,0.5]² = 0.25.
+	if got := BoxSphereIntersectMax(lo, hi, []float64{0, 0}, 0.5); math.Abs(got-0.25) > 1e-12 {
+		t.Fatalf("corner: %f, want 0.25", got)
+	}
+}
+
+func TestBoxSphereIntersectEuclFullContainment(t *testing.T) {
+	// Ball fully inside the box: volume must equal the sphere volume.
+	lo := []float64{-10, -10, -10}
+	hi := []float64{10, 10, 10}
+	got := BoxSphereIntersectEucl(lo, hi, []float64{0, 0, 0}, 1)
+	want := SphereVolume(3, 1)
+	if math.Abs(got-want) > 0.05*want {
+		t.Fatalf("contained ball: %f, want ≈%f", got, want)
+	}
+	// Box fully inside the ball: exact (detected analytically).
+	lo2 := []float64{-0.1, -0.1, -0.1}
+	hi2 := []float64{0.1, 0.1, 0.1}
+	got = BoxSphereIntersectEucl(lo2, hi2, []float64{0, 0, 0}, 5)
+	if math.Abs(got-0.008) > 1e-12 {
+		t.Fatalf("contained box: %f, want 0.008", got)
+	}
+	// Disjoint.
+	if got := BoxSphereIntersectEucl(lo2, hi2, []float64{9, 9, 9}, 1); got != 0 {
+		t.Fatalf("disjoint: %f", got)
+	}
+}
+
+func TestBoxSphereIntersectEuclHalfBall(t *testing.T) {
+	// Query centered on a face: the intersection is half the ball.
+	lo := []float64{0, -10}
+	hi := []float64{10, 10}
+	got := BoxSphereIntersectEucl(lo, hi, []float64{0, 0}, 1)
+	want := SphereVolume(2, 1) / 2
+	if math.Abs(got-want) > 0.08*want {
+		t.Fatalf("half ball: %f, want ≈%f", got, want)
+	}
+}
+
+// Property: the intersection volume is bounded by both the clipped box
+// volume and the ball volume, never exceeds the L∞ intersection, and is
+// monotone in r.
+func TestBoxSphereIntersectProperties(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		d := 1 + r.Intn(6)
+		lo := make([]float64, d)
+		hi := make([]float64, d)
+		q := make([]float64, d)
+		box := 1.0
+		for i := 0; i < d; i++ {
+			lo[i] = r.Float64()
+			hi[i] = lo[i] + 0.05 + r.Float64()
+			q[i] = r.Float64()*2 - 0.5
+			box *= hi[i] - lo[i]
+		}
+		rad := 0.05 + r.Float64()
+		eucl := BoxSphereIntersectEucl(lo, hi, q, rad)
+		maxm := BoxSphereIntersectMax(lo, hi, q, rad)
+		if eucl < 0 || eucl > box+1e-9 || eucl > SphereVolume(d, rad)+1e-9 {
+			t.Fatalf("eucl volume %f out of bounds (box %f, sphere %f)", eucl, box, SphereVolume(d, rad))
+		}
+		if eucl > maxm+1e-9 {
+			t.Fatalf("eucl intersection %f exceeds max-metric %f", eucl, maxm)
+		}
+		if bigger := BoxSphereIntersectEucl(lo, hi, q, rad*2); bigger < eucl-1e-9 {
+			t.Fatalf("intersection not monotone in r")
+		}
+	}
+}
+
+func TestBoxSphereIntersectDispatch(t *testing.T) {
+	lo := []float64{0}
+	hi := []float64{1}
+	q := []float64{0.5}
+	if got := BoxSphereIntersect(lo, hi, q, 0.25, false); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("max dispatch: %f", got)
+	}
+	// In 1-d the L2 and L∞ balls coincide; the QMC estimate detects full
+	// containment analytically here.
+	if got := BoxSphereIntersect(lo, hi, q, 0.25, true); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("eucl dispatch: %f", got)
+	}
+}
+
+func TestHaltonDeterministicAndInUnitInterval(t *testing.T) {
+	for i := 1; i < 200; i++ {
+		v := halton(i, 2)
+		if v <= 0 || v >= 1 {
+			t.Fatalf("halton(%d, 2) = %f out of (0,1)", i, v)
+		}
+		if v != halton(i, 2) {
+			t.Fatal("halton not deterministic")
+		}
+	}
+	// First few base-2 values are the van der Corput sequence.
+	want := []float64{0.5, 0.25, 0.75, 0.125}
+	for i, w := range want {
+		if got := halton(i+1, 2); math.Abs(got-w) > 1e-12 {
+			t.Fatalf("halton(%d,2) = %f, want %f", i+1, got, w)
+		}
+	}
+}

@@ -1,0 +1,189 @@
+// Package pagesched implements the time-based page access strategies of
+// paper Section 2:
+//
+//   - PlanKnownSet: the optimal fetch schedule for a page set known in
+//     advance (range queries, Fig. 1) — over-read a gap whenever the
+//     transfer of the skipped blocks is cheaper than a seek.
+//   - Scheduler.Batch: the cumulated-cost-balance batching of the
+//     time-optimized nearest-neighbor algorithm (Sec. 2.1) — starting from
+//     the pivot page, extend the read sequence forward and backward while
+//     the expected savings of over-reading probable pages outweigh the
+//     transfer cost.
+//   - AccessProbability: the probability that a page must be loaded later
+//     in a nearest-neighbor search (Sec. 2.2, Eq. 2–5).
+package pagesched
+
+import (
+	"math"
+
+	"repro/internal/disk"
+	"repro/internal/mathx"
+	"repro/internal/vec"
+)
+
+// Run is one contiguous read of Blocks blocks starting at block Pos.
+type Run struct {
+	Pos    int
+	Blocks int
+}
+
+// PlanKnownSet plans the reads for pages whose starting block positions
+// are known in advance and sorted ascending; every page spans pageBlocks
+// blocks. Whenever the gap between two consecutive pages costs less to
+// transfer than a seek, the gap is read through (paper Section 2). If
+// maxBufferBlocks is positive, no run exceeds that many blocks (the
+// buffer-limited variant of Seeger et al. [19]).
+func PlanKnownSet(positions []int, pageBlocks int, cfg disk.Config, maxBufferBlocks int) []Run {
+	if len(positions) == 0 {
+		return nil
+	}
+	var runs []Run
+	cur := Run{Pos: positions[0], Blocks: pageBlocks}
+	for _, p := range positions[1:] {
+		gap := p - (cur.Pos + cur.Blocks)
+		if gap < 0 {
+			gap = 0 // overlapping/duplicate positions collapse
+		}
+		extended := cur.Blocks + gap + pageBlocks
+		fits := maxBufferBlocks <= 0 || extended <= maxBufferBlocks
+		if float64(gap)*cfg.Xfer < cfg.Seek && fits {
+			if p+pageBlocks > cur.Pos+cur.Blocks {
+				cur.Blocks = p + pageBlocks - cur.Pos
+			}
+		} else {
+			runs = append(runs, cur)
+			cur = Run{Pos: p, Blocks: pageBlocks}
+		}
+	}
+	return append(runs, cur)
+}
+
+// PlanCost returns the simulated time of executing the given runs:
+// one seek per run plus the transfer of all blocks.
+func PlanCost(runs []Run, cfg disk.Config) float64 {
+	var t float64
+	for _, r := range runs {
+		t += cfg.Seek + float64(r.Blocks)*cfg.Xfer
+	}
+	return t
+}
+
+// Region describes a page region competing in a nearest-neighbor priority
+// list, for access-probability estimation.
+type Region struct {
+	MBR     vec.MBR
+	Count   int     // number of points in the region
+	MinDist float64 // MINDIST from the query point
+}
+
+// AccessProbability returns the probability that a page whose b-sphere has
+// radius r (its MINDIST from query q) must be accessed: the probability
+// that none of the higher-priority regions contains a point inside the
+// b-sphere (Eq. 2–5). `higher` must hold the still-unprocessed regions
+// with MinDist < r, closest first. The product is cut off once it drops
+// below 1e-6, and at most maxRegions competitors are examined (the
+// closest regions dominate the product; the estimate only steers the I/O
+// batching heuristic). For the Euclidean metric the box∩sphere volume
+// uses the fast equal-volume-cube surrogate.
+func AccessProbability(q vec.Point, met vec.Metric, r float64, higher []Region) float64 {
+	const maxRegions = 128
+	if r <= 0 {
+		return 1
+	}
+	if len(higher) > maxRegions {
+		higher = higher[:maxRegions]
+	}
+	eucl := met != vec.Maximum
+	d := len(q)
+	qf := make([]float64, d)
+	for i, v := range q {
+		qf[i] = float64(v)
+	}
+	lo := make([]float64, d)
+	hi := make([]float64, d)
+	prob := 1.0
+	for _, reg := range higher {
+		if reg.MinDist >= r || reg.Count <= 0 {
+			continue
+		}
+		vol := 1.0
+		for i := 0; i < d; i++ {
+			lo[i] = float64(reg.MBR.Lo[i])
+			hi[i] = float64(reg.MBR.Hi[i])
+			side := hi[i] - lo[i]
+			if side <= 0 {
+				side = 1e-12
+				hi[i] = lo[i] + side
+			}
+			vol *= side
+		}
+		var vint float64
+		if eucl {
+			vint = mathx.BoxSphereIntersectEuclFast(lo, hi, qf, r)
+		} else {
+			vint = mathx.BoxSphereIntersectMax(lo, hi, qf, r)
+		}
+		frac := mathx.Clamp(vint/vol, 0, 1)
+		// P(no point of this region in the intersection) = (1-frac)^Count.
+		prob *= math.Pow(1-frac, float64(reg.Count))
+		if prob < 1e-6 {
+			return 0
+		}
+	}
+	return prob
+}
+
+// Scheduler computes the read batch around a pivot page for the
+// time-optimized nearest-neighbor algorithm. Pages are fixed-size and laid
+// out consecutively: page i starts at block i·PageBlocks.
+type Scheduler struct {
+	// Cfg holds the disk parameters.
+	Cfg disk.Config
+	// PageBlocks is the size of one page in blocks.
+	PageBlocks int
+	// NumPages is the number of pages in the file.
+	NumPages int
+	// Prob returns the access probability of the page at position pos;
+	// it must return 0 for pages already processed or pruned.
+	Prob func(pos int) float64
+}
+
+// Batch returns the page positions [first, last] to load together with the
+// pivot page (paper Sec. 2.1). It extends the sequence forward and then
+// backward, accumulating the cost balance
+//
+//	ccb += t_xfer − a·(t_seek + t_xfer)
+//
+// committing the extension whenever the balance goes negative, and giving
+// up in a direction once the balance exceeds the seek cost.
+func (s *Scheduler) Batch(pivot int) (first, last int) {
+	txfer := float64(s.PageBlocks) * s.Cfg.Xfer
+	first, last = pivot, pivot
+
+	ccb := 0.0
+	for i := pivot + 1; i < s.NumPages; i++ {
+		a := s.Prob(i)
+		ccb += txfer - a*(s.Cfg.Seek+txfer)
+		if ccb < 0 {
+			last = i
+			ccb = 0
+		}
+		if ccb >= s.Cfg.Seek {
+			break
+		}
+	}
+
+	ccb = 0.0
+	for i := pivot - 1; i >= 0; i-- {
+		a := s.Prob(i)
+		ccb += txfer - a*(s.Cfg.Seek+txfer)
+		if ccb < 0 {
+			first = i
+			ccb = 0
+		}
+		if ccb >= s.Cfg.Seek {
+			break
+		}
+	}
+	return first, last
+}

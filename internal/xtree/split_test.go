@@ -1,0 +1,169 @@
+package xtree
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/disk"
+	"repro/internal/vec"
+)
+
+func mkNode(lo, hi vec.Point) *node {
+	return &node{leaf: true, mbr: vec.MBR{Lo: lo, Hi: hi}, units: 1}
+}
+
+func TestOverlapFreeSplitFindsSeparableDimension(t *testing.T) {
+	// Children separable along dim 1 (lows 0,1,2,3 with hi = lo+0.5), and
+	// heavily overlapping along dim 0.
+	var children []*node
+	for i := 0; i < 4; i++ {
+		children = append(children, mkNode(
+			vec.Point{0, float32(i)},
+			vec.Point{1, float32(i) + 0.5},
+		))
+	}
+	k, ok := overlapFreeSplitAlong(children, 1, 2)
+	if !ok || k != 2 {
+		t.Fatalf("overlapFreeSplitAlong = (%d, %v), want (2, true)", k, ok)
+	}
+	// The heavily overlapping dimension admits no overlap-free split.
+	if _, ok := overlapFreeSplitAlong(children, 0, 2); ok {
+		t.Fatal("dim 0 should not split overlap-free")
+	}
+}
+
+func TestOverlapFreeSplitRespectsBalance(t *testing.T) {
+	// Separable only as 1 vs 3, but minEntries 2 forbids that.
+	children := []*node{
+		mkNode(vec.Point{0}, vec.Point{1}),
+		mkNode(vec.Point{5}, vec.Point{6}),
+		mkNode(vec.Point{5.2}, vec.Point{6.2}),
+		mkNode(vec.Point{5.4}, vec.Point{6.4}),
+	}
+	if _, ok := overlapFreeSplitAlong(children, 0, 2); ok {
+		t.Fatal("unbalanced split should be rejected")
+	}
+	if k, ok := overlapFreeSplitAlong(children, 0, 1); !ok || k != 1 {
+		t.Fatalf("with minEntries 1: (%d, %v)", k, ok)
+	}
+}
+
+func TestOverlapFreeSplitNoneExists(t *testing.T) {
+	// All boxes identical: no overlap-free partition in any dimension.
+	var children []*node
+	for i := 0; i < 5; i++ {
+		children = append(children, mkNode(vec.Point{0, 0}, vec.Point{1, 1}))
+	}
+	for dim := 0; dim < 2; dim++ {
+		if _, ok := overlapFreeSplitAlong(children, dim, 2); ok {
+			t.Fatal("identical boxes cannot split overlap-free")
+		}
+	}
+}
+
+func TestPrefixSuffixGroups(t *testing.T) {
+	boxes := []*node{
+		mkNode(vec.Point{0}, vec.Point{1}),
+		mkNode(vec.Point{2}, vec.Point{3}),
+		mkNode(vec.Point{4}, vec.Point{5}),
+	}
+	ord := []int{0, 1, 2}
+	ps := buildPrefixSuffix(ord, func(i int) vec.MBR { return boxes[i].mbr })
+	lm, rm := ps.groups(1)
+	if lm.Hi[0] != 1 || rm.Lo[0] != 2 || rm.Hi[0] != 5 {
+		t.Fatalf("groups(1): %v | %v", lm, rm)
+	}
+	lm, rm = ps.groups(2)
+	if lm.Hi[0] != 3 || rm.Lo[0] != 4 {
+		t.Fatalf("groups(2): %v | %v", lm, rm)
+	}
+}
+
+func TestUnitsFor(t *testing.T) {
+	dsk := disk.New(disk.DefaultConfig())
+	tr := New(dsk, 8, DefaultOptions())
+	if tr.unitsFor(1) != 1 || tr.unitsFor(tr.dirCap) != 1 {
+		t.Fatal("single unit cases wrong")
+	}
+	if tr.unitsFor(tr.dirCap+1) != 2 {
+		t.Fatal("overflow should need two units")
+	}
+}
+
+func TestSupernodeCreationOnIdenticalBoxes(t *testing.T) {
+	// Many points at identical locations force totally overlapping
+	// subtrees; the X-tree must fall back to supernodes rather than
+	// producing degenerate splits.
+	r := rand.New(rand.NewSource(1))
+	var pts []vec.Point
+	for i := 0; i < 20000; i++ {
+		base := float32(r.Intn(3))
+		p := make(vec.Point, 8)
+		for j := range p {
+			p[j] = base + float32(r.NormFloat64())*1e-4
+		}
+		pts = append(pts, p)
+	}
+	dsk := disk.New(disk.DefaultConfig())
+	tr := Build(dsk, pts, DefaultOptions())
+	if tr.Len() != len(pts) {
+		t.Fatalf("Len %d", tr.Len())
+	}
+	// Queries remain exact even with supernodes.
+	q := pts[0]
+	res := tr.KNN(dsk.NewSession(), q, 3)
+	if len(res) != 3 || res[0].Dist != 0 {
+		t.Fatalf("query on degenerate data: %+v", res)
+	}
+}
+
+func TestLeafSplitReducesOverlap(t *testing.T) {
+	// Two well-separated clusters along dim 2: the topological split must
+	// separate them (zero overlap).
+	r := rand.New(rand.NewSource(2))
+	var pts []vec.Point
+	for i := 0; i < 40; i++ {
+		p := vec.Point{r.Float32(), r.Float32(), float32(i % 2 * 10)}
+		pts = append(pts, p)
+	}
+	axis, idx := chooseLeafSplit(pts, 40)
+	if axis != 2 {
+		t.Fatalf("split axis %d, want 2", axis)
+	}
+	if idx != 20 {
+		t.Fatalf("split index %d, want 20", idx)
+	}
+}
+
+func TestFinalizeIdempotentAndReFinalize(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	pts := make([]vec.Point, 2000)
+	for i := range pts {
+		pts[i] = vec.Point{r.Float32(), r.Float32(), r.Float32(), r.Float32()}
+	}
+	dsk := disk.New(disk.DefaultConfig())
+	tr := Build(dsk, pts, DefaultOptions())
+	size := tr.file.Bytes()
+	tr.Finalize() // no-op
+	if tr.file.Bytes() != size {
+		t.Fatal("idempotent finalize changed the file")
+	}
+	tr.Insert(vec.Point{0.5, 0.5, 0.5, 0.5}, 9999)
+	tr.Finalize()
+	res := tr.KNN(dsk.NewSession(), vec.Point{0.5, 0.5, 0.5, 0.5}, 1)
+	if res[0].ID != 9999 || res[0].Dist != 0 {
+		t.Fatalf("re-finalized query: %+v", res[0])
+	}
+}
+
+func TestQueryBeforeFinalizePanics(t *testing.T) {
+	dsk := disk.New(disk.DefaultConfig())
+	tr := New(dsk, 2, DefaultOptions())
+	tr.Insert(vec.Point{1, 2}, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tr.KNN(dsk.NewSession(), vec.Point{1, 2}, 1)
+}

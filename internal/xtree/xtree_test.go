@@ -1,0 +1,152 @@
+package xtree
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/disk"
+	"repro/internal/vec"
+)
+
+func randPoints(r *rand.Rand, n, d int) []vec.Point {
+	pts := make([]vec.Point, n)
+	for i := range pts {
+		p := make(vec.Point, d)
+		for j := range p {
+			p[j] = r.Float32()
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+func clusteredPoints(r *rand.Rand, n, d, clusters int) []vec.Point {
+	centers := randPoints(r, clusters, d)
+	pts := make([]vec.Point, n)
+	for i := range pts {
+		c := centers[r.Intn(clusters)]
+		p := make(vec.Point, d)
+		for j := range p {
+			p[j] = c[j] + float32(r.NormFloat64()*0.03)
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+func bruteKNN(pts []vec.Point, q vec.Point, k int, met vec.Metric) []float64 {
+	ds := make([]float64, len(pts))
+	for i, p := range pts {
+		ds[i] = met.Dist(q, p)
+	}
+	sort.Float64s(ds)
+	return ds[:k]
+}
+
+func TestKNNMatchesBruteForce(t *testing.T) {
+	for _, met := range []vec.Metric{vec.Euclidean, vec.Maximum} {
+		for _, d := range []int{2, 8, 16} {
+			r := rand.New(rand.NewSource(1))
+			pts := randPoints(r, 3000, d)
+			dsk := disk.New(disk.DefaultConfig())
+			opt := DefaultOptions()
+			opt.Metric = met
+			tr := Build(dsk, pts, opt)
+			if tr.Len() != len(pts) {
+				t.Fatalf("Len = %d", tr.Len())
+			}
+			for qi, q := range randPoints(r, 10, d) {
+				got := tr.KNN(dsk.NewSession(), q, 5)
+				want := bruteKNN(pts, q, 5, met)
+				for i := range got {
+					if math.Abs(got[i].Dist-want[i]) > 1e-5 {
+						t.Fatalf("met=%v d=%d query %d result %d: %.8f want %.8f", met, d, qi, i, got[i].Dist, want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestClusteredDataAndSupernodes(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	pts := clusteredPoints(r, 5000, 12, 8)
+	dsk := disk.New(disk.DefaultConfig())
+	tr := Build(dsk, pts, DefaultOptions())
+	st := tr.Stats()
+	if st.Leaves == 0 || st.Points != 5000 {
+		t.Fatalf("stats: %+v", st)
+	}
+	for qi, q := range clusteredPoints(r, 10, 12, 8) {
+		got := tr.KNN(dsk.NewSession(), q, 3)
+		want := bruteKNN(pts, q, 3, vec.Euclidean)
+		for i := range got {
+			if math.Abs(got[i].Dist-want[i]) > 1e-5 {
+				t.Fatalf("query %d result %d: %.8f want %.8f", qi, i, got[i].Dist, want[i])
+			}
+		}
+	}
+}
+
+func TestRangeSearch(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	pts := randPoints(r, 2000, 4)
+	dsk := disk.New(disk.DefaultConfig())
+	tr := Build(dsk, pts, DefaultOptions())
+	for _, q := range randPoints(r, 10, 4) {
+		eps := 0.25
+		got := tr.RangeSearch(dsk.NewSession(), q, eps)
+		var want int
+		for _, p := range pts {
+			if vec.Euclidean.Dist(q, p) <= eps {
+				want++
+			}
+		}
+		if len(got) != want {
+			t.Fatalf("got %d results, want %d", len(got), want)
+		}
+	}
+}
+
+func TestDynamicInsertAfterBuild(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	pts := randPoints(r, 1000, 6)
+	dsk := disk.New(disk.DefaultConfig())
+	tr := Build(dsk, pts, DefaultOptions())
+	extra := randPoints(r, 500, 6)
+	for i, p := range extra {
+		tr.Insert(p, uint32(1000+i))
+	}
+	tr.Finalize()
+	all := append(append([]vec.Point{}, pts...), extra...)
+	for _, q := range randPoints(r, 10, 6) {
+		got := tr.KNN(dsk.NewSession(), q, 4)
+		want := bruteKNN(all, q, 4, vec.Euclidean)
+		for i := range got {
+			if math.Abs(got[i].Dist-want[i]) > 1e-5 {
+				t.Fatalf("dist %.8f want %.8f", got[i].Dist, want[i])
+			}
+		}
+	}
+}
+
+func TestRandomIOCostGrowsWithDimension(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	cost := func(d int) float64 {
+		pts := randPoints(r, 4000, d)
+		dsk := disk.New(disk.DefaultConfig())
+		tr := Build(dsk, pts, DefaultOptions())
+		var total float64
+		for _, q := range randPoints(r, 5, d) {
+			s := dsk.NewSession()
+			tr.KNN(s, q, 1)
+			total += s.Time()
+		}
+		return total
+	}
+	if lo, hi := cost(2), cost(16); hi <= lo {
+		t.Fatalf("expected cost to grow with dimension: d=2 %.4f, d=16 %.4f", lo, hi)
+	}
+}

@@ -1,0 +1,186 @@
+// Package repro is the public facade of this reproduction of
+// "Independent Quantization: An Index Compression Technique for
+// High-Dimensional Data Spaces" (Berchtold, Böhm, Jagadish, Kriegel,
+// Sander; ICDE 2000).
+//
+// It re-exports the stable surface of the internal packages:
+//
+//   - the IQ-tree itself (BuildIQTree), the paper's contribution: a
+//     three-level compressed index with per-page optimal quantization and
+//     a time-optimized nearest-neighbor page access strategy;
+//   - the comparators of the paper's evaluation: X-tree (BuildXTree),
+//     VA-file (BuildVAFile) and sequential scan (BuildScan);
+//   - the simulated disk all of them run on (NewDisk), which turns page
+//     accesses into the paper's metric — elapsed seconds;
+//   - the workload generators of the evaluation (GenUniform, GenCAD,
+//     GenColor, GenWeather).
+//
+// Quickstart:
+//
+//	dsk := repro.NewDisk(repro.DefaultDiskConfig())
+//	tree, err := repro.BuildIQTree(dsk, points, repro.DefaultIQTreeOptions())
+//	...
+//	s := dsk.NewSession()
+//	nn, ok := tree.NearestNeighbor(s, query)
+//	fmt.Println(nn.ID, nn.Dist, s.Time()) // result + simulated seconds
+package repro
+
+import (
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/disk"
+	"repro/internal/fractal"
+	"repro/internal/scan"
+	"repro/internal/vafile"
+	"repro/internal/vec"
+	"repro/internal/xtree"
+)
+
+// Point is a d-dimensional float32 point.
+type Point = vec.Point
+
+// MBR is a minimum bounding rectangle.
+type MBR = vec.MBR
+
+// Neighbor is one similarity-search result.
+type Neighbor = vec.Neighbor
+
+// Metric selects the distance metric.
+type Metric = vec.Metric
+
+// Supported metrics.
+const (
+	Euclidean = vec.Euclidean
+	Maximum   = vec.Maximum
+	Manhattan = vec.Manhattan
+)
+
+// MBROf computes the minimum bounding rectangle of a point set.
+func MBROf(pts []Point) MBR { return vec.MBROf(pts) }
+
+// Disk is the simulated disk all access methods run on.
+type Disk = disk.Disk
+
+// DiskConfig holds the simulated hardware parameters.
+type DiskConfig = disk.Config
+
+// Session tracks one query's simulated I/O and CPU cost.
+type Session = disk.Session
+
+// DiskStats accumulates simulated cost counters.
+type DiskStats = disk.Stats
+
+// NewDisk creates a simulated disk.
+func NewDisk(cfg DiskConfig) *Disk { return disk.New(cfg) }
+
+// DefaultDiskConfig returns parameters calibrated to the paper's testbed.
+func DefaultDiskConfig() DiskConfig { return disk.DefaultConfig() }
+
+// IQTree is the paper's three-level compressed index.
+type IQTree = core.Tree
+
+// IQTreeOptions configures IQ-tree construction.
+type IQTreeOptions = core.Options
+
+// IQTreeStats summarizes an IQ-tree's physical structure.
+type IQTreeStats = core.Stats
+
+// QueryTrace records the physical work of one IQ-tree query.
+type QueryTrace = core.Trace
+
+// DefaultIQTreeOptions returns the paper's full IQ-tree configuration.
+func DefaultIQTreeOptions() IQTreeOptions { return core.DefaultOptions() }
+
+// BuildIQTree bulk-loads an IQ-tree over pts (point i gets id i) with
+// optimal per-page quantization.
+func BuildIQTree(d *Disk, pts []Point, opt IQTreeOptions) (*IQTree, error) {
+	return core.Build(d, pts, opt)
+}
+
+// OpenIQTree reopens the IQ-tree that a previous BuildIQTree (plus any
+// later maintenance) left on the disk.
+func OpenIQTree(d *Disk) (*IQTree, error) {
+	return core.Open(d)
+}
+
+// XTree is the hierarchical-index comparator.
+type XTree = xtree.Tree
+
+// XTreeOptions configures an X-tree.
+type XTreeOptions = xtree.Options
+
+// DefaultXTreeOptions returns the X-tree paper's parameters.
+func DefaultXTreeOptions() XTreeOptions { return xtree.DefaultOptions() }
+
+// BuildXTree constructs an X-tree over pts by dynamic insertion.
+func BuildXTree(d *Disk, pts []Point, opt XTreeOptions) *XTree {
+	return xtree.Build(d, pts, opt)
+}
+
+// VAFile is the compression-based comparator.
+type VAFile = vafile.VAFile
+
+// VAFileOptions configures a VA-file.
+type VAFileOptions = vafile.Options
+
+// DefaultVAFileOptions returns the classic VA-file configuration.
+func DefaultVAFileOptions() VAFileOptions { return vafile.DefaultOptions() }
+
+// BuildVAFile constructs a VA-file over pts.
+func BuildVAFile(d *Disk, pts []Point, opt VAFileOptions) *VAFile {
+	return vafile.Build(d, pts, opt)
+}
+
+// Scan is the sequential-scan reference method.
+type Scan = scan.Scan
+
+// BuildScan stores pts in a flat file for sequential scanning.
+func BuildScan(d *Disk, pts []Point, met Metric) *Scan {
+	return scan.Build(d, pts, met)
+}
+
+// DatasetName identifies one of the evaluation workloads.
+type DatasetName = dataset.Name
+
+// The paper's evaluation workloads (CAD/COLOR/WEATHER are synthetic
+// stand-ins for the unavailable originals; see DESIGN.md).
+const (
+	DatasetUniform = dataset.Uniform
+	DatasetCAD     = dataset.CAD
+	DatasetColor   = dataset.Color
+	DatasetWeather = dataset.Weather
+)
+
+// GenerateDataset produces n points of the named workload.
+func GenerateDataset(name DatasetName, seed int64, n, d int) ([]Point, error) {
+	return dataset.Generate(name, seed, n, d)
+}
+
+// GenUniform returns n points uniform in [0,1]^d.
+func GenUniform(seed int64, n, d int) []Point { return dataset.GenUniform(seed, n, d) }
+
+// GenCAD returns n 16-d CAD-like points (moderately clustered).
+func GenCAD(seed int64, n int) []Point { return dataset.GenCAD(seed, n) }
+
+// GenColor returns n 16-d color-histogram-like points (slightly clustered).
+func GenColor(seed int64, n int) []Point { return dataset.GenColor(seed, n) }
+
+// GenWeather returns n 9-d weather-like points (highly clustered, low
+// fractal dimension).
+func GenWeather(seed int64, n int) []Point { return dataset.GenWeather(seed, n) }
+
+// SplitDataset separates a generated set into a database and a held-out,
+// identically distributed query workload.
+func SplitDataset(pts []Point, queries int) (db, qs []Point) {
+	return dataset.Split(pts, queries)
+}
+
+// FractalDimension estimates the correlation fractal dimension D_F used
+// by the IQ-tree cost model.
+func FractalDimension(pts []Point, met Metric) float64 {
+	return fractal.Estimate(pts, met)
+}
+
+// NNIterator enumerates neighbors in increasing distance order on demand
+// (incremental ranking, Hjaltason & Samet — the paper's reference [13]).
+type NNIterator = core.NNIterator

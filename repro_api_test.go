@@ -1,0 +1,137 @@
+// Integration tests for the public facade: everything a downstream user
+// touches goes through the root package.
+package repro_test
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"repro"
+)
+
+func TestFacadeEndToEnd(t *testing.T) {
+	all := repro.GenUniform(1, 5010, 8)
+	db, queries := repro.SplitDataset(all, 10)
+
+	dsk := repro.NewDisk(repro.DefaultDiskConfig())
+	tree, err := repro.BuildIQTree(dsk, db, repro.DefaultIQTreeOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	scanDisk := repro.NewDisk(repro.DefaultDiskConfig())
+	flat := repro.BuildScan(scanDisk, db, repro.Euclidean)
+
+	xDisk := repro.NewDisk(repro.DefaultDiskConfig())
+	xt := repro.BuildXTree(xDisk, db, repro.DefaultXTreeOptions())
+
+	vDisk := repro.NewDisk(repro.DefaultDiskConfig())
+	va := repro.BuildVAFile(vDisk, db, repro.DefaultVAFileOptions())
+
+	for qi, q := range queries {
+		ref := flat.KNN(scanDisk.NewSession(), q, 4)
+		for name, got := range map[string][]repro.Neighbor{
+			"iqtree": tree.KNN(dsk.NewSession(), q, 4),
+			"xtree":  xt.KNN(xDisk.NewSession(), q, 4),
+			"vafile": va.KNN(vDisk.NewSession(), q, 4),
+		} {
+			if len(got) != len(ref) {
+				t.Fatalf("%s query %d: %d results", name, qi, len(got))
+			}
+			for i := range got {
+				if math.Abs(got[i].Dist-ref[i].Dist) > 1e-5 {
+					t.Fatalf("%s query %d: dist %f, want %f", name, qi, got[i].Dist, ref[i].Dist)
+				}
+			}
+		}
+	}
+}
+
+func TestFacadeSessionAccounting(t *testing.T) {
+	all := repro.GenWeather(2, 3005)
+	db, queries := repro.SplitDataset(all, 5)
+	dsk := repro.NewDisk(repro.DefaultDiskConfig())
+	tree, err := repro.BuildIQTree(dsk, db, repro.DefaultIQTreeOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := dsk.NewSession()
+	if _, ok := tree.NearestNeighbor(s, queries[0]); !ok {
+		t.Fatal("no result")
+	}
+	if s.Time() <= 0 || s.Stats.Seeks == 0 || s.Stats.BlocksRead == 0 {
+		t.Fatalf("session accounting empty: %v", s.Stats)
+	}
+}
+
+func TestFacadePersistence(t *testing.T) {
+	all := repro.GenCAD(3, 2005)
+	db, queries := repro.SplitDataset(all, 5)
+	dsk := repro.NewDisk(repro.DefaultDiskConfig())
+	orig, err := repro.BuildIQTree(dsk, db, repro.DefaultIQTreeOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reopened, err := repro.OpenIQTree(dsk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range queries {
+		a, _ := orig.NearestNeighbor(dsk.NewSession(), q)
+		b, _ := reopened.NearestNeighbor(dsk.NewSession(), q)
+		if a.ID != b.ID || a.Dist != b.Dist {
+			t.Fatalf("reopened tree disagrees: %+v vs %+v", a, b)
+		}
+	}
+}
+
+func TestFacadeDatasets(t *testing.T) {
+	for _, c := range []struct {
+		name repro.DatasetName
+		d    int
+	}{
+		{repro.DatasetUniform, 12},
+		{repro.DatasetCAD, 16},
+		{repro.DatasetColor, 16},
+		{repro.DatasetWeather, 9},
+	} {
+		pts, err := repro.GenerateDataset(c.name, 1, 100, 12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(pts) != 100 || len(pts[0]) != c.d {
+			t.Fatalf("%s: %d x %d", c.name, len(pts), len(pts[0]))
+		}
+	}
+	if d := repro.FractalDimension(repro.GenWeather(1, 3000), repro.Euclidean); d > 6 {
+		t.Fatalf("weather fractal dimension %f implausibly high", d)
+	}
+}
+
+func TestFacadeRangeAndStats(t *testing.T) {
+	all := repro.GenColor(5, 4003)
+	db, queries := repro.SplitDataset(all, 3)
+	dsk := repro.NewDisk(repro.DefaultDiskConfig())
+	tree, err := repro.BuildIQTree(dsk, db, repro.DefaultIQTreeOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := tree.Stats()
+	if st.Points != len(db) || st.Pages == 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+	res := tree.RangeSearch(dsk.NewSession(), queries[0], 0.2)
+	if !sort.SliceIsSorted(res, func(i, j int) bool { return res[i].Dist < res[j].Dist }) {
+		t.Fatal("range results not sorted")
+	}
+	for _, nb := range res {
+		if nb.Dist > 0.2 {
+			t.Fatalf("range result outside eps: %f", nb.Dist)
+		}
+	}
+	mbr := repro.MBROf(db)
+	if mbr.Dim() != 16 {
+		t.Fatal("facade MBROf wrong")
+	}
+}
