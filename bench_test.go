@@ -18,9 +18,9 @@ import (
 	"repro"
 	"repro/internal/core"
 	"repro/internal/dataset"
-	"repro/internal/disk"
 	"repro/internal/experiments"
 	"repro/internal/scan"
+	"repro/internal/store"
 	"repro/internal/vafile"
 	"repro/internal/vec"
 	"repro/internal/xtree"
@@ -32,9 +32,9 @@ const (
 )
 
 type benchIndex struct {
-	dsk *disk.Disk
+	sto *store.Store
 	idx interface {
-		KNN(*disk.Session, vec.Point, int) []vec.Neighbor
+		KNN(*store.Session, vec.Point, int) ([]vec.Neighbor, error)
 	}
 	queries []vec.Point
 }
@@ -58,8 +58,8 @@ func getIndex(b *testing.B, ds dataset.Name, n, dim int, method experiments.Meth
 		b.Fatal(err)
 	}
 	db, queries := dataset.Split(pts, benchQueries)
-	dsk := disk.New(disk.DefaultConfig())
-	bi := &benchIndex{dsk: dsk, queries: queries}
+	sto := store.NewSim(store.DefaultConfig())
+	bi := &benchIndex{sto: sto, queries: queries}
 	switch method {
 	case experiments.IQTree, experiments.IQNoQuant, experiments.IQNoOptIO, experiments.IQPlain:
 		opt := core.DefaultOptions()
@@ -69,20 +69,36 @@ func getIndex(b *testing.B, ds dataset.Name, n, dim int, method experiments.Meth
 		if method == experiments.IQNoOptIO || method == experiments.IQPlain {
 			opt.OptimizedIO = false
 		}
-		tr, err := core.Build(dsk, db, opt)
+		tr, err := core.Build(sto, db, opt)
 		if err != nil {
 			b.Fatal(err)
 		}
 		bi.idx = tr
 	case experiments.XTree:
-		bi.idx = xtree.Build(dsk, db, xtree.DefaultOptions())
+		tr, err := xtree.Build(sto, db, xtree.DefaultOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		bi.idx = tr
 	case experiments.VAFile:
 		cfg := experiments.Config{Dataset: ds, N: n, Dim: dim, Queries: benchQueries}
 		opt := vafile.DefaultOptions()
-		opt.Bits = experiments.TuneVAFile(cfg, db, queries, false)
-		bi.idx = vafile.Build(dsk, db, opt)
+		bits, err := experiments.TuneVAFile(cfg, db, queries, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		opt.Bits = bits
+		v, err := vafile.Build(sto, db, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bi.idx = v
 	case experiments.Scan:
-		bi.idx = scan.Build(dsk, db, vec.Euclidean)
+		sc, err := scan.Build(sto, db, vec.Euclidean)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bi.idx = sc
 	default:
 		b.Fatalf("unknown method %s", method)
 	}
@@ -93,14 +109,16 @@ func getIndex(b *testing.B, ds dataset.Name, n, dim int, method experiments.Meth
 // runQueries benchmarks k-NN queries and reports simulated seconds/query.
 func runQueries(b *testing.B, bi *benchIndex, k int) {
 	b.Helper()
-	var sim disk.Stats
+	var sim store.Stats
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		s := bi.dsk.NewSession()
-		bi.idx.KNN(s, bi.queries[i%len(bi.queries)], k)
+		s := bi.sto.NewSession()
+		if _, err := bi.idx.KNN(s, bi.queries[i%len(bi.queries)], k); err != nil {
+			b.Fatal(err)
+		}
 		sim.Add(s.Stats)
 	}
-	b.ReportMetric(sim.Time(bi.dsk.Config())/float64(b.N), "sim-sec/query")
+	b.ReportMetric(sim.Time(bi.sto.Config())/float64(b.N), "sim-sec/query")
 }
 
 // BenchmarkFig7 regenerates paper Fig. 7: the concept ablation (±
@@ -183,18 +201,23 @@ func BenchmarkAblationVABits(b *testing.B) {
 	db, queries := dataset.Split(pts, benchQueries)
 	for _, bits := range []int{2, 4, 6, 8} {
 		b.Run(fmt.Sprintf("bits=%d", bits), func(b *testing.B) {
-			dsk := disk.New(disk.DefaultConfig())
+			sto := store.NewSim(store.DefaultConfig())
 			opt := vafile.DefaultOptions()
 			opt.Bits = bits
-			v := vafile.Build(dsk, db, opt)
-			var sim disk.Stats
+			v, err := vafile.Build(sto, db, opt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var sim store.Stats
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				s := dsk.NewSession()
-				v.KNN(s, queries[i%len(queries)], 1)
+				s := sto.NewSession()
+				if _, err := v.KNN(s, queries[i%len(queries)], 1); err != nil {
+					b.Fatal(err)
+				}
 				sim.Add(s.Stats)
 			}
-			b.ReportMetric(sim.Time(dsk.Config())/float64(b.N), "sim-sec/query")
+			b.ReportMetric(sim.Time(sto.Config())/float64(b.N), "sim-sec/query")
 		})
 	}
 }
@@ -210,21 +233,23 @@ func BenchmarkAblationCostModel(b *testing.B) {
 			name = "uniform-assumption"
 		}
 		b.Run(name, func(b *testing.B) {
-			dsk := disk.New(disk.DefaultConfig())
+			sto := store.NewSim(store.DefaultConfig())
 			opt := core.DefaultOptions()
 			opt.UniformModel = uniform
-			tr, err := core.Build(dsk, db, opt)
+			tr, err := core.Build(sto, db, opt)
 			if err != nil {
 				b.Fatal(err)
 			}
-			var sim disk.Stats
+			var sim store.Stats
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				s := dsk.NewSession()
-				tr.KNN(s, queries[i%len(queries)], 1)
+				s := sto.NewSession()
+				if _, err := tr.KNN(s, queries[i%len(queries)], 1); err != nil {
+					b.Fatal(err)
+				}
 				sim.Add(s.Stats)
 			}
-			b.ReportMetric(sim.Time(dsk.Config())/float64(b.N), "sim-sec/query")
+			b.ReportMetric(sim.Time(sto.Config())/float64(b.N), "sim-sec/query")
 		})
 	}
 }
@@ -234,22 +259,26 @@ func BenchmarkBuild(b *testing.B) {
 	pts, _ := dataset.Generate(dataset.Uniform, 42, benchN, 16)
 	b.Run("iqtree", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			dsk := repro.NewDisk(repro.DefaultDiskConfig())
-			if _, err := repro.BuildIQTree(dsk, pts, repro.DefaultIQTreeOptions()); err != nil {
+			sto := repro.NewStore(repro.DefaultStoreConfig())
+			if _, err := repro.BuildIQTree(sto, pts, repro.DefaultIQTreeOptions()); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
 	b.Run("xtree", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			dsk := repro.NewDisk(repro.DefaultDiskConfig())
-			repro.BuildXTree(dsk, pts, repro.DefaultXTreeOptions())
+			sto := repro.NewStore(repro.DefaultStoreConfig())
+			if _, err := repro.BuildXTree(sto, pts, repro.DefaultXTreeOptions()); err != nil {
+				b.Fatal(err)
+			}
 		}
 	})
 	b.Run("vafile", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			dsk := repro.NewDisk(repro.DefaultDiskConfig())
-			repro.BuildVAFile(dsk, pts, repro.DefaultVAFileOptions())
+			sto := repro.NewStore(repro.DefaultStoreConfig())
+			if _, err := repro.BuildVAFile(sto, pts, repro.DefaultVAFileOptions()); err != nil {
+				b.Fatal(err)
+			}
 		}
 	})
 }
@@ -281,19 +310,21 @@ func BenchmarkAblationFixedBits(b *testing.B) {
 	pts, _ := dataset.Generate(dataset.Uniform, 42, benchN+benchQueries, 16)
 	db, queries := dataset.Split(pts, benchQueries)
 	run := func(b *testing.B, opt core.Options) {
-		dsk := disk.New(disk.DefaultConfig())
-		tr, err := core.Build(dsk, db, opt)
+		sto := store.NewSim(store.DefaultConfig())
+		tr, err := core.Build(sto, db, opt)
 		if err != nil {
 			b.Fatal(err)
 		}
-		var sim disk.Stats
+		var sim store.Stats
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			s := dsk.NewSession()
-			tr.KNN(s, queries[i%len(queries)], 1)
+			s := sto.NewSession()
+			if _, err := tr.KNN(s, queries[i%len(queries)], 1); err != nil {
+				b.Fatal(err)
+			}
 			sim.Add(s.Stats)
 		}
-		b.ReportMetric(sim.Time(dsk.Config())/float64(b.N), "sim-sec/query")
+		b.ReportMetric(sim.Time(sto.Config())/float64(b.N), "sim-sec/query")
 	}
 	for _, bits := range []int{2, 4, 8} {
 		b.Run(fmt.Sprintf("fixed-%dbit", bits), func(b *testing.B) {
@@ -314,19 +345,22 @@ func BenchmarkIterator(b *testing.B) {
 	tr := bi.idx.(*core.Tree)
 	for _, pulls := range []int{1, 100} {
 		b.Run(fmt.Sprintf("pulls=%d", pulls), func(b *testing.B) {
-			var sim disk.Stats
+			var sim store.Stats
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				s := bi.dsk.NewSession()
+				s := bi.sto.NewSession()
 				it := tr.NewNNIterator(s, bi.queries[i%len(bi.queries)])
 				for p := 0; p < pulls; p++ {
 					if _, ok := it.Next(); !ok {
 						break
 					}
 				}
+				if err := it.Err(); err != nil {
+					b.Fatal(err)
+				}
 				sim.Add(s.Stats)
 			}
-			b.ReportMetric(sim.Time(bi.dsk.Config())/float64(b.N), "sim-sec/query")
+			b.ReportMetric(sim.Time(bi.sto.Config())/float64(b.N), "sim-sec/query")
 		})
 	}
 }

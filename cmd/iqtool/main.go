@@ -8,6 +8,15 @@
 //	iqtool -dataset uniform -d 16 -n 100000 -knn 10 -queries 5
 //	iqtool -in points.bin -range 0.2 -queries 3
 //	iqtool -dataset weather -n 50000 -compare   # vs X-tree/VA-file/scan
+//
+// With -store file the index lives in real files under -dir, so a tree
+// built in one process can be reopened and queried in another:
+//
+//	iqtool -store file -dir /tmp/iq -dataset color -n 50000 -stats
+//	iqtool -store file -dir /tmp/iq -open -queries 5 -knn 3
+//
+// -cache attaches a shared LRU buffer pool (in bytes); cached blocks
+// cost no simulated I/O, and -explain reports the pool's hit rate.
 package main
 
 import (
@@ -20,8 +29,8 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dataset"
-	"repro/internal/disk"
 	"repro/internal/scan"
+	"repro/internal/store"
 	"repro/internal/vafile"
 	"repro/internal/vec"
 	"repro/internal/xtree"
@@ -43,29 +52,76 @@ func main() {
 		explain  = flag.Bool("explain", false, "per query: print the T1st/T2nd/T3rd cost decomposition and physical work")
 		compare  = flag.Bool("compare", false, "also run X-tree, VA-file and scan on the same queries")
 		maxMet   = flag.Bool("lmax", false, "use the maximum metric instead of Euclidean")
+		backend  = flag.String("store", "sim", "block store backend: sim | file")
+		dir      = flag.String("dir", "", "directory for -store file")
+		open     = flag.Bool("open", false, "open the existing tree in -dir instead of building (implies -store file)")
+		cache    = flag.Int64("cache", 0, "buffer-pool cache budget in bytes (0 = no cache)")
 	)
 	flag.Parse()
 
-	var pts []vec.Point
-	var err error
-	if *in != "" {
-		pts, err = readBin(*in)
-	} else {
-		pts, err = dataset.Generate(dataset.Name(*name), *seed, *n+*queries, *d)
+	if *open {
+		*backend = "file"
+		if *compare {
+			fatal(fmt.Errorf("-compare requires building (omit -open)"))
+		}
 	}
-	if err != nil {
-		fatal(err)
+	var sto *store.Store
+	switch *backend {
+	case "sim":
+		sto = store.NewSim(store.DefaultConfig())
+	case "file":
+		if *dir == "" {
+			fatal(fmt.Errorf("-store file requires -dir"))
+		}
+		var err error
+		if sto, err = store.OpenFileStore(*dir, store.DefaultConfig()); err != nil {
+			fatal(err)
+		}
+		defer sto.Close()
+	default:
+		fatal(fmt.Errorf("unknown -store %q (want sim or file)", *backend))
 	}
-	db, qs := dataset.Split(pts, *queries)
+	if *cache > 0 {
+		sto.SetCache(*cache)
+	}
 
 	opt := core.DefaultOptions()
 	if *maxMet {
 		opt.Metric = vec.Maximum
 	}
-	dsk := disk.New(disk.DefaultConfig())
-	tree, err := core.Build(dsk, db, opt)
-	if err != nil {
-		fatal(err)
+
+	var tree *core.Tree
+	var db, qs []vec.Point
+	if *open {
+		var err error
+		if tree, err = core.Open(sto); err != nil {
+			fatal(fmt.Errorf("open tree in %s: %w", *dir, err))
+		}
+		// The database stays on disk; regenerate the same held-out query
+		// workload the build run used (same -dataset/-n/-seed/-queries).
+		qpts, err := dataset.Generate(dataset.Name(*name), *seed, *n+*queries, *d)
+		if err != nil {
+			fatal(err)
+		}
+		_, qs = dataset.Split(qpts, *queries)
+	} else {
+		var pts []vec.Point
+		var err error
+		if *in != "" {
+			pts, err = readBin(*in)
+		} else {
+			pts, err = dataset.Generate(dataset.Name(*name), *seed, *n+*queries, *d)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		db, qs = dataset.Split(pts, *queries)
+		if tree, err = core.Build(sto, db, opt); err != nil {
+			fatal(err)
+		}
+		if err := sto.Sync(); err != nil {
+			fatal(err)
+		}
 	}
 
 	st := tree.Stats()
@@ -92,33 +148,51 @@ func main() {
 
 	var others []competitor
 	if *compare {
-		xd := disk.New(disk.DefaultConfig())
-		vd := disk.New(disk.DefaultConfig())
-		sd := disk.New(disk.DefaultConfig())
+		xd := store.NewSim(store.DefaultConfig())
+		vd := store.NewSim(store.DefaultConfig())
+		sd := store.NewSim(store.DefaultConfig())
+		xt, err := xtree.Build(xd, db, xtree.DefaultOptions())
+		if err != nil {
+			fatal(err)
+		}
+		va, err := vafile.Build(vd, db, vafile.DefaultOptions())
+		if err != nil {
+			fatal(err)
+		}
+		sc, err := scan.Build(sd, db, opt.Metric)
+		if err != nil {
+			fatal(err)
+		}
 		others = []competitor{
-			{"X-tree", xd, xtree.Build(xd, db, xtree.DefaultOptions())},
-			{"VA-file", vd, vafile.Build(vd, db, vafile.DefaultOptions())},
-			{"Scan", sd, scan.Build(sd, db, opt.Metric)},
+			{"X-tree", xd, xt},
+			{"VA-file", vd, va},
+			{"Scan", sd, sc},
 		}
 	}
 
 	var iqTotal float64
 	totals := make([]float64, len(others))
 	for qi, q := range qs {
-		s := dsk.NewSession()
+		s := sto.NewSession()
 		if *rng > 0 {
-			res := tree.RangeSearch(s, q, *rng)
+			res, err := tree.RangeSearch(s, q, *rng)
+			if err != nil {
+				fatal(err)
+			}
 			fmt.Printf("query %d: %d results in range %.3f  (%.4fs simulated, %v)\n",
 				qi, len(res), *rng, s.Time(), s.Stats)
 		} else {
 			var trace core.Trace
-			res := tree.KNNTrace(s, q, *knn, &trace)
+			res, err := tree.KNNTrace(s, q, *knn, &trace)
+			if err != nil {
+				fatal(err)
+			}
 			fmt.Printf("query %d (%.4fs simulated, %v):\n", qi, s.Time(), s.Stats)
 			for i, nb := range res {
 				fmt.Printf("   %2d. id=%-8d dist=%.5f\n", i+1, nb.ID, nb.Dist)
 			}
 			if *explain {
-				cfg := dsk.Config()
+				cfg := sto.Config()
 				t1 := s.FileStats(core.DirFileName)
 				t2 := s.FileStats(core.QFileName)
 				t3 := s.FileStats(core.EFileName)
@@ -128,17 +202,24 @@ func main() {
 				fmt.Printf("   T3rd exact:     %.4fs (%v); %d exact-page refinements\n",
 					t3.Time(cfg), t3, trace.Refinements)
 				fmt.Printf("   CPU:            %.4fs\n", s.Stats.CPUSeconds)
+				if p := sto.Pool(); p != nil {
+					fmt.Printf("   buffer pool:    %v\n", p.Stats())
+				}
 			}
 		}
 		iqTotal += s.Time()
 		for ci, c := range others {
-			cs := c.dsk.NewSession()
+			cs := c.sto.NewSession()
+			var err error
 			if *rng > 0 {
-				c.idx.(interface {
-					RangeSearch(*disk.Session, vec.Point, float64) []vec.Neighbor
+				_, err = c.idx.(interface {
+					RangeSearch(*store.Session, vec.Point, float64) ([]vec.Neighbor, error)
 				}).RangeSearch(cs, q, *rng)
 			} else {
-				c.idx.KNN(cs, q, *knn)
+				_, err = c.idx.KNN(cs, q, *knn)
+			}
+			if err != nil {
+				fatal(err)
 			}
 			totals[ci] += cs.Time()
 		}
@@ -151,12 +232,12 @@ func main() {
 }
 
 type searcher interface {
-	KNN(s *disk.Session, q vec.Point, k int) []vec.Neighbor
+	KNN(s *store.Session, q vec.Point, k int) ([]vec.Neighbor, error)
 }
 
 type competitor struct {
 	name string
-	dsk  *disk.Disk
+	sto  *store.Store
 	idx  searcher
 }
 

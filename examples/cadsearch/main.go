@@ -19,8 +19,8 @@ func main() {
 	db, rest := repro.SplitDataset(all, 1005)
 	newParts, queries := rest[:1000], rest[1000:]
 
-	dsk := repro.NewDisk(repro.DefaultDiskConfig())
-	tree, err := repro.BuildIQTree(dsk, db, repro.DefaultIQTreeOptions())
+	sto := repro.NewStore(repro.DefaultStoreConfig())
+	tree, err := repro.BuildIQTree(sto, db, repro.DefaultIQTreeOptions())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -29,15 +29,18 @@ func main() {
 	fmt.Printf("IQ-tree: %d pages, bits %v, D_F=%.2f\n\n", st.Pages, st.BitsHistogram, st.FractalDim)
 
 	q := queries[0]
-	s := dsk.NewSession()
-	before := tree.KNN(s, q, 5)
+	s := sto.NewSession()
+	before, err := tree.KNN(s, q, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("5 most similar parts before the delivery (%.4fs simulated):\n", s.Time())
 	for _, nb := range before {
 		fmt.Printf("  part#%-6d dist=%.4f\n", nb.ID, nb.Dist)
 	}
 
 	// A batch of new parts arrives and is inserted dynamically.
-	maint := dsk.NewSession()
+	maint := sto.NewSession()
 	for i, p := range newParts {
 		if err := tree.Insert(maint, p, uint32(dbSize+i)); err != nil {
 			log.Fatal(err)
@@ -49,8 +52,11 @@ func main() {
 	fmt.Printf("tree after inserts: %d points, %d pages, bits %v\n\n",
 		st.Points, st.Pages, st.BitsHistogram)
 
-	s = dsk.NewSession()
-	after := tree.KNN(s, q, 5)
+	s = sto.NewSession()
+	after, err := tree.KNN(s, q, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("5 most similar parts after the delivery (%.4fs simulated):\n", s.Time())
 	for _, nb := range after {
 		tag := ""
@@ -61,12 +67,19 @@ func main() {
 	}
 
 	// Retire the closest match and verify it no longer appears.
-	s = dsk.NewSession()
-	if !tree.Delete(s, after[0].Point, after[0].ID) {
+	s = sto.NewSession()
+	found, err := tree.Delete(s, after[0].Point, after[0].ID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !found {
 		log.Fatal("delete failed")
 	}
-	s = dsk.NewSession()
-	again := tree.KNN(s, q, 1)
+	s = sto.NewSession()
+	again, err := tree.KNN(s, q, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("\nafter retiring part#%d the best match is part#%d (dist %.4f)\n",
 		after[0].ID, again[0].ID, again[0].Dist)
 }

@@ -17,19 +17,25 @@ func main() {
 	all := repro.GenColor(7, dbSize+5)
 	db, queries := repro.SplitDataset(all, 5)
 
-	// One simulated disk per access method, so the layouts don't interact.
-	iqDisk := repro.NewDisk(repro.DefaultDiskConfig())
-	scanDisk := repro.NewDisk(repro.DefaultDiskConfig())
-	vaDisk := repro.NewDisk(repro.DefaultDiskConfig())
+	// One simulated store per access method, so the layouts don't interact.
+	iqStore := repro.NewStore(repro.DefaultStoreConfig())
+	scanStore := repro.NewStore(repro.DefaultStoreConfig())
+	vaStore := repro.NewStore(repro.DefaultStoreConfig())
 
-	tree, err := repro.BuildIQTree(iqDisk, db, repro.DefaultIQTreeOptions())
+	tree, err := repro.BuildIQTree(iqStore, db, repro.DefaultIQTreeOptions())
 	if err != nil {
 		log.Fatal(err)
 	}
-	flat := repro.BuildScan(scanDisk, db, repro.Euclidean)
+	flat, err := repro.BuildScan(scanStore, db, repro.Euclidean)
+	if err != nil {
+		log.Fatal(err)
+	}
 	vaOpt := repro.DefaultVAFileOptions()
 	vaOpt.Bits = 6 // the kind of manual tuning the paper criticizes
-	va := repro.BuildVAFile(vaDisk, db, vaOpt)
+	va, err := repro.BuildVAFile(vaStore, db, vaOpt)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	st := tree.Stats()
 	fmt.Printf("image database: %d histograms, 16 bins\n", dbSize)
@@ -38,8 +44,11 @@ func main() {
 
 	var iqT, scanT, vaT float64
 	for i, q := range queries {
-		s := iqDisk.NewSession()
-		hits := tree.KNN(s, q, 10)
+		s := iqStore.NewSession()
+		hits, err := tree.KNN(s, q, 10)
+		if err != nil {
+			log.Fatal(err)
+		}
 		iqT += s.Time()
 		fmt.Printf("query image %d — 10 most similar (IQ-tree, %.4fs):", i, s.Time())
 		for _, h := range hits[:3] {
@@ -47,12 +56,16 @@ func main() {
 		}
 		fmt.Println(" ...")
 
-		s = scanDisk.NewSession()
-		flat.KNN(s, q, 10)
+		s = scanStore.NewSession()
+		if _, err := flat.KNN(s, q, 10); err != nil {
+			log.Fatal(err)
+		}
 		scanT += s.Time()
 
-		s = vaDisk.NewSession()
-		va.KNN(s, q, 10)
+		s = vaStore.NewSession()
+		if _, err := va.KNN(s, q, 10); err != nil {
+			log.Fatal(err)
+		}
 		vaT += s.Time()
 	}
 	n := float64(len(queries))

@@ -16,8 +16,8 @@ func main() {
 	all := repro.GenUniform(1, 20003, 8)
 	db, queries := repro.SplitDataset(all, 3)
 
-	dsk := repro.NewDisk(repro.DefaultDiskConfig())
-	tree, err := repro.BuildIQTree(dsk, db, repro.DefaultIQTreeOptions())
+	sto := repro.NewStore(repro.DefaultStoreConfig())
+	tree, err := repro.BuildIQTree(sto, db, repro.DefaultIQTreeOptions())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -29,23 +29,33 @@ func main() {
 		st.FractalDim, st.PredictedCost)
 
 	for i, q := range queries {
-		// Each query gets its own disk session; the session accumulates
+		// Each query gets its own store session; the session accumulates
 		// the simulated seeks, block transfers and CPU time.
-		s := dsk.NewSession()
-		nn, ok := tree.NearestNeighbor(s, q)
+		s := sto.NewSession()
+		nn, ok, err := tree.NearestNeighbor(s, q)
+		if err != nil {
+			log.Fatal(err)
+		}
 		if !ok {
 			log.Fatal("no neighbor found")
 		}
 		fmt.Printf("query %d: NN id=%d dist=%.4f   (simulated %.4fs: %v)\n",
 			i, nn.ID, nn.Dist, s.Time(), s.Stats)
 
-		s = dsk.NewSession()
-		for rank, nb := range tree.KNN(s, q, 5) {
+		s = sto.NewSession()
+		top, err := tree.KNN(s, q, 5)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for rank, nb := range top {
 			fmt.Printf("   top-%d: id=%-6d dist=%.4f\n", rank+1, nb.ID, nb.Dist)
 		}
 
-		s = dsk.NewSession()
-		inRange := tree.RangeSearch(s, q, nn.Dist*1.5)
+		s = sto.NewSession()
+		inRange, err := tree.RangeSearch(s, q, nn.Dist*1.5)
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("   %d points within eps=%.4f (simulated %.4fs)\n\n",
 			len(inRange), nn.Dist*1.5, s.Time())
 	}

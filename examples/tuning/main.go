@@ -33,14 +33,19 @@ func main() {
 		fmt.Printf("VA-file hand-tuning:")
 		bestBits, bestT := 0, 0.0
 		for bits := 2; bits <= 8; bits++ {
-			dsk := repro.NewDisk(repro.DefaultDiskConfig())
+			sto := repro.NewStore(repro.DefaultStoreConfig())
 			opt := repro.DefaultVAFileOptions()
 			opt.Bits = bits
-			va := repro.BuildVAFile(dsk, db, opt)
+			va, err := repro.BuildVAFile(sto, db, opt)
+			if err != nil {
+				log.Fatal(err)
+			}
 			var total float64
 			for _, q := range queries {
-				s := dsk.NewSession()
-				va.KNN(s, q, 1)
+				s := sto.NewSession()
+				if _, err := va.KNN(s, q, 1); err != nil {
+					log.Fatal(err)
+				}
 				total += s.Time()
 			}
 			avg := total / float64(len(queries))
@@ -53,16 +58,18 @@ func main() {
 
 		// The IQ-tree needs no tuning: the cost model picks a quantization
 		// level per page.
-		dsk := repro.NewDisk(repro.DefaultDiskConfig())
-		tree, err := repro.BuildIQTree(dsk, db, repro.DefaultIQTreeOptions())
+		sto := repro.NewStore(repro.DefaultStoreConfig())
+		tree, err := repro.BuildIQTree(sto, db, repro.DefaultIQTreeOptions())
 		if err != nil {
 			log.Fatal(err)
 		}
 		st := tree.Stats()
 		var total float64
 		for _, q := range queries {
-			s := dsk.NewSession()
-			tree.KNN(s, q, 1)
+			s := sto.NewSession()
+			if _, err := tree.KNN(s, q, 1); err != nil {
+				log.Fatal(err)
+			}
 			total += s.Time()
 		}
 		measured := total / float64(len(queries))

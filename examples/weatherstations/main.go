@@ -22,16 +22,22 @@ func main() {
 	fmt.Printf("correlation fractal dimension D2 = %.2f (embedding d = 9)\n\n",
 		repro.FractalDimension(db, repro.Euclidean))
 
-	iqDisk := repro.NewDisk(repro.DefaultDiskConfig())
-	xDisk := repro.NewDisk(repro.DefaultDiskConfig())
-	vaDisk := repro.NewDisk(repro.DefaultDiskConfig())
+	iqStore := repro.NewStore(repro.DefaultStoreConfig())
+	xStore := repro.NewStore(repro.DefaultStoreConfig())
+	vaStore := repro.NewStore(repro.DefaultStoreConfig())
 
-	tree, err := repro.BuildIQTree(iqDisk, db, repro.DefaultIQTreeOptions())
+	tree, err := repro.BuildIQTree(iqStore, db, repro.DefaultIQTreeOptions())
 	if err != nil {
 		log.Fatal(err)
 	}
-	xt := repro.BuildXTree(xDisk, db, repro.DefaultXTreeOptions())
-	va := repro.BuildVAFile(vaDisk, db, repro.DefaultVAFileOptions())
+	xt, err := repro.BuildXTree(xStore, db, repro.DefaultXTreeOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	va, err := repro.BuildVAFile(vaStore, db, repro.DefaultVAFileOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	st := tree.Stats()
 	fmt.Printf("IQ-tree adapted itself to the clustering: %d pages, bits %v\n",
@@ -42,16 +48,22 @@ func main() {
 
 	var iqT, xT, vaT float64
 	for _, q := range queries {
-		s := iqDisk.NewSession()
-		tree.KNN(s, q, 3)
+		s := iqStore.NewSession()
+		if _, err := tree.KNN(s, q, 3); err != nil {
+			log.Fatal(err)
+		}
 		iqT += s.Time()
 
-		s = xDisk.NewSession()
-		xt.KNN(s, q, 3)
+		s = xStore.NewSession()
+		if _, err := xt.KNN(s, q, 3); err != nil {
+			log.Fatal(err)
+		}
 		xT += s.Time()
 
-		s = vaDisk.NewSession()
-		va.KNN(s, q, 3)
+		s = vaStore.NewSession()
+		if _, err := va.KNN(s, q, 3); err != nil {
+			log.Fatal(err)
+		}
 		vaT += s.Time()
 	}
 	n := float64(len(queries))
@@ -61,8 +73,11 @@ func main() {
 	fmt.Printf("  VA-file  %.4f   (must scan every approximation)\n", vaT/n)
 
 	// Find stations with near-identical conditions to the first query.
-	s := iqDisk.NewSession()
-	similar := tree.RangeSearch(s, queries[0], 0.05)
+	s := iqStore.NewSession()
+	similar, err := tree.RangeSearch(s, queries[0], 0.05)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("\n%d observations within 0.05 of query 0 (%.4fs simulated)\n",
 		len(similar), s.Time())
 }

@@ -316,9 +316,13 @@ func (b *builder) write(frontier []*bnode) {
 			MBR:   n.mbr,
 		}
 		if n.bits < quantize.ExactBits {
-			epos, eblocks := t.eFile.Append(page.MarshalExact(pts, ids))
-			e.EPos = uint32(epos)
-			e.EBlocks = uint32(eblocks)
+			// Write failures are recorded as the store's sticky error,
+			// which Build checks once after the builder finishes.
+			epos, eblocks, err := t.eFile.Append(page.MarshalExact(pts, ids))
+			if err == nil {
+				e.EPos = uint32(epos)
+				e.EBlocks = uint32(eblocks)
+			}
 			t.qFile.Append(page.MarshalQPage(grid, pts, nil, t.qPageBytes()))
 		} else {
 			t.qFile.Append(page.MarshalQPage(grid, pts, ids, t.qPageBytes()))

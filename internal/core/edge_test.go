@@ -4,7 +4,7 @@ import (
 	"math/rand"
 	"testing"
 
-	"repro/internal/disk"
+	"repro/internal/store"
 	"repro/internal/vec"
 )
 
@@ -25,7 +25,7 @@ func TestHeavyDuplicates(t *testing.T) {
 	if err := tr.CheckInvariants(); err != nil {
 		t.Fatal(err)
 	}
-	res := tr.KNN(tr.dsk.NewSession(), proto, 10)
+	res := mustKNN(t, tr, proto, 10)
 	if len(res) != 10 {
 		t.Fatalf("%d results", len(res))
 	}
@@ -43,11 +43,11 @@ func TestAllIdenticalPoints(t *testing.T) {
 		pts[i] = vec.Point{1, 2, 3}
 	}
 	tr := buildTree(t, pts, DefaultOptions())
-	res := tr.KNN(tr.dsk.NewSession(), vec.Point{1, 2, 3}, 5)
+	res := mustKNN(t, tr, vec.Point{1, 2, 3}, 5)
 	if len(res) != 5 || res[4].Dist != 0 {
 		t.Fatalf("results: %+v", res)
 	}
-	got := tr.RangeSearch(tr.dsk.NewSession(), vec.Point{0, 0, 0}, 10)
+	got := mustRange(t, tr, vec.Point{0, 0, 0}, 10)
 	if len(got) != 500 {
 		t.Fatalf("range found %d", len(got))
 	}
@@ -79,7 +79,7 @@ func TestTinyTrees(t *testing.T) {
 		if tr.Len() != n {
 			t.Fatalf("n=%d: Len %d", n, tr.Len())
 		}
-		res := tr.KNN(tr.dsk.NewSession(), vec.Point{0, 0}, n)
+		res := mustKNN(t, tr, vec.Point{0, 0}, n)
 		if len(res) != n {
 			t.Fatalf("n=%d: %d results", n, len(res))
 		}
@@ -95,14 +95,14 @@ func TestQueryOutsideDataSpace(t *testing.T) {
 	pts := randPoints(r, 2000, 6)
 	tr := buildTree(t, pts, DefaultOptions())
 	q := vec.Point{100, 100, 100, 100, 100, 100}
-	got := tr.KNN(tr.dsk.NewSession(), q, 3)
+	got := mustKNN(t, tr, q, 3)
 	want := bruteKNN(pts, q, 3, vec.Euclidean)
 	for i := range got {
 		if diff := got[i].Dist - want[i]; diff > 1e-3 || diff < -1e-3 {
 			t.Fatalf("far query: %f vs %f", got[i].Dist, want[i])
 		}
 	}
-	if res := tr.RangeSearch(tr.dsk.NewSession(), q, 1); len(res) != 0 {
+	if res := mustRange(t, tr, q, 1); len(res) != 0 {
 		t.Fatalf("far range query found %d", len(res))
 	}
 }
@@ -150,14 +150,20 @@ func TestDeleteNonexistent(t *testing.T) {
 	r := rand.New(rand.NewSource(7))
 	pts := randPoints(r, 500, 3)
 	tr := buildTree(t, pts, DefaultOptions())
-	s := tr.dsk.NewSession()
-	if tr.Delete(s, vec.Point{5, 5, 5}, 0) {
+	s := tr.sto.NewSession()
+	if ok, err := tr.Delete(s, vec.Point{5, 5, 5}, 0); err != nil {
+		t.Fatal(err)
+	} else if ok {
 		t.Fatal("deleted a point outside every MBR")
 	}
-	if tr.Delete(s, pts[0], 99999) {
+	if ok, err := tr.Delete(s, pts[0], 99999); err != nil {
+		t.Fatal(err)
+	} else if ok {
 		t.Fatal("deleted with a wrong id")
 	}
-	if tr.Delete(s, vec.Point{1, 2}, 0) {
+	if ok, err := tr.Delete(s, vec.Point{1, 2}, 0); err != nil {
+		t.Fatal(err)
+	} else if ok {
 		t.Fatal("deleted with a wrong dimension")
 	}
 	if tr.Len() != 500 {
@@ -173,16 +179,20 @@ func TestSessionIsolation(t *testing.T) {
 	tr := buildTree(t, pts, DefaultOptions())
 	q := randPoints(r, 1, 8)[0]
 
-	s1 := tr.dsk.NewSession()
-	tr.KNN(s1, q, 1)
+	s1 := tr.sto.NewSession()
+	if _, err := tr.KNN(s1, q, 1); err != nil {
+		t.Fatal(err)
+	}
 	first := s1.Stats
 
 	// Run the same query on many parallel sessions.
-	done := make(chan disk.Stats, 8)
+	done := make(chan store.Stats, 8)
 	for i := 0; i < 8; i++ {
 		go func() {
-			s := tr.dsk.NewSession()
-			tr.KNN(s, q, 1)
+			s := tr.sto.NewSession()
+			if _, err := tr.KNN(s, q, 1); err != nil {
+				t.Error(err)
+			}
 			done <- s.Stats
 		}()
 	}
@@ -226,10 +236,16 @@ func TestBufferLimitedRangeSearch(t *testing.T) {
 	q := randPoints(r, 1, 5)[0]
 	eps := 0.4
 
-	sCap := capped.dsk.NewSession()
-	gotCap := capped.RangeSearch(sCap, q, eps)
-	sFree := free.dsk.NewSession()
-	gotFree := free.RangeSearch(sFree, q, eps)
+	sCap := capped.sto.NewSession()
+	gotCap, err := capped.RangeSearch(sCap, q, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sFree := free.sto.NewSession()
+	gotFree, err := free.RangeSearch(sFree, q, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(gotCap) != len(gotFree) {
 		t.Fatalf("capped %d results vs %d", len(gotCap), len(gotFree))
 	}
@@ -267,11 +283,13 @@ func TestMergeOnDelete(t *testing.T) {
 	pts := randPoints(r, 4000, 4)
 	tr := buildTree(t, pts, DefaultOptions())
 	before := tr.NumPages()
-	s := tr.dsk.NewSession()
+	s := tr.sto.NewSession()
 	var remaining []vec.Point
 	for i, p := range pts {
 		if i%10 != 0 {
-			if !tr.Delete(s, p, uint32(i)) {
+			if ok, err := tr.Delete(s, p, uint32(i)); err != nil {
+				t.Fatalf("delete %d: %v", i, err)
+			} else if !ok {
 				t.Fatalf("delete %d failed", i)
 			}
 		} else {
@@ -286,7 +304,7 @@ func TestMergeOnDelete(t *testing.T) {
 		t.Fatal(err)
 	}
 	for qi, q := range randPoints(r, 6, 4) {
-		got := tr.KNN(tr.dsk.NewSession(), q, 3)
+		got := mustKNN(t, tr, q, 3)
 		want := bruteKNN(remaining, q, 3, vec.Euclidean)
 		for i := range got {
 			if diff := got[i].Dist - want[i]; diff > 1e-5 || diff < -1e-5 {
@@ -302,8 +320,10 @@ func TestCostDecomposition(t *testing.T) {
 	r := rand.New(rand.NewSource(13))
 	pts := randPoints(r, 5000, 12)
 	tr := buildTree(t, pts, DefaultOptions())
-	s := tr.dsk.NewSession()
-	tr.KNN(s, randPoints(r, 1, 12)[0], 1)
+	s := tr.sto.NewSession()
+	if _, err := tr.KNN(s, randPoints(r, 1, 12)[0], 1); err != nil {
+		t.Fatal(err)
+	}
 
 	t1 := s.FileStats(DirFileName)
 	t2 := s.FileStats(QFileName)

@@ -32,13 +32,16 @@ func (t *Tree) CheckInvariants() error {
 		return fmt.Errorf("directory file holds %d bytes, need %d", t.dirFile.Bytes(), len(t.entries)*entrySize)
 	}
 	var raw []byte
-	for b := 0; b < t.dirFile.Blocks(); b++ {
-		raw = append(raw, t.dirFile.BlockAt(b)...)
+	if t.dirFile.Blocks() > 0 {
+		var err error
+		if raw, err = t.dirFile.ReadRaw(0, t.dirFile.Blocks()); err != nil {
+			return err
+		}
 	}
 
 	seen := make(map[uint32]bool, t.n)
 	total := 0
-	free := t.dsk.NewSession()
+	free := t.sto.NewSession()
 	for i, e := range t.entries {
 		got := page.UnmarshalDirEntry(raw[i*entrySize:], t.dim)
 		if got.Count != e.Count || got.Bits != e.Bits || got.QPos != e.QPos ||
@@ -65,12 +68,10 @@ func (t *Tree) CheckInvariants() error {
 		total += int(e.Count)
 
 		// (4) page header.
-		buf := t.qFile.BlockAt(int(e.QPos) * t.opt.QPageBlocks)
-		full := make([]byte, 0, t.qPageBytes())
-		for b := 0; b < t.opt.QPageBlocks; b++ {
-			full = append(full, t.qFile.BlockAt(int(e.QPos)*t.opt.QPageBlocks+b)...)
+		full, err := t.qFile.ReadRaw(int(e.QPos)*t.opt.QPageBlocks, t.opt.QPageBlocks)
+		if err != nil {
+			return err
 		}
-		_ = buf
 		qp := page.UnmarshalQPage(full)
 		if qp.Count != int(e.Count) || qp.Bits != bits {
 			return fmt.Errorf("entry %d: page header (%d, %d) vs directory (%d, %d)", i, qp.Count, qp.Bits, e.Count, e.Bits)
@@ -86,7 +87,10 @@ func (t *Tree) CheckInvariants() error {
 		}
 
 		// (5) + (7) per-point checks via the exact geometry.
-		pts, ids := t.readPagePoints(free, i)
+		pts, ids, err := t.readPagePoints(free, i)
+		if err != nil {
+			return err
+		}
 		if len(pts) != int(e.Count) {
 			return fmt.Errorf("entry %d: read %d exact points, want %d", i, len(pts), e.Count)
 		}

@@ -4,7 +4,7 @@ import (
 	"math/rand"
 	"testing"
 
-	"repro/internal/disk"
+	"repro/internal/store"
 	"repro/internal/vec"
 )
 
@@ -26,7 +26,7 @@ func TestInvariantsAfterHeavyUpdates(t *testing.T) {
 	r := rand.New(rand.NewSource(2))
 	pts := randPoints(r, 2000, 6)
 	tr := buildTree(t, pts, DefaultOptions())
-	s := tr.dsk.NewSession()
+	s := tr.sto.NewSession()
 
 	nextID := uint32(len(pts))
 	live := map[uint32]vec.Point{}
@@ -48,7 +48,9 @@ func TestInvariantsAfterHeavyUpdates(t *testing.T) {
 			if removed >= 150 {
 				break
 			}
-			if !tr.Delete(s, p, id) {
+			if ok, err := tr.Delete(s, p, id); err != nil {
+				t.Fatalf("round %d: delete id %d: %v", round, id, err)
+			} else if !ok {
 				t.Fatalf("round %d: delete id %d failed", round, id)
 			}
 			delete(live, id)
@@ -67,7 +69,7 @@ func TestReoptimizeCompactsAndPreservesContents(t *testing.T) {
 	r := rand.New(rand.NewSource(3))
 	pts := randPoints(r, 3000, 8)
 	tr := buildTree(t, pts, DefaultOptions())
-	s := tr.dsk.NewSession()
+	s := tr.sto.NewSession()
 
 	// Heavy churn: inserts grow the exact file with garbage regions.
 	all := map[uint32]vec.Point{}
@@ -102,7 +104,10 @@ func TestReoptimizeCompactsAndPreservesContents(t *testing.T) {
 	}
 
 	// Contents identical: ids and coordinates survive.
-	gotPts, gotIDs := tr.AllPoints()
+	gotPts, gotIDs, err := tr.AllPoints()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(gotPts) != len(all) {
 		t.Fatalf("AllPoints %d, want %d", len(gotPts), len(all))
 	}
@@ -121,7 +126,7 @@ func TestReoptimizeCompactsAndPreservesContents(t *testing.T) {
 		flat = append(flat, p)
 	}
 	for qi, q := range randPoints(r, 10, 8) {
-		got := tr.KNN(tr.dsk.NewSession(), q, 3)
+		got := mustKNN(t, tr, q, 3)
 		want := bruteKNN(flat, q, 3, vec.Euclidean)
 		for i := range got {
 			if diff := got[i].Dist - want[i]; diff > 1e-5 || diff < -1e-5 {
@@ -152,11 +157,17 @@ func TestInvariantsDetectCorruption(t *testing.T) {
 	r := rand.New(rand.NewSource(5))
 	tr := buildTree(t, randPoints(r, 1000, 4), DefaultOptions())
 	// Corrupt one quantized page header in place.
-	bs := tr.dsk.Config().BlockSize
+	bs := tr.sto.Config().BlockSize
+	raw, err := tr.qFile.ReadRaw(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	blk := make([]byte, bs)
-	copy(blk, tr.qFile.BlockAt(0))
+	copy(blk, raw)
 	blk[0] ^= 0xff // clobber the count
-	tr.qFile.WriteBlocks(0, blk)
+	if err := tr.qFile.WriteBlocks(0, blk); err != nil {
+		t.Fatal(err)
+	}
 	if err := tr.CheckInvariants(); err == nil {
 		t.Fatal("corruption not detected")
 	}
@@ -164,11 +175,11 @@ func TestInvariantsDetectCorruption(t *testing.T) {
 
 func TestOpenedTreePassesInvariants(t *testing.T) {
 	r := rand.New(rand.NewSource(6))
-	dsk := disk.New(disk.DefaultConfig())
-	if _, err := Build(dsk, randPoints(r, 1500, 6), DefaultOptions()); err != nil {
+	sto := store.NewSim(store.DefaultConfig())
+	if _, err := Build(sto, randPoints(r, 1500, 6), DefaultOptions()); err != nil {
 		t.Fatal(err)
 	}
-	tr, err := Open(dsk)
+	tr, err := Open(sto)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -181,7 +192,7 @@ func TestInsertBatch(t *testing.T) {
 	r := rand.New(rand.NewSource(7))
 	pts := randPoints(r, 2000, 6)
 	tr := buildTree(t, pts, DefaultOptions())
-	s := tr.dsk.NewSession()
+	s := tr.sto.NewSession()
 
 	// A batch large enough to overflow pages across multiple levels.
 	extra := randPoints(r, 5000, 6)
@@ -205,7 +216,7 @@ func TestInsertBatch(t *testing.T) {
 func TestInsertBatchValidation(t *testing.T) {
 	r := rand.New(rand.NewSource(8))
 	tr := buildTree(t, randPoints(r, 500, 3), DefaultOptions())
-	s := tr.dsk.NewSession()
+	s := tr.sto.NewSession()
 	if err := tr.InsertBatch(s, randPoints(r, 2, 3), []uint32{1}); err == nil {
 		t.Fatal("length mismatch should error")
 	}

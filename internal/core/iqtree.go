@@ -9,9 +9,11 @@
 // only when a query cannot be decided on the approximation; 32-bit pages
 // store exact data at level 2 and have no level-3 page.
 //
-// Queries run against a simulated disk (package disk) and report their
-// cost in simulated seconds, reproducing the paper's time-based
-// evaluation.
+// Queries run against a pluggable block store (package store) and report
+// their cost in simulated seconds, reproducing the paper's time-based
+// evaluation. On the simulator backend the accounting reproduces the
+// paper's testbed; on the file-backed backend the same tree persists to a
+// directory and can be reopened by another process.
 package core
 
 import (
@@ -20,10 +22,10 @@ import (
 	"sync"
 
 	"repro/internal/costmodel"
-	"repro/internal/disk"
 	"repro/internal/fractal"
 	"repro/internal/page"
 	"repro/internal/quantize"
+	"repro/internal/store"
 	"repro/internal/vec"
 )
 
@@ -83,12 +85,12 @@ func DefaultOptions() Options {
 type Tree struct {
 	mu  sync.RWMutex
 	opt Options
-	dsk *disk.Disk
+	sto *store.Store
 
-	metaFile *disk.File // superblock (see persist.go)
-	dirFile  *disk.File // level 1: directory entries
-	qFile    *disk.File // level 2: fixed-size quantized pages
-	eFile    *disk.File // level 3: exact pages (variable size)
+	metaFile *store.File // superblock (see persist.go)
+	dirFile  *store.File // level 1: directory entries
+	qFile    *store.File // level 2: fixed-size quantized pages
+	eFile    *store.File // level 3: exact pages (variable size)
 
 	dim        int
 	n          int // live points
@@ -134,7 +136,7 @@ func (t *Tree) FractalDim() float64 { return t.fractalDim }
 func (t *Tree) Model() costmodel.Model { return t.model }
 
 // qPageBytes returns the byte size of one quantized page.
-func (t *Tree) qPageBytes() int { return t.opt.QPageBlocks * t.dsk.Config().BlockSize }
+func (t *Tree) qPageBytes() int { return t.opt.QPageBlocks * t.sto.Config().BlockSize }
 
 // qPayloadBytes returns the payload capacity of one quantized page.
 func (t *Tree) qPayloadBytes() int { return t.qPageBytes() - page.QHeaderSize }
@@ -162,9 +164,9 @@ func (t *Tree) fitBits(count int) int {
 	return best
 }
 
-// Build constructs an IQ-tree over pts on the given simulated disk.
-// Point i is assigned id i. The point slice is not retained.
-func Build(dsk *disk.Disk, pts []vec.Point, opt Options) (*Tree, error) {
+// Build constructs an IQ-tree over pts on the given store. Point i is
+// assigned id i. The point slice is not retained.
+func Build(sto *store.Store, pts []vec.Point, opt Options) (*Tree, error) {
 	if len(pts) == 0 {
 		return nil, errors.New("core: cannot build over an empty point set")
 	}
@@ -181,14 +183,23 @@ func Build(dsk *disk.Disk, pts []vec.Point, opt Options) (*Tree, error) {
 		opt.QPageBlocks = 1
 	}
 	t := &Tree{
-		opt:      opt,
-		dsk:      dsk,
-		metaFile: dsk.NewFile(MetaFileName),
-		dirFile:  dsk.NewFile(DirFileName),
-		qFile:    dsk.NewFile(QFileName),
-		eFile:    dsk.NewFile(EFileName),
-		dim:      dim,
-		n:        len(pts),
+		opt: opt,
+		sto: sto,
+		dim: dim,
+		n:   len(pts),
+	}
+	var err error
+	if t.metaFile, err = sto.NewFile(MetaFileName); err != nil {
+		return nil, err
+	}
+	if t.dirFile, err = sto.NewFile(DirFileName); err != nil {
+		return nil, err
+	}
+	if t.qFile, err = sto.NewFile(QFileName); err != nil {
+		return nil, err
+	}
+	if t.eFile, err = sto.NewFile(EFileName); err != nil {
+		return nil, err
 	}
 	t.dataSpace = vec.MBROf(pts)
 
@@ -200,7 +211,7 @@ func Build(dsk *disk.Disk, pts []vec.Point, opt Options) (*Tree, error) {
 	}
 	t.fractalDim = df
 	t.model = costmodel.Model{
-		Disk:          dsk.Config(),
+		Disk:          sto.Config(),
 		Metric:        opt.Metric,
 		Dim:           dim,
 		N:             len(pts),
@@ -219,9 +230,17 @@ func Build(dsk *disk.Disk, pts []vec.Point, opt Options) (*Tree, error) {
 
 	b := newBuilder(t, pts)
 	b.run()
-	t.writeMeta()
+	if err := t.writeMeta(); err != nil {
+		return nil, err
+	}
+	if err := sto.Err(); err != nil {
+		return nil, fmt.Errorf("core: build: %w", err)
+	}
 	return t, nil
 }
+
+// Store returns the block store the tree lives on.
+func (t *Tree) Store() *store.Store { return t.sto }
 
 // CostEstimate returns the cost model's predicted time per nearest-
 // neighbor query for the current page configuration (Eq. 23).

@@ -6,7 +6,7 @@ import (
 	"sort"
 	"testing"
 
-	"repro/internal/disk"
+	"repro/internal/store"
 	"repro/internal/vec"
 )
 
@@ -36,19 +36,42 @@ func bruteKNN(pts []vec.Point, q vec.Point, k int, met vec.Metric) []float64 {
 
 func buildTree(t *testing.T, pts []vec.Point, opt Options) *Tree {
 	t.Helper()
-	dsk := disk.New(disk.DefaultConfig())
-	tr, err := Build(dsk, pts, opt)
+	sto := store.NewSim(store.DefaultConfig())
+	tr, err := Build(sto, pts, opt)
 	if err != nil {
 		t.Fatalf("Build: %v", err)
 	}
 	return tr
 }
 
+// mustKNN runs a KNN query on a fresh session and fails the test on error.
+func mustKNN(t *testing.T, tr *Tree, q vec.Point, k int) []vec.Neighbor {
+	t.Helper()
+	res, err := tr.KNN(tr.sto.NewSession(), q, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// mustRange runs a range query on a fresh session and fails the test on error.
+func mustRange(t *testing.T, tr *Tree, q vec.Point, eps float64) []vec.Neighbor {
+	t.Helper()
+	res, err := tr.RangeSearch(tr.sto.NewSession(), q, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
 func checkKNN(t *testing.T, tr *Tree, pts []vec.Point, queries []vec.Point, k int, met vec.Metric) {
 	t.Helper()
 	for qi, q := range queries {
-		s := tr.dsk.NewSession()
-		got := tr.KNN(s, q, k)
+		s := tr.sto.NewSession()
+		got, err := tr.KNN(s, q, k)
+		if err != nil {
+			t.Fatalf("query %d: %v", qi, err)
+		}
 		want := bruteKNN(pts, q, k, met)
 		if len(got) != len(want) {
 			t.Fatalf("query %d: got %d results, want %d", qi, len(got), len(want))
@@ -98,8 +121,11 @@ func TestRangeSearchMatchesBruteForce(t *testing.T) {
 	tr := buildTree(t, pts, DefaultOptions())
 	for qi, q := range randPoints(r, 10, 6) {
 		eps := 0.3
-		s := tr.dsk.NewSession()
-		got := tr.RangeSearch(s, q, eps)
+		s := tr.sto.NewSession()
+		got, err := tr.RangeSearch(s, q, eps)
+		if err != nil {
+			t.Fatalf("query %d: %v", qi, err)
+		}
 		var want int
 		for _, p := range pts {
 			if vec.Euclidean.Dist(q, p) <= eps {
@@ -124,7 +150,7 @@ func TestInsertDelete(t *testing.T) {
 	r := rand.New(rand.NewSource(11))
 	pts := randPoints(r, 1000, 4)
 	tr := buildTree(t, pts, DefaultOptions())
-	s := tr.dsk.NewSession()
+	s := tr.sto.NewSession()
 
 	extra := randPoints(r, 200, 4)
 	all := append(append([]vec.Point{}, pts...), extra...)
@@ -142,7 +168,11 @@ func TestInsertDelete(t *testing.T) {
 	var remaining []vec.Point
 	for i, p := range all {
 		if i%3 == 0 {
-			if !tr.Delete(s, p, uint32(i)) {
+			found, err := tr.Delete(s, p, uint32(i))
+			if err != nil {
+				t.Fatalf("Delete %d: %v", i, err)
+			}
+			if !found {
 				t.Fatalf("Delete %d failed", i)
 			}
 		} else {
@@ -153,8 +183,11 @@ func TestInsertDelete(t *testing.T) {
 		t.Fatalf("Len after delete = %d, want %d", tr.Len(), len(remaining))
 	}
 	for qi, q := range randPoints(r, 10, 4) {
-		s := tr.dsk.NewSession()
-		got := tr.KNN(s, q, 3)
+		s := tr.sto.NewSession()
+		got, err := tr.KNN(s, q, 3)
+		if err != nil {
+			t.Fatalf("query %d: %v", qi, err)
+		}
 		want := bruteKNN(remaining, q, 3, vec.Euclidean)
 		for i := range got {
 			if math.Abs(got[i].Dist-want[i]) > 1e-5 {
@@ -168,7 +201,10 @@ func TestAllPointsRoundtrip(t *testing.T) {
 	r := rand.New(rand.NewSource(3))
 	pts := randPoints(r, 1500, 10)
 	tr := buildTree(t, pts, DefaultOptions())
-	got, ids := tr.AllPoints()
+	got, ids, err := tr.AllPoints()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(got) != len(pts) {
 		t.Fatalf("AllPoints returned %d points, want %d", len(got), len(pts))
 	}

@@ -3,10 +3,10 @@ package core
 import (
 	"sort"
 
-	"repro/internal/disk"
 	"repro/internal/page"
 	"repro/internal/pagesched"
 	"repro/internal/quantize"
+	"repro/internal/store"
 	"repro/internal/vec"
 )
 
@@ -20,7 +20,7 @@ import (
 // it works; it must not be used concurrently with updates to the tree.
 type NNIterator struct {
 	t *Tree
-	s *disk.Session
+	s *store.Session
 	q vec.Point
 
 	minD      []float64
@@ -34,23 +34,32 @@ type NNIterator struct {
 	exactCache map[int32]exactPage
 	regionBuf  []pagesched.Region
 	started    bool
+	err        error // first read failure; ends the iteration
 }
 
 // NewNNIterator starts an incremental nearest-neighbor ranking for q.
 // All simulated I/O and CPU is charged to s.
-func (t *Tree) NewNNIterator(s *disk.Session, q vec.Point) *NNIterator {
+func (t *Tree) NewNNIterator(s *store.Session, q vec.Point) *NNIterator {
 	return &NNIterator{t: t, s: s, q: q}
 }
 
+// Err returns the first read failure encountered by the iterator, or nil.
+// After Next returns ok=false, callers distinguishing exhaustion from
+// failure must check it (the bufio.Scanner protocol).
+func (it *NNIterator) Err() error { return it.err }
+
 // Next returns the next neighbor in increasing distance order, or
-// ok=false when the database is exhausted.
+// ok=false when the database is exhausted or a read failed (see Err).
 func (it *NNIterator) Next() (Neighbor, bool) {
 	it.t.mu.RLock()
 	defer it.t.mu.RUnlock()
+	if it.err != nil {
+		return Neighbor{}, false
+	}
 	if !it.started {
 		it.start()
 	}
-	for {
+	for it.err == nil {
 		// Emit a confirmed neighbor as soon as nothing in the priority
 		// list could still be closer.
 		if len(it.confirmed) > 0 && (len(it.heap) == 0 || it.confirmed[0].Dist <= it.heap[0].dist) {
@@ -69,6 +78,7 @@ func (it *NNIterator) Next() (Neighbor, bool) {
 		}
 		it.processPage(int(item.entry))
 	}
+	return Neighbor{}, false
 }
 
 func (it *NNIterator) start() {
@@ -76,7 +86,10 @@ func (it *NNIterator) start() {
 	t := it.t
 	met := t.opt.Metric
 	if t.dirFile.Blocks() > 0 {
-		it.s.Read(t.dirFile, 0, t.dirFile.Blocks())
+		if _, err := it.s.Read(t.dirFile, 0, t.dirFile.Blocks()); err != nil {
+			it.err = err
+			return
+		}
 	}
 	it.s.ChargeApproxCPU(t.dim, len(t.entries))
 	it.minD = make([]float64, len(t.entries))
@@ -102,14 +115,18 @@ func (it *NNIterator) processPage(entry int) {
 	first, last := entry, entry
 	if t.opt.OptimizedIO {
 		sched := &pagesched.Scheduler{
-			Cfg:        t.dsk.Config(),
+			Cfg:        t.sto.Config(),
 			PageBlocks: t.opt.QPageBlocks,
 			NumPages:   t.qFile.Blocks() / t.opt.QPageBlocks,
 			Prob:       it.accessProb,
 		}
 		first, last = sched.Batch(int(t.entries[entry].QPos))
 	}
-	buf := it.s.Read(t.qFile, first*t.opt.QPageBlocks, (last-first+1)*t.opt.QPageBlocks)
+	buf, err := it.s.Read(t.qFile, first*t.opt.QPageBlocks, (last-first+1)*t.opt.QPageBlocks)
+	if err != nil {
+		it.err = err
+		return
+	}
 	pageBytes := t.qPageBytes()
 	met := t.opt.Metric
 	for pos := first; pos <= last; pos++ {
@@ -165,7 +182,11 @@ func (it *NNIterator) refine(item pqItem) {
 	if !ok {
 		e := t.entries[item.entry]
 		entrySize := page.ExactEntrySize(t.dim)
-		raw, rel := it.s.ReadRange(t.eFile, int(e.EPos)*t.dsk.Config().BlockSize, int(e.Count)*entrySize)
+		raw, rel, err := it.s.ReadRange(t.eFile, int(e.EPos)*t.sto.Config().BlockSize, int(e.Count)*entrySize)
+		if err != nil {
+			it.err = err
+			return
+		}
 		ep = exactPage{pts: make([]vec.Point, e.Count), ids: make([]uint32, e.Count)}
 		for i := 0; i < int(e.Count); i++ {
 			ep.pts[i], ep.ids[i] = page.UnmarshalExactEntry(raw[rel+i*entrySize:], t.dim)

@@ -21,11 +21,11 @@ func TestIteratorFullRanking(t *testing.T) {
 	}
 	sort.Float64s(want)
 
-	it := tr.NewNNIterator(tr.dsk.NewSession(), q)
+	it := tr.NewNNIterator(tr.sto.NewSession(), q)
 	for i := 0; i < len(pts); i++ {
 		nb, ok := it.Next()
 		if !ok {
-			t.Fatalf("iterator exhausted after %d of %d", i, len(pts))
+			t.Fatalf("iterator exhausted after %d of %d: %v", i, len(pts), it.Err())
 		}
 		if math.Abs(nb.Dist-want[i]) > 1e-5 {
 			t.Fatalf("rank %d: dist %.7f, want %.7f", i, nb.Dist, want[i])
@@ -34,6 +34,9 @@ func TestIteratorFullRanking(t *testing.T) {
 	if _, ok := it.Next(); ok {
 		t.Fatal("iterator returned more points than the database holds")
 	}
+	if err := it.Err(); err != nil {
+		t.Fatal(err)
+	}
 }
 
 func TestIteratorPrefixMatchesKNN(t *testing.T) {
@@ -41,8 +44,8 @@ func TestIteratorPrefixMatchesKNN(t *testing.T) {
 	pts := randPoints(r, 3000, 10)
 	tr := buildTree(t, pts, DefaultOptions())
 	for qi, q := range randPoints(r, 5, 10) {
-		knn := tr.KNN(tr.dsk.NewSession(), q, 12)
-		it := tr.NewNNIterator(tr.dsk.NewSession(), q)
+		knn := mustKNN(t, tr, q, 12)
+		it := tr.NewNNIterator(tr.sto.NewSession(), q)
 		for i := 0; i < 12; i++ {
 			nb, ok := it.Next()
 			if !ok {
@@ -61,7 +64,7 @@ func TestIteratorCostGrowsWithPulls(t *testing.T) {
 	tr := buildTree(t, pts, DefaultOptions())
 	q := randPoints(r, 1, 8)[0]
 
-	s := tr.dsk.NewSession()
+	s := tr.sto.NewSession()
 	it := tr.NewNNIterator(s, q)
 	it.Next()
 	after1 := s.Time()
@@ -73,7 +76,7 @@ func TestIteratorCostGrowsWithPulls(t *testing.T) {
 		t.Fatalf("pulling 500 more neighbors cost nothing: %f vs %f", after500, after1)
 	}
 	// The first pull must not have paid for the whole database.
-	sFull := tr.dsk.NewSession()
+	sFull := tr.sto.NewSession()
 	full := tr.NewNNIterator(sFull, q)
 	for {
 		if _, ok := full.Next(); !ok {
@@ -82,6 +85,9 @@ func TestIteratorCostGrowsWithPulls(t *testing.T) {
 	}
 	if after1 >= sFull.Time() {
 		t.Fatalf("first pull cost the full enumeration: %f vs %f", after1, sFull.Time())
+	}
+	if err := full.Err(); err != nil {
+		t.Fatal(err)
 	}
 }
 
@@ -100,7 +106,7 @@ func TestIteratorVariants(t *testing.T) {
 			want[i] = opt.Metric.Dist(q, p)
 		}
 		sort.Float64s(want)
-		it := tr.NewNNIterator(tr.dsk.NewSession(), q)
+		it := tr.NewNNIterator(tr.sto.NewSession(), q)
 		for i := 0; i < 50; i++ {
 			nb, ok := it.Next()
 			if !ok || math.Abs(nb.Dist-want[i]) > 1e-5 {

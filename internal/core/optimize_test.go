@@ -6,15 +6,15 @@ import (
 	"testing"
 
 	"repro/internal/costmodel"
-	"repro/internal/disk"
 	"repro/internal/quantize"
+	"repro/internal/store"
 	"repro/internal/vec"
 )
 
 // smallConfig shrinks blocks so split trees stay shallow enough for
 // exhaustive enumeration.
-func smallConfig() disk.Config {
-	cfg := disk.DefaultConfig()
+func smallConfig() store.Config {
+	cfg := store.DefaultConfig()
 	cfg.BlockSize = 512
 	return cfg
 }
@@ -46,10 +46,10 @@ func TestOptimizerMatchesExhaustiveSearch(t *testing.T) {
 		r := rand.New(rand.NewSource(seed))
 		pts := randPoints(r, 300+r.Intn(200), 4)
 
-		dsk := disk.New(smallConfig())
+		sto := store.NewSim(smallConfig())
 		opt := DefaultOptions()
 		opt.RefineCostFactor = 1 // keep the model deterministic (no calibration)
-		tr, err := Build(dsk, pts, opt)
+		tr, err := Build(sto, pts, opt)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -146,9 +146,9 @@ func TestConcurrentSearches(t *testing.T) {
 		wg.Add(1)
 		go func(i int, q vec.Point) {
 			defer wg.Done()
-			s := tr.dsk.NewSession()
-			nn, ok := tr.NearestNeighbor(s, q)
-			if !ok || nn.Dist > want[i]+1e-6 {
+			s := tr.sto.NewSession()
+			nn, ok, err := tr.NearestNeighbor(s, q)
+			if err != nil || !ok || nn.Dist > want[i]+1e-6 {
 				errs <- "wrong concurrent result"
 			}
 		}(i, q)
@@ -164,28 +164,33 @@ func TestKNNEdgeCases(t *testing.T) {
 	r := rand.New(rand.NewSource(6))
 	pts := randPoints(r, 500, 4)
 	tr := buildTree(t, pts, DefaultOptions())
-	s := tr.dsk.NewSession()
-	if got := tr.KNN(s, pts[0], 0); got != nil {
+	s := tr.sto.NewSession()
+	if got, err := tr.KNN(s, pts[0], 0); err != nil {
+		t.Fatal(err)
+	} else if got != nil {
 		t.Fatal("k=0 should return nil")
 	}
-	if got := tr.KNN(tr.dsk.NewSession(), pts[0], 1000); len(got) != 500 {
+	if got := mustKNN(t, tr, pts[0], 1000); len(got) != 500 {
 		t.Fatalf("k > n returned %d results", len(got))
 	}
-	nn, ok := tr.NearestNeighbor(tr.dsk.NewSession(), pts[33])
+	nn, ok, err := tr.NearestNeighbor(tr.sto.NewSession(), pts[33])
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !ok || nn.Dist != 0 {
 		t.Fatalf("self query: %+v", nn)
 	}
 }
 
 func TestBuildValidation(t *testing.T) {
-	dsk := disk.New(disk.DefaultConfig())
-	if _, err := Build(dsk, nil, DefaultOptions()); err == nil {
+	sto := store.NewSim(store.DefaultConfig())
+	if _, err := Build(sto, nil, DefaultOptions()); err == nil {
 		t.Fatal("empty build should error")
 	}
-	if _, err := Build(dsk, []vec.Point{{1, 2}, {1}}, DefaultOptions()); err == nil {
+	if _, err := Build(sto, []vec.Point{{1, 2}, {1}}, DefaultOptions()); err == nil {
 		t.Fatal("ragged dimensions should error")
 	}
-	if _, err := Build(dsk, []vec.Point{{}}, DefaultOptions()); err == nil {
+	if _, err := Build(sto, []vec.Point{{}}, DefaultOptions()); err == nil {
 		t.Fatal("zero-dimensional points should error")
 	}
 }
@@ -198,7 +203,10 @@ func TestWindowQuery(t *testing.T) {
 		Lo: vec.Point{0.2, 0.2, 0.2, 0.2, 0.2},
 		Hi: vec.Point{0.6, 0.6, 0.6, 0.6, 0.6},
 	}
-	got := tr.WindowQuery(tr.dsk.NewSession(), w)
+	got, err := tr.WindowQuery(tr.sto.NewSession(), w)
+	if err != nil {
+		t.Fatal(err)
+	}
 	var want int
 	for _, p := range pts {
 		if w.Contains(p) {
@@ -225,7 +233,7 @@ func TestMaximumMetricEndToEnd(t *testing.T) {
 	// Range search under the maximum metric.
 	q := randPoints(r, 1, 12)[0]
 	eps := 0.3
-	got := tr.RangeSearch(tr.dsk.NewSession(), q, eps)
+	got := mustRange(t, tr, q, eps)
 	var want int
 	for _, p := range pts {
 		if vec.Maximum.Dist(q, p) <= eps {
@@ -242,7 +250,9 @@ func TestTraceCountsWork(t *testing.T) {
 	pts := randPoints(r, 3000, 10)
 	tr := buildTree(t, pts, DefaultOptions())
 	var trace Trace
-	tr.KNNTrace(tr.dsk.NewSession(), randPoints(r, 1, 10)[0], 1, &trace)
+	if _, err := tr.KNNTrace(tr.sto.NewSession(), randPoints(r, 1, 10)[0], 1, &trace); err != nil {
+		t.Fatal(err)
+	}
 	if trace.PagesRead == 0 || trace.Batches == 0 {
 		t.Fatalf("empty trace: %+v", trace)
 	}
@@ -252,8 +262,8 @@ func TestTraceCountsWork(t *testing.T) {
 }
 
 func TestLadderCapacityHalves(t *testing.T) {
-	dsk := disk.New(disk.DefaultConfig())
-	tr, err := Build(dsk, randPoints(rand.New(rand.NewSource(10)), 100, 16), DefaultOptions())
+	sto := store.NewSim(store.DefaultConfig())
+	tr, err := Build(sto, randPoints(rand.New(rand.NewSource(10)), 100, 16), DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}

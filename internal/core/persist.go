@@ -7,9 +7,9 @@ import (
 	"math"
 
 	"repro/internal/costmodel"
-	"repro/internal/disk"
 	"repro/internal/page"
 	"repro/internal/quantize"
+	"repro/internal/store"
 	"repro/internal/vec"
 )
 
@@ -34,7 +34,7 @@ const metaVersion = 1
 //	magic u32 | version u32 | dim u32 | entries u32 | live points u64 |
 //	metric u8 | quantize u8 | optimizedIO u8 | pad | qpageBlocks u32 |
 //	fractalDim f64 | refineFactor f64
-func (t *Tree) writeMeta() {
+func (t *Tree) writeMeta() error {
 	buf := make([]byte, 48)
 	le := binary.LittleEndian
 	le.PutUint32(buf[0:], metaMagic)
@@ -48,7 +48,7 @@ func (t *Tree) writeMeta() {
 	le.PutUint32(buf[28:], uint32(t.opt.QPageBlocks))
 	le.PutUint64(buf[32:], math.Float64bits(t.fractalDim))
 	le.PutUint64(buf[40:], math.Float64bits(t.model.RefineFactor))
-	t.metaFile.SetContents(buf)
+	return t.metaFile.SetContents(buf)
 }
 
 func b2u(b bool) uint8 {
@@ -59,20 +59,24 @@ func b2u(b bool) uint8 {
 }
 
 // Open reconstructs an IQ-tree from the files a previous Build (plus any
-// later maintenance) left on the disk. The returned tree answers queries
-// and accepts updates exactly like the original.
-func Open(dsk *disk.Disk) (*Tree, error) {
-	meta := dsk.File(MetaFileName)
-	dir := dsk.File(DirFileName)
-	qf := dsk.File(QFileName)
-	ef := dsk.File(EFileName)
+// later maintenance) left on the store — the same in-memory store, or a
+// file-backed store reopened by another process. The returned tree
+// answers queries and accepts updates exactly like the original.
+func Open(sto *store.Store) (*Tree, error) {
+	meta := sto.File(MetaFileName)
+	dir := sto.File(DirFileName)
+	qf := sto.File(QFileName)
+	ef := sto.File(EFileName)
 	if meta == nil || dir == nil || qf == nil || ef == nil {
-		return nil, errors.New("core: no IQ-tree on this disk")
+		return nil, errors.New("core: no IQ-tree on this store")
 	}
 	if meta.Blocks() == 0 {
 		return nil, errors.New("core: empty meta file")
 	}
-	buf := meta.BlockAt(0)
+	buf, err := meta.ReadRaw(0, 1)
+	if err != nil {
+		return nil, err
+	}
 	le := binary.LittleEndian
 	if le.Uint32(buf[0:]) != metaMagic {
 		return nil, errors.New("core: bad meta magic")
@@ -81,7 +85,7 @@ func Open(dsk *disk.Disk) (*Tree, error) {
 		return nil, fmt.Errorf("core: unsupported meta version %d", v)
 	}
 	t := &Tree{
-		dsk:      dsk,
+		sto:      sto,
 		metaFile: meta,
 		dirFile:  dir,
 		qFile:    qf,
@@ -103,9 +107,11 @@ func Open(dsk *disk.Disk) (*Tree, error) {
 	if dir.Bytes() < nEntries*entrySize {
 		return nil, fmt.Errorf("core: directory file too small for %d entries", nEntries)
 	}
-	raw := make([]byte, 0, nEntries*entrySize)
-	for b := 0; b < dir.Blocks(); b++ {
-		raw = append(raw, dir.BlockAt(b)...)
+	var raw []byte
+	if dir.Blocks() > 0 {
+		if raw, err = dir.ReadRaw(0, dir.Blocks()); err != nil {
+			return nil, err
+		}
 	}
 	t.dataSpace = vec.NewMBR(t.dim)
 	for i := 0; i < nEntries; i++ {
@@ -123,7 +129,7 @@ func Open(dsk *disk.Disk) (*Tree, error) {
 		}
 	}
 	t.model = costmodel.Model{
-		Disk:          dsk.Config(),
+		Disk:          sto.Config(),
 		Metric:        t.opt.Metric,
 		Dim:           t.dim,
 		N:             t.n,

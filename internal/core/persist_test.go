@@ -4,19 +4,19 @@ import (
 	"math/rand"
 	"testing"
 
-	"repro/internal/disk"
+	"repro/internal/store"
 	"repro/internal/vec"
 )
 
 func TestOpenReconstructsTree(t *testing.T) {
 	r := rand.New(rand.NewSource(1))
 	pts := randPoints(r, 3000, 8)
-	dsk := disk.New(disk.DefaultConfig())
-	orig, err := Build(dsk, pts, DefaultOptions())
+	sto := store.NewSim(store.DefaultConfig())
+	orig, err := Build(sto, pts, DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
-	reopened, err := Open(dsk)
+	reopened, err := Open(sto)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -33,8 +33,14 @@ func TestOpenReconstructsTree(t *testing.T) {
 
 	queries := randPoints(r, 15, 8)
 	for qi, q := range queries {
-		a := orig.KNN(dsk.NewSession(), q, 5)
-		b := reopened.KNN(dsk.NewSession(), q, 5)
+		a, err := orig.KNN(sto.NewSession(), q, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := reopened.KNN(sto.NewSession(), q, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if len(a) != len(b) {
 			t.Fatalf("query %d: result counts differ", qi)
 		}
@@ -49,15 +55,15 @@ func TestOpenReconstructsTree(t *testing.T) {
 func TestOpenedTreeAcceptsUpdates(t *testing.T) {
 	r := rand.New(rand.NewSource(2))
 	pts := randPoints(r, 1000, 4)
-	dsk := disk.New(disk.DefaultConfig())
-	if _, err := Build(dsk, pts, DefaultOptions()); err != nil {
+	sto := store.NewSim(store.DefaultConfig())
+	if _, err := Build(sto, pts, DefaultOptions()); err != nil {
 		t.Fatal(err)
 	}
-	tr, err := Open(dsk)
+	tr, err := Open(sto)
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := dsk.NewSession()
+	s := sto.NewSession()
 	extra := randPoints(r, 300, 4)
 	all := append(append([]vec.Point{}, pts...), extra...)
 	for i, p := range extra {
@@ -68,7 +74,7 @@ func TestOpenedTreeAcceptsUpdates(t *testing.T) {
 	checkKNN(t, tr, all, randPoints(r, 8, 4), 3, vec.Euclidean)
 
 	// Reopen once more after the updates and verify again.
-	tr2, err := Open(dsk)
+	tr2, err := Open(sto)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,23 +87,25 @@ func TestOpenedTreeAcceptsUpdates(t *testing.T) {
 func TestOpenWithDeletedPages(t *testing.T) {
 	r := rand.New(rand.NewSource(3))
 	pts := randPoints(r, 800, 3)
-	dsk := disk.New(disk.DefaultConfig())
-	tr, err := Build(dsk, pts, DefaultOptions())
+	sto := store.NewSim(store.DefaultConfig())
+	tr, err := Build(sto, pts, DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := dsk.NewSession()
+	s := sto.NewSession()
 	var remaining []vec.Point
 	for i, p := range pts {
 		if i < 400 {
-			if !tr.Delete(s, p, uint32(i)) {
+			if ok, err := tr.Delete(s, p, uint32(i)); err != nil {
+				t.Fatalf("delete %d: %v", i, err)
+			} else if !ok {
 				t.Fatalf("delete %d failed", i)
 			}
 		} else {
 			remaining = append(remaining, p)
 		}
 	}
-	tr2, err := Open(dsk)
+	tr2, err := Open(sto)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +113,10 @@ func TestOpenWithDeletedPages(t *testing.T) {
 		t.Fatalf("Len %d, want %d", tr2.Len(), len(remaining))
 	}
 	for qi, q := range randPoints(r, 6, 3) {
-		got := tr2.KNN(dsk.NewSession(), q, 2)
+		got, err := tr2.KNN(sto.NewSession(), q, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
 		want := bruteKNN(remaining, q, 2, vec.Euclidean)
 		for i := range got {
 			if diff := got[i].Dist - want[i]; diff > 1e-5 || diff < -1e-5 {
@@ -116,21 +127,23 @@ func TestOpenWithDeletedPages(t *testing.T) {
 }
 
 func TestOpenErrors(t *testing.T) {
-	dsk := disk.New(disk.DefaultConfig())
-	if _, err := Open(dsk); err == nil {
+	sto := store.NewSim(store.DefaultConfig())
+	if _, err := Open(sto); err == nil {
 		t.Fatal("open on an empty disk should fail")
 	}
 	// Corrupt the magic.
 	r := rand.New(rand.NewSource(4))
-	tr, err := Build(dsk, randPoints(r, 100, 2), DefaultOptions())
+	tr, err := Build(sto, randPoints(r, 100, 2), DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
 	_ = tr
-	meta := dsk.File(MetaFileName)
-	blk := make([]byte, dsk.Config().BlockSize)
-	meta.WriteBlocks(0, blk)
-	if _, err := Open(dsk); err == nil {
+	meta := sto.File(MetaFileName)
+	blk := make([]byte, sto.Config().BlockSize)
+	if err := meta.WriteBlocks(0, blk); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(sto); err == nil {
 		t.Fatal("corrupt magic should fail")
 	}
 }

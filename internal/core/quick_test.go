@@ -6,7 +6,7 @@ import (
 	"testing"
 	"testing/quick"
 
-	"repro/internal/disk"
+	"repro/internal/store"
 	"repro/internal/vec"
 )
 
@@ -20,13 +20,16 @@ func TestQuickNNCorrectness(t *testing.T) {
 		d := 1 + int(dSeed)%12
 		k := 1 + int(kSeed)%8
 		pts := randPoints(r, n, d)
-		dsk := disk.New(disk.DefaultConfig())
-		tr, err := Build(dsk, pts, DefaultOptions())
+		sto := store.NewSim(store.DefaultConfig())
+		tr, err := Build(sto, pts, DefaultOptions())
 		if err != nil {
 			return false
 		}
 		q := randPoints(r, 1, d)[0]
-		got := tr.KNN(dsk.NewSession(), q, k)
+		got, err := tr.KNN(sto.NewSession(), q, k)
+		if err != nil {
+			return false
+		}
 		want := bruteKNN(pts, q, k, vec.Euclidean)
 		if len(got) != len(want) {
 			return false
@@ -62,13 +65,16 @@ func TestQuickVariantEquivalence(t *testing.T) {
 		}
 		var ref [][]float64
 		for vi, opt := range variants {
-			dsk := disk.New(disk.DefaultConfig())
-			tr, err := Build(dsk, pts, opt)
+			sto := store.NewSim(store.DefaultConfig())
+			tr, err := Build(sto, pts, opt)
 			if err != nil {
 				return false
 			}
 			for qi, q := range queries {
-				res := tr.KNN(dsk.NewSession(), q, 3)
+				res, err := tr.KNN(sto.NewSession(), q, 3)
+				if err != nil {
+					return false
+				}
 				ds := make([]float64, len(res))
 				for i, nb := range res {
 					ds[i] = nb.Dist
@@ -102,13 +108,16 @@ func TestQuickRangeConsistency(t *testing.T) {
 		r := rand.New(rand.NewSource(seed))
 		pts := randPoints(r, 800, 5)
 		eps := 0.1 + float64(epsSeed)/256.0*0.5
-		dsk := disk.New(disk.DefaultConfig())
-		tr, err := Build(dsk, pts, DefaultOptions())
+		sto := store.NewSim(store.DefaultConfig())
+		tr, err := Build(sto, pts, DefaultOptions())
 		if err != nil {
 			return false
 		}
 		q := randPoints(r, 1, 5)[0]
-		in := tr.RangeSearch(dsk.NewSession(), q, eps)
+		in, err := tr.RangeSearch(sto.NewSession(), q, eps)
+		if err != nil {
+			return false
+		}
 		want := 0
 		for _, p := range pts {
 			if vec.Euclidean.Dist(q, p) <= eps {
@@ -122,7 +131,11 @@ func TestQuickRangeConsistency(t *testing.T) {
 		for _, nb := range in {
 			seen[nb.ID] = true
 		}
-		for _, nb := range tr.KNN(dsk.NewSession(), q, 10) {
+		knn, err := tr.KNN(sto.NewSession(), q, 10)
+		if err != nil {
+			return false
+		}
+		for _, nb := range knn {
 			if nb.Dist <= eps-1e-9 && !seen[nb.ID] {
 				return false
 			}

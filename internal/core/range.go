@@ -3,10 +3,10 @@ package core
 import (
 	"sort"
 
-	"repro/internal/disk"
 	"repro/internal/page"
 	"repro/internal/pagesched"
 	"repro/internal/quantize"
+	"repro/internal/store"
 	"repro/internal/vec"
 )
 
@@ -14,11 +14,11 @@ import (
 // tree's metric), ordered by increasing distance. Because the affected
 // pages are known in advance from the directory, the second level is
 // fetched with the optimal known-set schedule of paper Section 2 (Fig. 1).
-func (t *Tree) RangeSearch(s *disk.Session, q vec.Point, eps float64) []Neighbor {
+func (t *Tree) RangeSearch(s *store.Session, q vec.Point, eps float64) ([]Neighbor, error) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	met := t.opt.Metric
-	res := t.scanCandidates(s,
+	res, err := t.scanCandidates(s,
 		func(mbr vec.MBR) bool { return mbr.MinDist(q, met) <= eps },
 		func(g quantize.Grid, cells []uint32) candState {
 			if g.MinDist(q, cells, met) > eps {
@@ -31,13 +31,16 @@ func (t *Tree) RangeSearch(s *disk.Session, q vec.Point, eps float64) []Neighbor
 			return d, d <= eps
 		},
 	)
+	if err != nil {
+		return nil, err
+	}
 	sort.Slice(res, func(i, j int) bool { return res[i].Dist < res[j].Dist })
-	return res
+	return res, nil
 }
 
 // WindowQuery returns all points inside the query window w. Dist fields of
 // the results are 0.
-func (t *Tree) WindowQuery(s *disk.Session, w vec.MBR) []Neighbor {
+func (t *Tree) WindowQuery(s *store.Session, w vec.MBR) ([]Neighbor, error) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	return t.scanCandidates(s,
@@ -66,14 +69,16 @@ const (
 // via exactHit (which returns the result distance and whether the exact
 // point qualifies). Every qualifying point must be refined regardless of
 // certainty, because point ids live in the exact pages.
-func (t *Tree) scanCandidates(s *disk.Session,
+func (t *Tree) scanCandidates(s *store.Session,
 	pageHit func(vec.MBR) bool,
 	approxHit func(quantize.Grid, []uint32) candState,
 	exactHit func(vec.Point) (float64, bool),
-) []Neighbor {
+) ([]Neighbor, error) {
 	// Level 1: directory scan.
 	if t.dirFile.Blocks() > 0 {
-		s.Read(t.dirFile, 0, t.dirFile.Blocks())
+		if _, err := s.Read(t.dirFile, 0, t.dirFile.Blocks()); err != nil {
+			return nil, err
+		}
 	}
 	s.ChargeApproxCPU(t.dim, len(t.entries))
 
@@ -87,12 +92,12 @@ func (t *Tree) scanCandidates(s *disk.Session,
 		}
 	}
 	if len(positions) == 0 {
-		return nil
+		return nil, nil
 	}
 	sort.Ints(positions)
 
 	// Level 2: optimal known-set fetch (Fig. 1), optionally buffer-capped.
-	runs := pagesched.PlanKnownSet(positions, t.opt.QPageBlocks, t.dsk.Config(), t.opt.MaxBufferBlocks)
+	runs := pagesched.PlanKnownSet(positions, t.opt.QPageBlocks, t.sto.Config(), t.opt.MaxBufferBlocks)
 	hit := make(map[int]bool, len(positions))
 	for _, p := range positions {
 		hit[p] = true
@@ -100,7 +105,10 @@ func (t *Tree) scanCandidates(s *disk.Session,
 	pageBytes := t.qPageBytes()
 	var out []Neighbor
 	for _, run := range runs {
-		buf := s.Read(t.qFile, run.Pos*t.opt.QPageBlocks, run.Blocks)
+		buf, err := s.Read(t.qFile, run.Pos*t.opt.QPageBlocks, run.Blocks)
+		if err != nil {
+			return nil, err
+		}
 		firstPage := run.Pos
 		nPages := run.Blocks / t.opt.QPageBlocks
 		for j := 0; j < nPages; j++ {
@@ -108,17 +116,21 @@ func (t *Tree) scanCandidates(s *disk.Session,
 			if !hit[pos] {
 				continue
 			}
-			out = append(out, t.rangePage(s, pos, buf[j*pageBytes:(j+1)*pageBytes], approxHit, exactHit)...)
+			res, err := t.rangePage(s, pos, buf[j*pageBytes:(j+1)*pageBytes], approxHit, exactHit)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, res...)
 		}
 	}
-	return out
+	return out, nil
 }
 
 // rangePage processes one candidate page of a range-style query.
-func (t *Tree) rangePage(s *disk.Session, entry int, buf []byte,
+func (t *Tree) rangePage(s *store.Session, entry int, buf []byte,
 	approxHit func(quantize.Grid, []uint32) candState,
 	exactHit func(vec.Point) (float64, bool),
-) []Neighbor {
+) ([]Neighbor, error) {
 	qp := page.UnmarshalQPage(buf)
 	var out []Neighbor
 	if qp.Bits == quantize.ExactBits {
@@ -129,7 +141,7 @@ func (t *Tree) rangePage(s *disk.Session, entry int, buf []byte,
 				out = append(out, Neighbor{ID: ids[i], Dist: d, Point: p})
 			}
 		}
-		return out
+		return out, nil
 	}
 	grid := t.grids[entry]
 	cells := qp.Cells(grid)
@@ -141,16 +153,19 @@ func (t *Tree) rangePage(s *disk.Session, entry int, buf []byte,
 		}
 	}
 	if len(need) == 0 {
-		return nil
+		return nil, nil
 	}
 	// Level 3: candidates of one page are contiguous in the exact file;
 	// read the covering range in a single operation.
 	e := t.entries[entry]
 	entrySize := page.ExactEntrySize(t.dim)
-	base := int(e.EPos) * t.dsk.Config().BlockSize
+	base := int(e.EPos) * t.sto.Config().BlockSize
 	lo := base + need[0]*entrySize
 	hi := base + (need[len(need)-1]+1)*entrySize
-	raw, rel := s.ReadRange(t.eFile, lo, hi-lo)
+	raw, rel, err := s.ReadRange(t.eFile, lo, hi-lo)
+	if err != nil {
+		return nil, err
+	}
 	s.ChargeDistCPU(t.dim, len(need))
 	for _, i := range need {
 		off := rel + (i-need[0])*entrySize
@@ -159,5 +174,5 @@ func (t *Tree) rangePage(s *disk.Session, entry int, buf []byte,
 			out = append(out, Neighbor{ID: id, Dist: d, Point: p})
 		}
 	}
-	return out
+	return out, nil
 }

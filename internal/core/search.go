@@ -4,10 +4,10 @@ import (
 	"math"
 	"sort"
 
-	"repro/internal/disk"
 	"repro/internal/page"
 	"repro/internal/pagesched"
 	"repro/internal/quantize"
+	"repro/internal/store"
 	"repro/internal/vec"
 )
 
@@ -22,33 +22,39 @@ type Trace struct {
 }
 
 // NearestNeighbor returns the nearest neighbor of q, charging all
-// simulated I/O and CPU to session s.
-func (t *Tree) NearestNeighbor(s *disk.Session, q vec.Point) (Neighbor, bool) {
-	res := t.KNN(s, q, 1)
-	if len(res) == 0 {
-		return Neighbor{}, false
+// simulated I/O and CPU to session s. ok is false when the tree is
+// empty or the search failed.
+func (t *Tree) NearestNeighbor(s *store.Session, q vec.Point) (nb Neighbor, ok bool, err error) {
+	res, err := t.KNN(s, q, 1)
+	if err != nil || len(res) == 0 {
+		return Neighbor{}, false, err
 	}
-	return res[0], true
+	return res[0], true, nil
 }
 
-// KNN returns the k nearest neighbors of q ordered by increasing distance.
-func (t *Tree) KNN(s *disk.Session, q vec.Point, k int) []Neighbor {
+// KNN returns the k nearest neighbors of q ordered by increasing
+// distance. On a read failure it returns the session's (sticky) error;
+// the partial result must not be trusted.
+func (t *Tree) KNN(s *store.Session, q vec.Point, k int) ([]Neighbor, error) {
 	return t.KNNTrace(s, q, k, nil)
 }
 
 // KNNTrace is KNN with an optional physical-work trace.
-func (t *Tree) KNNTrace(s *disk.Session, q vec.Point, k int, tr *Trace) []Neighbor {
+func (t *Tree) KNNTrace(s *store.Session, q vec.Point, k int, tr *Trace) ([]Neighbor, error) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	if k <= 0 || t.n == 0 {
-		return nil
+		return nil, s.Err()
 	}
 	if tr == nil {
 		tr = &Trace{}
 	}
 	st := &nnSearch{t: t, s: s, q: q, k: k, tr: tr}
 	st.run()
-	return st.results()
+	if st.err != nil {
+		return nil, st.err
+	}
+	return st.results(), nil
 }
 
 // pqItem is an entry of the search priority list (paper Sec. 3.2): either
@@ -60,11 +66,12 @@ type pqItem struct {
 }
 
 type nnSearch struct {
-	t  *Tree
-	s  *disk.Session
-	q  vec.Point
-	k  int
-	tr *Trace
+	t   *Tree
+	s   *store.Session
+	q   vec.Point
+	k   int
+	tr  *Trace
+	err error // first read failure; aborts the search
 
 	minD      []float64 // MINDIST per directory entry
 	processed []bool
@@ -115,7 +122,10 @@ func (st *nnSearch) run() {
 
 	// Level 1: sequential scan of the flat directory.
 	if t.dirFile.Blocks() > 0 {
-		st.s.Read(t.dirFile, 0, t.dirFile.Blocks())
+		if _, err := st.s.Read(t.dirFile, 0, t.dirFile.Blocks()); err != nil {
+			st.err = err
+			return
+		}
 	}
 	st.s.ChargeApproxCPU(t.dim, len(t.entries))
 
@@ -132,7 +142,7 @@ func (st *nnSearch) run() {
 	}
 	sort.Slice(st.sorted, func(a, b int) bool { return st.minD[st.sorted[a]] < st.minD[st.sorted[b]] })
 
-	for len(st.heap) > 0 {
+	for len(st.heap) > 0 && st.err == nil {
 		it := st.popItem()
 		if it.dist >= st.nnDist() {
 			break // nothing left can improve the result set
@@ -159,7 +169,11 @@ func (st *nnSearch) run() {
 // (the "standard NN-search" of Fig. 7).
 func (st *nnSearch) processSingle(entry int) {
 	t := st.t
-	buf := st.s.Read(t.qFile, int(t.entries[entry].QPos)*t.opt.QPageBlocks, t.opt.QPageBlocks)
+	buf, err := st.s.Read(t.qFile, int(t.entries[entry].QPos)*t.opt.QPageBlocks, t.opt.QPageBlocks)
+	if err != nil {
+		st.err = err
+		return
+	}
 	st.tr.PagesRead++
 	st.tr.Batches++
 	st.processPage(entry, buf)
@@ -172,13 +186,17 @@ func (st *nnSearch) processBatch(entry int) {
 	t := st.t
 	pivot := int(t.entries[entry].QPos)
 	sched := &pagesched.Scheduler{
-		Cfg:        t.dsk.Config(),
+		Cfg:        t.sto.Config(),
 		PageBlocks: t.opt.QPageBlocks,
 		NumPages:   t.qFile.Blocks() / t.opt.QPageBlocks,
 		Prob:       st.accessProb,
 	}
 	first, last := sched.Batch(pivot)
-	buf := st.s.Read(t.qFile, first*t.opt.QPageBlocks, (last-first+1)*t.opt.QPageBlocks)
+	buf, err := st.s.Read(t.qFile, first*t.opt.QPageBlocks, (last-first+1)*t.opt.QPageBlocks)
+	if err != nil {
+		st.err = err
+		return
+	}
 	st.tr.PagesRead += last - first + 1
 	st.tr.Batches++
 	pageBytes := t.qPageBytes()
@@ -265,7 +283,11 @@ func (st *nnSearch) refine(it pqItem) {
 	if !ok {
 		e := t.entries[it.entry]
 		entrySize := page.ExactEntrySize(t.dim)
-		raw, rel := st.s.ReadRange(t.eFile, int(e.EPos)*t.dsk.Config().BlockSize, int(e.Count)*entrySize)
+		raw, rel, err := st.s.ReadRange(t.eFile, int(e.EPos)*t.sto.Config().BlockSize, int(e.Count)*entrySize)
+		if err != nil {
+			st.err = err
+			return
+		}
 		st.tr.Refinements++
 		ep = exactPage{pts: make([]vec.Point, e.Count), ids: make([]uint32, e.Count)}
 		for i := 0; i < int(e.Count); i++ {

@@ -5,9 +5,9 @@ import (
 	"math"
 	"sort"
 
-	"repro/internal/disk"
 	"repro/internal/page"
 	"repro/internal/quantize"
+	"repro/internal/store"
 	"repro/internal/vec"
 )
 
@@ -16,7 +16,7 @@ import (
 // the cost model decides between splitting the page and re-quantizing it
 // at a coarser level. I/O performed by the maintenance operation is
 // charged to s.
-func (t *Tree) Insert(s *disk.Session, p vec.Point, id uint32) error {
+func (t *Tree) Insert(s *store.Session, p vec.Point, id uint32) error {
 	if len(p) != t.dim {
 		return fmt.Errorf("core: insert dimension %d, want %d", len(p), t.dim)
 	}
@@ -27,7 +27,10 @@ func (t *Tree) Insert(s *disk.Session, p vec.Point, id uint32) error {
 	if target < 0 {
 		return fmt.Errorf("core: no page available for insert")
 	}
-	pts, ids := t.readPagePoints(s, target)
+	pts, ids, err := t.readPagePoints(s, target)
+	if err != nil {
+		return err
+	}
 	pts = append(pts, p.Clone())
 	ids = append(ids, id)
 
@@ -37,14 +40,16 @@ func (t *Tree) Insert(s *disk.Session, p vec.Point, id uint32) error {
 	t.model.DataSpace = t.dataSpace
 
 	t.storeGroup(s, target, pts, ids, int(t.entries[target].Bits))
-	t.rewriteDirectory()
-	return nil
+	if err := t.rewriteDirectory(); err != nil {
+		return err
+	}
+	return t.sto.Err()
 }
 
 // InsertBatch adds many points at once, grouping them by target page so
 // that each affected page is read, re-quantized and rewritten exactly
 // once, and the directory is rewritten once at the end.
-func (t *Tree) InsertBatch(s *disk.Session, pts []vec.Point, ids []uint32) error {
+func (t *Tree) InsertBatch(s *store.Session, pts []vec.Point, ids []uint32) error {
 	if len(pts) != len(ids) {
 		return fmt.Errorf("core: %d points but %d ids", len(pts), len(ids))
 	}
@@ -79,22 +84,27 @@ func (t *Tree) InsertBatch(s *disk.Session, pts []vec.Point, ids []uint32) error
 	for _, target := range targets {
 		members := groups[target]
 		oldBits := int(t.entries[target].Bits)
-		pagePts, pageIDs := t.readPagePoints(s, target)
+		pagePts, pageIDs, err := t.readPagePoints(s, target)
+		if err != nil {
+			return err
+		}
 		for _, i := range members {
 			pagePts = append(pagePts, pts[i].Clone())
 			pageIDs = append(pageIDs, ids[i])
 		}
 		t.storeGroup(s, target, pagePts, pageIDs, oldBits)
 	}
-	t.rewriteDirectory()
-	return nil
+	if err := t.rewriteDirectory(); err != nil {
+		return err
+	}
+	return t.sto.Err()
 }
 
 // storeGroup writes a grown point group back to the page at `entry`: keep
 // the page (possibly at a coarser level) or split it — recursively if the
 // batch overflowed more than one level — with the cost model arbitrating
 // between coarsening and splitting (Section 6).
-func (t *Tree) storeGroup(s *disk.Session, entry int, pts []vec.Point, ids []uint32, oldBits int) {
+func (t *Tree) storeGroup(s *store.Session, entry int, pts []vec.Point, ids []uint32, oldBits int) {
 	newBits := t.fitBits(len(pts))
 	if newBits > 0 {
 		if newBits < oldBits && len(pts) >= 2 && t.splitIsCheaper(entry, pts, newBits) {
@@ -110,7 +120,7 @@ func (t *Tree) storeGroup(s *disk.Session, entry int, pts []vec.Point, ids []uin
 // splitGroup median-splits a point group: the left half replaces the page
 // at `entry`, the right half goes to a freshly appended page; halves that
 // still do not fit any level split further.
-func (t *Tree) splitGroup(s *disk.Session, entry int, pts []vec.Point, ids []uint32) {
+func (t *Tree) splitGroup(s *store.Session, entry int, pts []vec.Point, ids []uint32) {
 	left, right := splitPoints(pts, ids)
 	if bits := t.fitBits(len(left.pts)); bits > 0 {
 		t.rewritePage(s, entry, left.pts, left.ids, bits)
@@ -136,10 +146,10 @@ func (t *Tree) appendEmptyPage() int {
 }
 
 // Delete removes the point with the given coordinates and id. It returns
-// false if no such point exists.
-func (t *Tree) Delete(s *disk.Session, p vec.Point, id uint32) bool {
+// found=false if no such point exists.
+func (t *Tree) Delete(s *store.Session, p vec.Point, id uint32) (found bool, err error) {
 	if len(p) != t.dim {
-		return false
+		return false, nil
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -147,7 +157,10 @@ func (t *Tree) Delete(s *disk.Session, p vec.Point, id uint32) bool {
 		if t.free[i] || !e.MBR.Contains(p) {
 			continue
 		}
-		pts, ids := t.readPagePoints(s, i)
+		pts, ids, err := t.readPagePoints(s, i)
+		if err != nil {
+			return false, err
+		}
 		for j := range ids {
 			if ids[j] == id && pts[j].Equal(p) {
 				pts = append(pts[:j], pts[j+1:]...)
@@ -159,14 +172,18 @@ func (t *Tree) Delete(s *disk.Session, p vec.Point, id uint32) bool {
 					t.entries[i].Count = 0
 				} else {
 					t.rewritePage(s, i, pts, ids, t.fitBits(len(pts)))
-					t.tryMerge(s, i)
+					if err := t.tryMerge(s, i); err != nil {
+						return false, err
+					}
 				}
-				t.rewriteDirectory()
-				return true
+				if err := t.rewriteDirectory(); err != nil {
+					return false, err
+				}
+				return true, t.sto.Err()
 			}
 		}
 	}
-	return false
+	return false, nil
 }
 
 // tryMerge implements the paper's "undo the split" maintenance (Section 6
@@ -175,10 +192,10 @@ func (t *Tree) Delete(s *disk.Session, p vec.Point, id uint32) bool {
 // is predicted cheaper by the cost model than keeping the two pages (one
 // fewer directory entry and second-level page). The partner with the
 // smallest union volume is considered.
-func (t *Tree) tryMerge(s *disk.Session, entry int) {
+func (t *Tree) tryMerge(s *store.Session, entry int) error {
 	e := t.entries[entry]
 	if int(e.Count) > t.pageCapacity(quantize.ExactBits)/2 {
-		return // not small enough to bother
+		return nil // not small enough to bother
 	}
 	best, bestVol := -1, math.Inf(1)
 	for j := range t.entries {
@@ -196,7 +213,7 @@ func (t *Tree) tryMerge(s *disk.Session, entry int) {
 		}
 	}
 	if best < 0 {
-		return
+		return nil
 	}
 	o := t.entries[best]
 	union := e.MBR.Clone()
@@ -210,15 +227,22 @@ func (t *Tree) tryMerge(s *disk.Session, entry int) {
 	constNow := t.model.DirectoryCost(n) + t.model.SecondLevelCost(n)
 	constMerged := t.model.DirectoryCost(n-1) + t.model.SecondLevelCost(n-1)
 	if constMerged+mergedVar >= constNow+separateVar {
-		return // keeping the split is predicted cheaper
+		return nil // keeping the split is predicted cheaper
 	}
-	pts, ids := t.readPagePoints(s, entry)
-	pts2, ids2 := t.readPagePoints(s, best)
+	pts, ids, err := t.readPagePoints(s, entry)
+	if err != nil {
+		return err
+	}
+	pts2, ids2, err := t.readPagePoints(s, best)
+	if err != nil {
+		return err
+	}
 	pts = append(pts, pts2...)
 	ids = append(ids, ids2...)
 	t.rewritePage(s, entry, pts, ids, mergedBits)
 	t.free[best] = true
 	t.entries[best].Count = 0
+	return nil
 }
 
 // chooseEntry picks the page for an insert: the containing page with the
@@ -259,21 +283,28 @@ func (t *Tree) chooseEntry(p vec.Point) int {
 }
 
 // readPagePoints loads the exact points and ids of a page, charging s.
-func (t *Tree) readPagePoints(s *disk.Session, entry int) ([]vec.Point, []uint32) {
+func (t *Tree) readPagePoints(s *store.Session, entry int) ([]vec.Point, []uint32, error) {
 	e := t.entries[entry]
 	if e.Bits == quantize.ExactBits {
-		buf := s.Read(t.qFile, int(e.QPos)*t.opt.QPageBlocks, t.opt.QPageBlocks)
+		buf, err := s.Read(t.qFile, int(e.QPos)*t.opt.QPageBlocks, t.opt.QPageBlocks)
+		if err != nil {
+			return nil, nil, err
+		}
 		qp := page.UnmarshalQPage(buf)
-		return qp.ExactPoints(t.dim)
+		pts, ids := qp.ExactPoints(t.dim)
+		return pts, ids, nil
 	}
 	entrySize := page.ExactEntrySize(t.dim)
-	raw, rel := s.ReadRange(t.eFile, int(e.EPos)*t.dsk.Config().BlockSize, int(e.Count)*entrySize)
+	raw, rel, err := s.ReadRange(t.eFile, int(e.EPos)*t.sto.Config().BlockSize, int(e.Count)*entrySize)
+	if err != nil {
+		return nil, nil, err
+	}
 	pts := make([]vec.Point, e.Count)
 	ids := make([]uint32, e.Count)
 	for i := 0; i < int(e.Count); i++ {
 		pts[i], ids[i] = page.UnmarshalExactEntry(raw[rel+i*entrySize:], t.dim)
 	}
-	return pts, ids
+	return pts, ids, nil
 }
 
 // splitIsCheaper compares, under the cost model, coarsening the page to
@@ -337,7 +368,7 @@ func splitPoints(pts []vec.Point, ids []uint32) (left, right half) {
 // rewritePage re-quantizes a page in place: new MBR, new level, new
 // second-level page, and (for compressed levels) a fresh exact page. The
 // old exact region becomes garbage, as in any out-of-place update scheme.
-func (t *Tree) rewritePage(s *disk.Session, entry int, pts []vec.Point, ids []uint32, bits int) {
+func (t *Tree) rewritePage(s *store.Session, entry int, pts []vec.Point, ids []uint32, bits int) {
 	if bits <= 0 {
 		panic("core: rewritePage with non-fitting bits")
 	}
@@ -347,18 +378,22 @@ func (t *Tree) rewritePage(s *disk.Session, entry int, pts []vec.Point, ids []ui
 	e.Count = uint32(len(pts))
 	e.Bits = uint8(bits)
 	e.MBR = mbr
+	// Write failures are recorded as the store's sticky error; the public
+	// update entry points return Store.Err after the last write.
 	if bits < quantize.ExactBits {
 		exact := page.MarshalExact(pts, ids)
-		blocks := t.dsk.Config().Blocks(len(exact))
+		blocks := t.sto.Config().Blocks(len(exact))
 		if e.EBlocks >= uint32(blocks) && e.EBlocks > 0 {
 			// Fits in the old region: rewrite in place.
-			padded := make([]byte, int(e.EBlocks)*t.dsk.Config().BlockSize)
+			padded := make([]byte, int(e.EBlocks)*t.sto.Config().BlockSize)
 			copy(padded, exact)
 			t.eFile.WriteBlocks(int(e.EPos), padded)
 		} else {
-			epos, eblocks := t.eFile.Append(exact)
-			e.EPos = uint32(epos)
-			e.EBlocks = uint32(eblocks)
+			epos, eblocks, err := t.eFile.Append(exact)
+			if err == nil {
+				e.EPos = uint32(epos)
+				e.EBlocks = uint32(eblocks)
+			}
 		}
 		t.qFile.WriteBlocks(int(e.QPos)*t.opt.QPageBlocks, page.MarshalQPage(grid, pts, nil, t.qPageBytes()))
 	} else {
@@ -373,15 +408,17 @@ func (t *Tree) rewritePage(s *disk.Session, entry int, pts []vec.Point, ids []ui
 
 // rewriteDirectory re-serializes the whole first-level directory (it is
 // small and scanned linearly anyway).
-func (t *Tree) rewriteDirectory() {
+func (t *Tree) rewriteDirectory() error {
 	dirBuf := make([]byte, 0, len(t.entries)*page.DirEntrySize(t.dim))
 	entryBuf := make([]byte, page.DirEntrySize(t.dim))
 	for i := range t.entries {
 		t.entries[i].Marshal(entryBuf, t.dim)
 		dirBuf = append(dirBuf, entryBuf...)
 	}
-	t.dirFile.SetContents(dirBuf)
-	t.writeMeta()
+	if err := t.dirFile.SetContents(dirBuf); err != nil {
+		return err
+	}
+	return t.writeMeta()
 }
 
 // Reoptimize rebuilds the tree's physical structure from scratch over its
@@ -391,14 +428,21 @@ func (t *Tree) rewriteDirectory() {
 // to maintain optimality; this is the batch variant — run it after heavy
 // update traffic, guided by CostEstimate.
 func (t *Tree) Reoptimize() error {
-	pts, ids := t.AllPoints()
+	pts, ids, err := t.AllPoints()
+	if err != nil {
+		return err
+	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if len(pts) == 0 {
 		return fmt.Errorf("core: cannot reoptimize an empty tree")
 	}
-	t.qFile.SetContents(nil)
-	t.eFile.SetContents(nil)
+	if err := t.qFile.SetContents(nil); err != nil {
+		return err
+	}
+	if err := t.eFile.SetContents(nil); err != nil {
+		return err
+	}
 	t.entries = t.entries[:0]
 	t.grids = t.grids[:0]
 	t.free = t.free[:0]
@@ -410,25 +454,30 @@ func (t *Tree) Reoptimize() error {
 	b := newBuilder(t, pts)
 	b.ids = ids
 	b.run()
-	t.writeMeta()
-	return nil
+	if err := t.writeMeta(); err != nil {
+		return err
+	}
+	return t.sto.Err()
 }
 
 // AllPoints returns every live (point, id) pair by reading the data files
 // without charging any session (a maintenance/verification helper).
-func (t *Tree) AllPoints() ([]vec.Point, []uint32) {
+func (t *Tree) AllPoints() ([]vec.Point, []uint32, error) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	free := t.dsk.NewSession()
+	free := t.sto.NewSession()
 	var pts []vec.Point
 	var ids []uint32
 	for i := range t.entries {
 		if t.free[i] {
 			continue
 		}
-		p, id := t.readPagePoints(free, i)
+		p, id, err := t.readPagePoints(free, i)
+		if err != nil {
+			return nil, nil, err
+		}
 		pts = append(pts, p...)
 		ids = append(ids, id...)
 	}
-	return pts, ids
+	return pts, ids, nil
 }

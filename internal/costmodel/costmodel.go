@@ -16,9 +16,9 @@ package costmodel
 import (
 	"math"
 
-	"repro/internal/disk"
 	"repro/internal/mathx"
 	"repro/internal/quantize"
+	"repro/internal/store"
 	"repro/internal/vec"
 )
 
@@ -26,7 +26,7 @@ import (
 // database. It is immutable after construction and safe for concurrent use.
 type Model struct {
 	// Disk holds the hardware parameters (t_seek, t_xfer, block size).
-	Disk disk.Config
+	Disk store.Config
 	// Metric is the query metric (Euclidean or Maximum).
 	Metric vec.Metric
 	// Dim is the embedding dimensionality d.

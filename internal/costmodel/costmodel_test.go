@@ -5,8 +5,8 @@ import (
 	"math/rand"
 	"testing"
 
-	"repro/internal/disk"
 	"repro/internal/quantize"
+	"repro/internal/store"
 	"repro/internal/vec"
 )
 
@@ -17,7 +17,7 @@ func testModel(d int, met vec.Metric) *Model {
 		hi[i] = 1
 	}
 	return &Model{
-		Disk:          disk.DefaultConfig(),
+		Disk:          store.DefaultConfig(),
 		Metric:        met,
 		Dim:           d,
 		N:             100000,

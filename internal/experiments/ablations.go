@@ -5,7 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dataset"
-	"repro/internal/disk"
+	"repro/internal/store"
 	"repro/internal/vafile"
 	"repro/internal/vec"
 )
@@ -44,11 +44,17 @@ func AblationVABits(o RunOpts) (Figure, error) {
 		}
 		s := Series{Label: fmt.Sprintf("%s (N=%d)", w.ds, cfg.N)}
 		for _, bits := range cfg.VABits {
-			dsk := disk.New(cfg.Disk)
+			sto := store.NewSim(cfg.Disk)
 			opt := vafile.DefaultOptions()
 			opt.Bits = bits
-			v := vafile.Build(dsk, db, opt)
-			secs, _ := measure(dsk, v, queries, cfg.K)
+			v, err := vafile.Build(sto, db, opt)
+			if err != nil {
+				return Figure{}, err
+			}
+			secs, _, err := measure(sto, v, queries, cfg.K)
+			if err != nil {
+				return Figure{}, err
+			}
 			s.X = append(s.X, float64(bits))
 			s.Y = append(s.Y, secs)
 		}
@@ -92,14 +98,17 @@ func AblationCostModel(o RunOpts) (Figure, error) {
 			return Figure{}, err
 		}
 		for _, unif := range []bool{false, true} {
-			dsk := disk.New(cfg.Disk)
+			sto := store.NewSim(cfg.Disk)
 			opt := core.DefaultOptions()
 			opt.UniformModel = unif
-			tr, err := core.Build(dsk, db, opt)
+			tr, err := core.Build(sto, db, opt)
 			if err != nil {
 				return Figure{}, err
 			}
-			secs, _ := measure(dsk, tr, queries, cfg.K)
+			secs, _, err := measure(sto, tr, queries, cfg.K)
+			if err != nil {
+				return Figure{}, err
+			}
 			st := tr.Stats()
 			s := &fractal
 			if unif {
@@ -137,37 +146,47 @@ func AblationKNN(o RunOpts) (Figure, error) {
 	}
 	ks := []int{1, 2, 5, 10, 20}
 
-	build := func(kTarget int) (*disk.Disk, *core.Tree, error) {
-		dsk := disk.New(cfg.Disk)
+	build := func(kTarget int) (*store.Store, *core.Tree, error) {
+		sto := store.NewSim(cfg.Disk)
 		opt := core.DefaultOptions()
 		opt.KNNTarget = kTarget
-		tr, err := core.Build(dsk, db, opt)
-		return dsk, tr, err
+		tr, err := core.Build(sto, db, opt)
+		return sto, tr, err
 	}
-	baseDisk, baseTree, err := build(0)
+	baseStore, baseTree, err := build(0)
 	if err != nil {
 		return Figure{}, err
 	}
-	vaDisk := disk.New(cfg.Disk)
-	va := vafile.Build(vaDisk, db, vafile.DefaultOptions())
+	vaStore := store.NewSim(cfg.Disk)
+	va, err := vafile.Build(vaStore, db, vafile.DefaultOptions())
+	if err != nil {
+		return Figure{}, err
+	}
 
 	base := Series{Label: "IQ-tree (k=1 model)"}
 	aware := Series{Label: "IQ-tree (k-aware model)"}
 	vaSeries := Series{Label: "VA-file"}
 	for _, k := range ks {
-		secs, _ := measureK(baseDisk, baseTree, queries, k)
-		base.X = append(base.X, float64(k))
-		base.Y = append(base.Y, secs)
-
-		kDisk, kTree, err := build(k)
+		secs, _, err := measureK(baseStore, baseTree, queries, k)
 		if err != nil {
 			return Figure{}, err
 		}
-		secs, _ = measureK(kDisk, kTree, queries, k)
+		base.X = append(base.X, float64(k))
+		base.Y = append(base.Y, secs)
+
+		kStore, kTree, err := build(k)
+		if err != nil {
+			return Figure{}, err
+		}
+		if secs, _, err = measureK(kStore, kTree, queries, k); err != nil {
+			return Figure{}, err
+		}
 		aware.X = append(aware.X, float64(k))
 		aware.Y = append(aware.Y, secs)
 
-		secs, _ = measureK(vaDisk, va, queries, k)
+		if secs, _, err = measureK(vaStore, va, queries, k); err != nil {
+			return Figure{}, err
+		}
 		vaSeries.X = append(vaSeries.X, float64(k))
 		vaSeries.Y = append(vaSeries.Y, secs)
 	}
@@ -208,12 +227,15 @@ func ModelValidation(o RunOpts) (Figure, error) {
 		if err != nil {
 			return Figure{}, err
 		}
-		dsk := disk.New(cfg.Disk)
-		tr, err := core.Build(dsk, db, core.DefaultOptions())
+		sto := store.NewSim(cfg.Disk)
+		tr, err := core.Build(sto, db, core.DefaultOptions())
 		if err != nil {
 			return Figure{}, err
 		}
-		secs, _ := measure(dsk, tr, queries, cfg.K)
+		secs, _, err := measure(sto, tr, queries, cfg.K)
+		if err != nil {
+			return Figure{}, err
+		}
 		predicted.X = append(predicted.X, float64(wi+1))
 		predicted.Y = append(predicted.Y, tr.CostEstimate())
 		measured.X = append(measured.X, float64(wi+1))
@@ -225,14 +247,16 @@ func ModelValidation(o RunOpts) (Figure, error) {
 }
 
 // measureK is measure with an explicit k.
-func measureK(dsk *disk.Disk, idx searcher, queries []vec.Point, k int) (float64, disk.Stats) {
-	var agg disk.Stats
+func measureK(sto *store.Store, idx searcher, queries []vec.Point, k int) (float64, store.Stats, error) {
+	var agg store.Stats
 	for _, q := range queries {
-		s := dsk.NewSession()
-		idx.KNN(s, q, k)
+		s := sto.NewSession()
+		if _, err := idx.KNN(s, q, k); err != nil {
+			return 0, store.Stats{}, err
+		}
 		agg.Add(s.Stats)
 	}
-	return agg.Time(dsk.Config()) / float64(len(queries)), agg
+	return agg.Time(sto.Config()) / float64(len(queries)), agg, nil
 }
 
 // AblationFixedBits compares the IQ-tree's optimal per-page quantization
@@ -259,24 +283,30 @@ func AblationFixedBits(o RunOpts) (Figure, error) {
 	}
 	fixed := Series{Label: "IQ-tree structure, fixed level"}
 	for _, bits := range []int{1, 2, 4, 8, 16} {
-		dsk := disk.New(cfg.Disk)
+		sto := store.NewSim(cfg.Disk)
 		opt := core.DefaultOptions()
 		opt.FixedBits = bits
-		tr, err := core.Build(dsk, db, opt)
+		tr, err := core.Build(sto, db, opt)
 		if err != nil {
 			return Figure{}, err
 		}
-		secs, _ := measure(dsk, tr, queries, cfg.K)
+		secs, _, err := measure(sto, tr, queries, cfg.K)
+		if err != nil {
+			return Figure{}, err
+		}
 		fixed.X = append(fixed.X, float64(bits))
 		fixed.Y = append(fixed.Y, secs)
 	}
 	opt := Series{Label: "IQ-tree, optimized per page"}
-	dsk := disk.New(cfg.Disk)
-	tr, err := core.Build(dsk, db, core.DefaultOptions())
+	sto := store.NewSim(cfg.Disk)
+	tr, err := core.Build(sto, db, core.DefaultOptions())
 	if err != nil {
 		return Figure{}, err
 	}
-	secs, _ := measure(dsk, tr, queries, cfg.K)
+	secs, _, err := measure(sto, tr, queries, cfg.K)
+	if err != nil {
+		return Figure{}, err
+	}
 	opt.X = append(opt.X, 0)
 	opt.Y = append(opt.Y, secs)
 	fig.Series = []Series{fixed, opt}

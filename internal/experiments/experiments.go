@@ -14,8 +14,8 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dataset"
-	"repro/internal/disk"
 	"repro/internal/scan"
+	"repro/internal/store"
 	"repro/internal/vafile"
 	"repro/internal/vec"
 	"repro/internal/xtree"
@@ -45,7 +45,7 @@ type Config struct {
 	Dim     int // dimensionality (uniform only; fixed for real sets)
 	Queries int // number of query points (held out of the database)
 	K       int // neighbors per query (the paper uses 1)
-	Disk    disk.Config
+	Disk    store.Config
 	VABits  []int // candidate VA-file bits per dimension (paper: 2..8)
 }
 
@@ -58,7 +58,7 @@ func (c Config) withDefaults() Config {
 		c.K = 1
 	}
 	if c.Disk.BlockSize == 0 {
-		c.Disk = disk.DefaultConfig()
+		c.Disk = store.DefaultConfig()
 	}
 	if len(c.VABits) == 0 {
 		c.VABits = []int{2, 3, 4, 5, 6, 7, 8}
@@ -82,9 +82,9 @@ func (c Config) data() (db, queries []vec.Point, err error) {
 // Result is the measured cost of one method on one configuration.
 type Result struct {
 	Method  Method
-	Seconds float64    // average simulated seconds per query
-	Stats   disk.Stats // aggregate over the whole batch
-	Detail  string     // method-specific notes (e.g. chosen VA-file bits)
+	Seconds float64     // average simulated seconds per query
+	Stats   store.Stats // aggregate over the whole batch
+	Detail  string      // method-specific notes (e.g. chosen VA-file bits)
 }
 
 // Run measures the given methods on one configuration. Every method gets
@@ -109,11 +109,11 @@ func Run(cfg Config, methods []Method) ([]Result, error) {
 
 // searcher is the common query interface of all access methods.
 type searcher interface {
-	KNN(s *disk.Session, q vec.Point, k int) []vec.Neighbor
+	KNN(s *store.Session, q vec.Point, k int) ([]vec.Neighbor, error)
 }
 
 func runMethod(cfg Config, m Method, db, queries []vec.Point) (Result, error) {
-	dsk := disk.New(cfg.Disk)
+	sto := store.NewSim(cfg.Disk)
 	var (
 		idx    searcher
 		detail string
@@ -132,7 +132,7 @@ func runMethod(cfg Config, m Method, db, queries []vec.Point) (Result, error) {
 		case IQUniform:
 			opt.UniformModel = true
 		}
-		t, err := core.Build(dsk, db, opt)
+		t, err := core.Build(sto, db, opt)
 		if err != nil {
 			return Result{}, err
 		}
@@ -140,23 +140,37 @@ func runMethod(cfg Config, m Method, db, queries []vec.Point) (Result, error) {
 		detail = fmt.Sprintf("pages=%d D_F=%.1f", st.Pages, st.FractalDim)
 		idx = t
 	case XTree:
-		t := xtree.Build(dsk, db, xtree.DefaultOptions())
+		t, err := xtree.Build(sto, db, xtree.DefaultOptions())
+		if err != nil {
+			return Result{}, err
+		}
 		st := t.Stats()
 		detail = fmt.Sprintf("leaves=%d supernodes=%d height=%d", st.Leaves, st.Supernodes, st.Height)
 		idx = t
 	case VAFile, VAFileUnif:
-		bits := TuneVAFile(cfg, db, queries, m == VAFileUnif)
+		bits, err := TuneVAFile(cfg, db, queries, m == VAFileUnif)
+		if err != nil {
+			return Result{}, err
+		}
 		opt := vafile.DefaultOptions()
 		opt.Bits = bits
 		opt.Uniform = m == VAFileUnif
 		detail = fmt.Sprintf("bits=%d", bits)
-		idx = vafile.Build(dsk, db, opt)
+		if idx, err = vafile.Build(sto, db, opt); err != nil {
+			return Result{}, err
+		}
 	case Scan:
-		idx = scan.Build(dsk, db, vec.Euclidean)
+		var err error
+		if idx, err = scan.Build(sto, db, vec.Euclidean); err != nil {
+			return Result{}, err
+		}
 	default:
 		return Result{}, fmt.Errorf("experiments: unknown method %q", m)
 	}
-	secs, stats := measure(dsk, idx, queries, cfg.K)
+	secs, stats, err := measure(sto, idx, queries, cfg.K)
+	if err != nil {
+		return Result{}, err
+	}
 	return Result{Method: m, Seconds: secs, Stats: stats, Detail: detail}, nil
 }
 
@@ -165,8 +179,9 @@ func runMethod(cfg Config, m Method, db, queries []vec.Point) (Result, error) {
 // harness's wall-clock time; each query gets its own session, and the
 // per-query stats are merged in query order, so the result is
 // deterministic regardless of scheduling.
-func measure(dsk *disk.Disk, idx searcher, queries []vec.Point, k int) (float64, disk.Stats) {
-	perQuery := make([]disk.Stats, len(queries))
+func measure(sto *store.Store, idx searcher, queries []vec.Point, k int) (float64, store.Stats, error) {
+	perQuery := make([]store.Stats, len(queries))
+	errs := make([]error, len(queries))
 	workers := runtime.GOMAXPROCS(0)
 	if workers > len(queries) {
 		workers = len(queries)
@@ -182,25 +197,28 @@ func measure(dsk *disk.Disk, idx searcher, queries []vec.Point, k int) (float64,
 				if i >= len(queries) {
 					return
 				}
-				s := dsk.NewSession()
-				idx.KNN(s, queries[i], k)
+				s := sto.NewSession()
+				_, errs[i] = idx.KNN(s, queries[i], k)
 				perQuery[i] = s.Stats
 			}
 		}()
 	}
 	wg.Wait()
-	var agg disk.Stats
-	for _, st := range perQuery {
+	var agg store.Stats
+	for i, st := range perQuery {
+		if errs[i] != nil {
+			return 0, store.Stats{}, errs[i]
+		}
 		agg.Add(st)
 	}
-	return agg.Time(dsk.Config()) / float64(len(queries)), agg
+	return agg.Time(sto.Config()) / float64(len(queries)), agg, nil
 }
 
 // TuneVAFile replicates the paper's hand-tuning of the VA-file: it tries
 // every candidate bits-per-dimension on a small prefix of the query
 // workload and returns the cheapest. The paper stresses that the VA-file
 // needs this manual step while the IQ-tree adapts automatically.
-func TuneVAFile(cfg Config, db, queries []vec.Point, uniform bool) int {
+func TuneVAFile(cfg Config, db, queries []vec.Point, uniform bool) (int, error) {
 	cfg = cfg.withDefaults()
 	tuneQ := queries
 	if len(tuneQ) > 10 {
@@ -208,15 +226,21 @@ func TuneVAFile(cfg Config, db, queries []vec.Point, uniform bool) int {
 	}
 	best, bestT := cfg.VABits[0], math.Inf(1)
 	for _, b := range cfg.VABits {
-		dsk := disk.New(cfg.Disk)
+		sto := store.NewSim(cfg.Disk)
 		opt := vafile.DefaultOptions()
 		opt.Bits = b
 		opt.Uniform = uniform
-		v := vafile.Build(dsk, db, opt)
-		secs, _ := measure(dsk, v, tuneQ, cfg.K)
+		v, err := vafile.Build(sto, db, opt)
+		if err != nil {
+			return 0, err
+		}
+		secs, _, err := measure(sto, v, tuneQ, cfg.K)
+		if err != nil {
+			return 0, err
+		}
 		if secs < bestT {
 			best, bestT = b, secs
 		}
 	}
-	return best
+	return best, nil
 }

@@ -7,8 +7,8 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dataset"
-	"repro/internal/disk"
 	"repro/internal/scan"
+	"repro/internal/store"
 	"repro/internal/vafile"
 	"repro/internal/vec"
 	"repro/internal/xtree"
@@ -28,10 +28,16 @@ func TestAllMethodsAgreeOnNearestNeighbor(t *testing.T) {
 
 		var reference [][]float64
 		{
-			dsk := disk.New(cfg.Disk)
-			sc := scan.Build(dsk, db, vec.Euclidean)
+			sto := store.NewSim(cfg.Disk)
+			sc, err := scan.Build(sto, db, vec.Euclidean)
+			if err != nil {
+				t.Fatal(err)
+			}
 			for _, q := range queries {
-				res := sc.KNN(dsk.NewSession(), q, 3)
+				res, err := sc.KNN(sto.NewSession(), q, 3)
+				if err != nil {
+					t.Fatal(err)
+				}
 				ds := make([]float64, len(res))
 				for i, nb := range res {
 					ds[i] = nb.Dist
@@ -64,22 +70,46 @@ func TestAllMethodsAgreeOnNearestNeighbor(t *testing.T) {
 			{"iq-noopt", func() core.Options { o := core.DefaultOptions(); o.OptimizedIO = false; return o }()},
 			{"iq-maxmetric-model", func() core.Options { o := core.DefaultOptions(); o.UniformModel = true; return o }()},
 		} {
-			dsk := disk.New(cfg.Disk)
-			tr, err := core.Build(dsk, db, variant.opt)
+			sto := store.NewSim(cfg.Disk)
+			tr, err := core.Build(sto, db, variant.opt)
 			if err != nil {
 				t.Fatal(err)
 			}
-			check(variant.name, func(q vec.Point) []vec.Neighbor { return tr.KNN(dsk.NewSession(), q, 3) })
+			check(variant.name, func(q vec.Point) []vec.Neighbor {
+				res, err := tr.KNN(sto.NewSession(), q, 3)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res
+			})
 		}
 		{
-			dsk := disk.New(cfg.Disk)
-			xt := xtree.Build(dsk, db, xtree.DefaultOptions())
-			check("xtree", func(q vec.Point) []vec.Neighbor { return xt.KNN(dsk.NewSession(), q, 3) })
+			sto := store.NewSim(cfg.Disk)
+			xt, err := xtree.Build(sto, db, xtree.DefaultOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			check("xtree", func(q vec.Point) []vec.Neighbor {
+				res, err := xt.KNN(sto.NewSession(), q, 3)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res
+			})
 		}
 		{
-			dsk := disk.New(cfg.Disk)
-			va := vafile.Build(dsk, db, vafile.DefaultOptions())
-			check("vafile", func(q vec.Point) []vec.Neighbor { return va.KNN(dsk.NewSession(), q, 3) })
+			sto := store.NewSim(cfg.Disk)
+			va, err := vafile.Build(sto, db, vafile.DefaultOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			check("vafile", func(q vec.Point) []vec.Neighbor {
+				res, err := va.KNN(sto.NewSession(), q, 3)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res
+			})
 		}
 	}
 }
@@ -115,7 +145,10 @@ func TestTuneVAFilePicksACandidate(t *testing.T) {
 	cfg := Config{Dataset: dataset.Uniform, Seed: 2, N: 2000, Dim: 8, Queries: 5, VABits: []int{2, 6}}
 	cfg = cfg.withDefaults()
 	db, qs, _ := cfg.data()
-	bits := TuneVAFile(cfg, db, qs, false)
+	bits, err := TuneVAFile(cfg, db, qs, false)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if bits != 2 && bits != 6 {
 		t.Fatalf("tuned bits %d not among candidates", bits)
 	}

@@ -5,8 +5,8 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dataset"
-	"repro/internal/disk"
 	"repro/internal/scan"
+	"repro/internal/store"
 	"repro/internal/vafile"
 	"repro/internal/vec"
 	"repro/internal/xtree"
@@ -52,22 +52,39 @@ func TestWindowQueryAgreement(t *testing.T) {
 		}
 	}
 
-	iqDisk := disk.New(cfg.Disk)
-	tr, err := core.Build(iqDisk, pts, core.DefaultOptions())
+	must := func(res []vec.Neighbor, err error) []vec.Neighbor {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	iqStore := store.NewSim(cfg.Disk)
+	tr, err := core.Build(iqStore, pts, core.DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
-	check("iqtree", func(w vec.MBR) []vec.Neighbor { return tr.WindowQuery(iqDisk.NewSession(), w) })
+	check("iqtree", func(w vec.MBR) []vec.Neighbor { return must(tr.WindowQuery(iqStore.NewSession(), w)) })
 
-	xDisk := disk.New(cfg.Disk)
-	xt := xtree.Build(xDisk, pts, xtree.DefaultOptions())
-	check("xtree", func(w vec.MBR) []vec.Neighbor { return xt.WindowQuery(xDisk.NewSession(), w) })
+	xStore := store.NewSim(cfg.Disk)
+	xt, err := xtree.Build(xStore, pts, xtree.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("xtree", func(w vec.MBR) []vec.Neighbor { return must(xt.WindowQuery(xStore.NewSession(), w)) })
 
-	vDisk := disk.New(cfg.Disk)
-	va := vafile.Build(vDisk, pts, vafile.DefaultOptions())
-	check("vafile", func(w vec.MBR) []vec.Neighbor { return va.WindowQuery(vDisk.NewSession(), w) })
+	vStore := store.NewSim(cfg.Disk)
+	va, err := vafile.Build(vStore, pts, vafile.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("vafile", func(w vec.MBR) []vec.Neighbor { return must(va.WindowQuery(vStore.NewSession(), w)) })
 
-	sDisk := disk.New(cfg.Disk)
-	sc := scan.Build(sDisk, pts, vec.Euclidean)
-	check("scan", func(w vec.MBR) []vec.Neighbor { return sc.WindowQuery(sDisk.NewSession(), w) })
+	sStore := store.NewSim(cfg.Disk)
+	sc, err := scan.Build(sStore, pts, vec.Euclidean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("scan", func(w vec.MBR) []vec.Neighbor { return must(sc.WindowQuery(sStore.NewSession(), w)) })
 }

@@ -16,8 +16,8 @@ package pagesched
 import (
 	"math"
 
-	"repro/internal/disk"
 	"repro/internal/mathx"
+	"repro/internal/store"
 	"repro/internal/vec"
 )
 
@@ -33,7 +33,7 @@ type Run struct {
 // transfer than a seek, the gap is read through (paper Section 2). If
 // maxBufferBlocks is positive, no run exceeds that many blocks (the
 // buffer-limited variant of Seeger et al. [19]).
-func PlanKnownSet(positions []int, pageBlocks int, cfg disk.Config, maxBufferBlocks int) []Run {
+func PlanKnownSet(positions []int, pageBlocks int, cfg store.Config, maxBufferBlocks int) []Run {
 	if len(positions) == 0 {
 		return nil
 	}
@@ -60,7 +60,7 @@ func PlanKnownSet(positions []int, pageBlocks int, cfg disk.Config, maxBufferBlo
 
 // PlanCost returns the simulated time of executing the given runs:
 // one seek per run plus the transfer of all blocks.
-func PlanCost(runs []Run, cfg disk.Config) float64 {
+func PlanCost(runs []Run, cfg store.Config) float64 {
 	var t float64
 	for _, r := range runs {
 		t += cfg.Seek + float64(r.Blocks)*cfg.Xfer
@@ -138,7 +138,7 @@ func AccessProbability(q vec.Point, met vec.Metric, r float64, higher []Region) 
 // out consecutively: page i starts at block i·PageBlocks.
 type Scheduler struct {
 	// Cfg holds the disk parameters.
-	Cfg disk.Config
+	Cfg store.Config
 	// PageBlocks is the size of one page in blocks.
 	PageBlocks int
 	// NumPages is the number of pages in the file.

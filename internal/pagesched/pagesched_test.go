@@ -7,13 +7,13 @@ import (
 	"testing"
 	"testing/quick"
 
-	"repro/internal/disk"
+	"repro/internal/store"
 	"repro/internal/vec"
 )
 
-func testCfg() disk.Config {
+func testCfg() store.Config {
 	// Horizon v = Seek/Xfer = 10 blocks.
-	return disk.Config{BlockSize: 4096, Seek: 0.01, Xfer: 0.001}
+	return store.Config{BlockSize: 4096, Seek: 0.01, Xfer: 0.001}
 }
 
 func TestPlanKnownSetSinglePage(t *testing.T) {

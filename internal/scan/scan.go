@@ -5,28 +5,34 @@
 package scan
 
 import (
-	"repro/internal/disk"
+	"errors"
+
 	"repro/internal/page"
+	"repro/internal/store"
 	"repro/internal/vec"
 )
 
 // Scan is the flat-file access method.
 type Scan struct {
-	dsk    *disk.Disk
-	file   *disk.File
+	sto    *store.Store
+	file   *store.File
 	dim    int
 	n      int
 	metric vec.Metric
 }
 
 // Build stores pts (with ids equal to their indices) in a flat file.
-func Build(dsk *disk.Disk, pts []vec.Point, met vec.Metric) *Scan {
+func Build(sto *store.Store, pts []vec.Point, met vec.Metric) (*Scan, error) {
 	if len(pts) == 0 {
-		panic("scan: empty point set")
+		return nil, errors.New("scan: empty point set")
+	}
+	file, err := sto.NewFile("scan.data")
+	if err != nil {
+		return nil, err
 	}
 	sc := &Scan{
-		dsk:    dsk,
-		file:   dsk.NewFile("scan.data"),
+		sto:    sto,
+		file:   file,
 		dim:    len(pts[0]),
 		n:      len(pts),
 		metric: met,
@@ -35,8 +41,10 @@ func Build(dsk *disk.Disk, pts []vec.Point, met vec.Metric) *Scan {
 	for i := range ids {
 		ids[i] = uint32(i)
 	}
-	sc.file.Append(page.MarshalExact(pts, ids))
-	return sc
+	if _, _, err := sc.file.Append(page.MarshalExact(pts, ids)); err != nil {
+		return nil, err
+	}
+	return sc, nil
 }
 
 // Len returns the number of stored points.
@@ -46,15 +54,15 @@ func (sc *Scan) Len() int { return sc.n }
 func (sc *Scan) Dim() int { return sc.dim }
 
 // KNN returns the k nearest neighbors of q by scanning the whole file.
-func (sc *Scan) KNN(s *disk.Session, q vec.Point, k int) []vec.Neighbor {
+func (sc *Scan) KNN(s *store.Session, q vec.Point, k int) ([]vec.Neighbor, error) {
 	if k <= 0 {
-		return nil
+		return nil, nil
 	}
 	if k > sc.n {
 		k = sc.n
 	}
 	var res resHeap
-	sc.scanAll(s, func(p vec.Point, id uint32) {
+	if err := sc.scanAll(s, func(p vec.Point, id uint32) {
 		d := sc.metric.Dist(q, p)
 		if len(res) < k {
 			res.push(vec.Neighbor{ID: id, Dist: d, Point: p})
@@ -62,43 +70,51 @@ func (sc *Scan) KNN(s *disk.Session, q vec.Point, k int) []vec.Neighbor {
 			res[0] = vec.Neighbor{ID: id, Dist: d, Point: p}
 			res.fix()
 		}
-	})
+	}); err != nil {
+		return nil, err
+	}
 	out := make([]vec.Neighbor, len(res))
 	for i := len(out) - 1; i >= 0; i-- {
 		out[i] = res.pop()
 	}
-	return out
+	return out, nil
 }
 
 // NearestNeighbor returns the single nearest neighbor of q.
-func (sc *Scan) NearestNeighbor(s *disk.Session, q vec.Point) (vec.Neighbor, bool) {
-	r := sc.KNN(s, q, 1)
-	if len(r) == 0 {
-		return vec.Neighbor{}, false
+func (sc *Scan) NearestNeighbor(s *store.Session, q vec.Point) (vec.Neighbor, bool, error) {
+	r, err := sc.KNN(s, q, 1)
+	if err != nil || len(r) == 0 {
+		return vec.Neighbor{}, false, err
 	}
-	return r[0], true
+	return r[0], true, nil
 }
 
 // RangeSearch returns all points within eps of q, in file order.
-func (sc *Scan) RangeSearch(s *disk.Session, q vec.Point, eps float64) []vec.Neighbor {
+func (sc *Scan) RangeSearch(s *store.Session, q vec.Point, eps float64) ([]vec.Neighbor, error) {
 	var out []vec.Neighbor
-	sc.scanAll(s, func(p vec.Point, id uint32) {
+	if err := sc.scanAll(s, func(p vec.Point, id uint32) {
 		if d := sc.metric.Dist(q, p); d <= eps {
 			out = append(out, vec.Neighbor{ID: id, Dist: d, Point: p})
 		}
-	})
-	return out
+	}); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // scanAll reads the file once sequentially and invokes fn per point.
-func (sc *Scan) scanAll(s *disk.Session, fn func(vec.Point, uint32)) {
-	buf := s.Read(sc.file, 0, sc.file.Blocks())
+func (sc *Scan) scanAll(s *store.Session, fn func(vec.Point, uint32)) error {
+	buf, err := s.Read(sc.file, 0, sc.file.Blocks())
+	if err != nil {
+		return err
+	}
 	s.ChargeDistCPU(sc.dim, sc.n)
 	entrySize := page.ExactEntrySize(sc.dim)
 	for i := 0; i < sc.n; i++ {
 		p, id := page.UnmarshalExactEntry(buf[i*entrySize:], sc.dim)
 		fn(p, id)
 	}
+	return nil
 }
 
 // resHeap is a max-heap of neighbors by distance.
@@ -149,12 +165,14 @@ func (h *resHeap) pop() vec.Neighbor {
 
 // WindowQuery returns all points inside the query window w, in file
 // order. Dist fields of the results are 0.
-func (sc *Scan) WindowQuery(s *disk.Session, w vec.MBR) []vec.Neighbor {
+func (sc *Scan) WindowQuery(s *store.Session, w vec.MBR) ([]vec.Neighbor, error) {
 	var out []vec.Neighbor
-	sc.scanAll(s, func(p vec.Point, id uint32) {
+	if err := sc.scanAll(s, func(p vec.Point, id uint32) {
 		if w.Contains(p) {
 			out = append(out, vec.Neighbor{ID: id, Point: p})
 		}
-	})
-	return out
+	}); err != nil {
+		return nil, err
+	}
+	return out, nil
 }

@@ -6,7 +6,7 @@ import (
 	"sort"
 	"testing"
 
-	"repro/internal/disk"
+	"repro/internal/store"
 	"repro/internal/vec"
 )
 
@@ -34,17 +34,37 @@ func bruteKNN(pts []vec.Point, q vec.Point, k int, met vec.Metric) []float64 {
 	return ds[:k]
 }
 
+// mustBuild builds a scan or fails the test.
+func mustBuild(t *testing.T, sto *store.Store, pts []vec.Point, met vec.Metric) *Scan {
+	t.Helper()
+	sc, err := Build(sto, pts, met)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc
+}
+
+// mustKNN runs a KNN query on a fresh session or fails the test.
+func mustKNN(t *testing.T, sto *store.Store, sc *Scan, q vec.Point, k int) []vec.Neighbor {
+	t.Helper()
+	res, err := sc.KNN(sto.NewSession(), q, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
 func TestKNNMatchesBruteForce(t *testing.T) {
 	r := rand.New(rand.NewSource(1))
 	for _, met := range []vec.Metric{vec.Euclidean, vec.Maximum, vec.Manhattan} {
 		pts := randPoints(r, 1000, 6)
-		dsk := disk.New(disk.DefaultConfig())
-		sc := Build(dsk, pts, met)
+		sto := store.NewSim(store.DefaultConfig())
+		sc := mustBuild(t, sto, pts, met)
 		if sc.Len() != 1000 || sc.Dim() != 6 {
 			t.Fatal("metadata wrong")
 		}
 		for _, q := range randPoints(r, 10, 6) {
-			got := sc.KNN(dsk.NewSession(), q, 7)
+			got := mustKNN(t, sto, sc, q, 7)
 			want := bruteKNN(pts, q, 7, met)
 			for i := range want {
 				if math.Abs(got[i].Dist-want[i]) > 1e-6 {
@@ -64,15 +84,18 @@ func TestKNNMatchesBruteForce(t *testing.T) {
 func TestKNNEdgeCases(t *testing.T) {
 	r := rand.New(rand.NewSource(2))
 	pts := randPoints(r, 50, 3)
-	dsk := disk.New(disk.DefaultConfig())
-	sc := Build(dsk, pts, vec.Euclidean)
-	if got := sc.KNN(dsk.NewSession(), pts[0], 0); got != nil {
+	sto := store.NewSim(store.DefaultConfig())
+	sc := mustBuild(t, sto, pts, vec.Euclidean)
+	if got := mustKNN(t, sto, sc, pts[0], 0); got != nil {
 		t.Fatal("k=0 should return nil")
 	}
-	if got := sc.KNN(dsk.NewSession(), pts[0], 500); len(got) != 50 {
+	if got := mustKNN(t, sto, sc, pts[0], 500); len(got) != 50 {
 		t.Fatalf("k>n returned %d", len(got))
 	}
-	nn, ok := sc.NearestNeighbor(dsk.NewSession(), pts[7])
+	nn, ok, err := sc.NearestNeighbor(sto.NewSession(), pts[7])
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !ok || nn.Dist != 0 || nn.ID != 7 {
 		t.Fatalf("self-NN: %+v", nn)
 	}
@@ -81,11 +104,14 @@ func TestKNNEdgeCases(t *testing.T) {
 func TestRangeSearch(t *testing.T) {
 	r := rand.New(rand.NewSource(3))
 	pts := randPoints(r, 800, 4)
-	dsk := disk.New(disk.DefaultConfig())
-	sc := Build(dsk, pts, vec.Euclidean)
+	sto := store.NewSim(store.DefaultConfig())
+	sc := mustBuild(t, sto, pts, vec.Euclidean)
 	q := randPoints(r, 1, 4)[0]
 	eps := 0.4
-	got := sc.RangeSearch(dsk.NewSession(), q, eps)
+	got, err := sc.RangeSearch(sto.NewSession(), q, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
 	var want int
 	for _, p := range pts {
 		if vec.Euclidean.Dist(q, p) <= eps {
@@ -100,24 +126,28 @@ func TestRangeSearch(t *testing.T) {
 func TestScanCostIsOneSequentialPass(t *testing.T) {
 	r := rand.New(rand.NewSource(4))
 	pts := randPoints(r, 5000, 16)
-	dsk := disk.New(disk.DefaultConfig())
-	sc := Build(dsk, pts, vec.Euclidean)
-	s := dsk.NewSession()
-	sc.KNN(s, pts[0], 1)
+	sto := store.NewSim(store.DefaultConfig())
+	sc := mustBuild(t, sto, pts, vec.Euclidean)
+	s := sto.NewSession()
+	if _, err := sc.KNN(s, pts[0], 1); err != nil {
+		t.Fatal(err)
+	}
 	if s.Stats.Seeks != 1 {
 		t.Fatalf("scan used %d seeks, want 1", s.Stats.Seeks)
 	}
-	wantBlocks := dsk.Config().Blocks(5000 * (16*4 + 4))
+	wantBlocks := sto.Config().Blocks(5000 * (16*4 + 4))
 	if s.Stats.BlocksRead != wantBlocks {
 		t.Fatalf("blocks %d, want %d", s.Stats.BlocksRead, wantBlocks)
 	}
 	// Cost grows linearly with N: build a double-size scan.
-	dsk2 := disk.New(disk.DefaultConfig())
-	sc2 := Build(dsk2, randPoints(r, 10000, 16), vec.Euclidean)
-	s2 := dsk2.NewSession()
-	sc2.KNN(s2, pts[0], 1)
+	sto2 := store.NewSim(store.DefaultConfig())
+	sc2 := mustBuild(t, sto2, randPoints(r, 10000, 16), vec.Euclidean)
+	s2 := sto2.NewSession()
+	if _, err := sc2.KNN(s2, pts[0], 1); err != nil {
+		t.Fatal(err)
+	}
 	// Linear after subtracting the single fixed seek.
-	seek := dsk.Config().Seek
+	seek := sto.Config().Seek
 	if ratio := (s2.Time() - seek) / (s.Time() - seek); math.Abs(ratio-2) > 0.1 {
 		t.Fatalf("cost ratio %f, want ~2", ratio)
 	}

@@ -1,0 +1,269 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// FileStore is the os.File-backed backend: every logical block file is a
+// real file inside one directory, kept block-aligned at all times, so an
+// index built in one process can be reopened and queried in another.
+// Reads use ReadAt and are safe for concurrent sessions; the Config's
+// time parameters keep driving the cost model and page scheduling (the
+// accounting then describes the modeled device, not the host disk).
+type FileStore struct {
+	cfg Config
+	dir string
+
+	mu    sync.Mutex
+	files map[string]*osFile
+}
+
+// OpenFileBackend opens (creating if needed) the directory dir as a
+// block store. Existing regular files are adopted as block files; a file
+// whose size is not a multiple of the block size is rejected as corrupt.
+func OpenFileBackend(dir string, cfg Config) (*FileStore, error) {
+	if cfg.BlockSize <= 0 {
+		return nil, fmt.Errorf("store: BlockSize must be positive")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: create dir: %w", err)
+	}
+	fsS := &FileStore{cfg: cfg, dir: dir, files: make(map[string]*osFile)}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: scan dir: %w", err)
+	}
+	for _, e := range entries {
+		if !e.Type().IsRegular() {
+			continue
+		}
+		if _, err := fsS.open(e.Name(), false); err != nil {
+			fsS.Close()
+			return nil, err
+		}
+	}
+	return fsS, nil
+}
+
+// Dir returns the backing directory.
+func (d *FileStore) Dir() string { return d.dir }
+
+// Config returns the modeled hardware parameters.
+func (d *FileStore) Config() Config { return d.cfg }
+
+// validName rejects names that would escape the store directory.
+func validName(name string) error {
+	if name == "" || name == "." || name == ".." ||
+		strings.ContainsAny(name, "/\\") || filepath.Base(name) != name {
+		return fmt.Errorf("store: invalid file name %q", name)
+	}
+	return nil
+}
+
+// open opens (or creates/truncates) one backing file and registers it.
+func (d *FileStore) open(name string, truncate bool) (*osFile, error) {
+	if err := validName(name); err != nil {
+		return nil, err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if f, ok := d.files[name]; ok {
+		if truncate {
+			if err := f.truncate(); err != nil {
+				return nil, err
+			}
+		}
+		return f, nil
+	}
+	flags := os.O_RDWR | os.O_CREATE
+	if truncate {
+		flags |= os.O_TRUNC
+	}
+	h, err := os.OpenFile(filepath.Join(d.dir, name), flags, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: open %s: %w", name, err)
+	}
+	info, err := h.Stat()
+	if err != nil {
+		h.Close()
+		return nil, fmt.Errorf("store: stat %s: %w", name, err)
+	}
+	if info.Size()%int64(d.cfg.BlockSize) != 0 {
+		h.Close()
+		return nil, fmt.Errorf("store: %s is %d bytes, not a multiple of the %d-byte block size (corrupt or wrong -block config?)",
+			name, info.Size(), d.cfg.BlockSize)
+	}
+	f := &osFile{d: d, name: name, h: h, size: info.Size()}
+	d.files[name] = f
+	return f, nil
+}
+
+// Create creates (or truncates) the named file.
+func (d *FileStore) Create(name string) (BlockFile, error) {
+	f, err := d.open(name, true)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// Lookup returns the named file, or nil if none exists.
+func (d *FileStore) Lookup(name string) BlockFile {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if f, ok := d.files[name]; ok {
+		return f
+	}
+	return nil
+}
+
+// Names returns the file names in sorted order.
+func (d *FileStore) Names() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]string, 0, len(d.files))
+	for name := range d.files {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Sync flushes every backing file to stable storage.
+func (d *FileStore) Sync() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, f := range d.files {
+		if err := f.h.Sync(); err != nil {
+			return fmt.Errorf("store: sync %s: %w", f.name, err)
+		}
+	}
+	return nil
+}
+
+// Close syncs and closes every backing file.
+func (d *FileStore) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var first error
+	for _, f := range d.files {
+		if err := f.h.Sync(); err != nil && first == nil {
+			first = err
+		}
+		if err := f.h.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	d.files = make(map[string]*osFile)
+	return first
+}
+
+// osFile is one block-aligned file on the host filesystem. The mutex
+// guards the logical size; data access goes through ReadAt/WriteAt,
+// which are safe for concurrent use.
+type osFile struct {
+	d    *FileStore
+	name string
+	h    *os.File
+
+	mu   sync.Mutex
+	size int64 // always a multiple of BlockSize
+}
+
+// Name returns the file name.
+func (f *osFile) Name() string { return f.name }
+
+// Blocks returns the current length of the file in blocks.
+func (f *osFile) Blocks() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return int(f.size) / f.d.cfg.BlockSize
+}
+
+// Bytes returns the size of the file in bytes (always block-aligned).
+func (f *osFile) Bytes() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return int(f.size)
+}
+
+// ReadBlocks reads nblocks blocks at pos into a fresh buffer.
+func (f *osFile) ReadBlocks(pos, nblocks int) ([]byte, error) {
+	bs := f.d.cfg.BlockSize
+	f.mu.Lock()
+	size := f.size
+	f.mu.Unlock()
+	if pos < 0 || nblocks <= 0 || int64(pos+nblocks)*int64(bs) > size {
+		return nil, fmt.Errorf("file: read past end of %s: pos=%d n=%d blocks=%d",
+			f.name, pos, nblocks, size/int64(bs))
+	}
+	buf := make([]byte, nblocks*bs)
+	if _, err := f.h.ReadAt(buf, int64(pos)*int64(bs)); err != nil {
+		return nil, fmt.Errorf("file: read %s: %w", f.name, err)
+	}
+	return buf, nil
+}
+
+// Append writes p at the end of the file, padded to a block boundary.
+func (f *osFile) Append(p []byte) (pos, nblocks int, err error) {
+	bs := f.d.cfg.BlockSize
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	pos = int(f.size) / bs
+	nblocks = (len(p) + bs - 1) / bs
+	if nblocks == 0 {
+		nblocks = 1 // even an empty page occupies one block
+	}
+	buf := make([]byte, nblocks*bs)
+	copy(buf, p)
+	if _, err := f.h.WriteAt(buf, f.size); err != nil {
+		return 0, 0, fmt.Errorf("file: append to %s: %w", f.name, err)
+	}
+	f.size += int64(nblocks) * int64(bs)
+	return pos, nblocks, nil
+}
+
+// WriteBlocks overwrites existing blocks starting at pos with data.
+func (f *osFile) WriteBlocks(pos int, data []byte) error {
+	bs := f.d.cfg.BlockSize
+	if len(data)%bs != 0 {
+		return fmt.Errorf("file: WriteBlocks data not block-aligned (%d bytes)", len(data))
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if pos < 0 || int64(pos)*int64(bs)+int64(len(data)) > f.size {
+		return fmt.Errorf("file: WriteBlocks past end of %s", f.name)
+	}
+	if _, err := f.h.WriteAt(data, int64(pos)*int64(bs)); err != nil {
+		return fmt.Errorf("file: write %s: %w", f.name, err)
+	}
+	return nil
+}
+
+// truncate resets the file to zero blocks.
+func (f *osFile) truncate() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.h.Truncate(0); err != nil {
+		return fmt.Errorf("file: truncate %s: %w", f.name, err)
+	}
+	f.size = 0
+	return nil
+}
+
+// SetContents replaces the whole file with p, padded to a block boundary.
+func (f *osFile) SetContents(p []byte) error {
+	if err := f.truncate(); err != nil {
+		return err
+	}
+	if len(p) > 0 {
+		_, _, err := f.Append(p)
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,166 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Session is one query's view of the store. It tracks the head position
+// and accumulates Stats; when the store has a buffer pool attached, reads
+// are served from it block by block and only the missing runs are charged
+// and fetched from the backend.
+//
+// A Session is not safe for concurrent use; run one per goroutine (many
+// concurrent sessions may share one store and its pool). Instead of
+// panicking on I/O failure, a session carries a sticky error: the first
+// failed read poisons it, every later read returns the same error, and
+// Err exposes it for boundary checks.
+type Session struct {
+	st      *Store
+	pool    *BufferPool // captured at creation; nil = uncached
+	cur     *File       // file under the head
+	head    int         // next block under the head within cur
+	started bool
+	Stats   Stats
+	perFile map[string]*Stats
+	err     error
+}
+
+// Err returns the session's sticky error: the first read that failed, or
+// nil. Query code that ignores per-read errors must check it before
+// trusting the (possibly partial) results.
+func (s *Session) Err() error { return s.err }
+
+// fail records err as the session's sticky error (first one wins) and
+// returns it.
+func (s *Session) fail(err error) error {
+	if s.err == nil {
+		s.err = err
+	}
+	return s.err
+}
+
+// FileStats returns the session's I/O attributed to the named file (CPU
+// charges are global, not per file). The zero Stats is returned for
+// untouched files. For the IQ-tree this decomposes a query into the
+// paper's T1st/T2nd/T3rd components.
+func (s *Session) FileStats(name string) Stats {
+	if st, ok := s.perFile[name]; ok {
+		return *st
+	}
+	return Stats{}
+}
+
+// chargeFile attributes one read to a file.
+func (s *Session) chargeFile(name string, seeks, blocks int) {
+	if s.perFile == nil {
+		s.perFile = make(map[string]*Stats, 4)
+	}
+	st, ok := s.perFile[name]
+	if !ok {
+		st = &Stats{}
+		s.perFile[name] = st
+	}
+	st.Seeks += seeks
+	st.BlocksRead += blocks
+	st.Reads++
+}
+
+// charge bills one contiguous backend read and moves the head: a seek is
+// charged unless the head is already at (f, pos).
+func (s *Session) charge(f *File, pos, nblocks int) {
+	seeks := 0
+	if !s.started || s.cur != f || s.head != pos {
+		seeks = 1
+	}
+	s.started = true
+	s.Stats.Seeks += seeks
+	s.Stats.BlocksRead += nblocks
+	s.Stats.Reads++
+	s.chargeFile(f.Name(), seeks, nblocks)
+	s.cur = f
+	s.head = pos + nblocks
+}
+
+// Read transfers nblocks starting at block pos of file f and returns the
+// raw bytes. Without a pool it charges a seek unless the head is already
+// at (f, pos); with a pool, cached blocks charge nothing and only the
+// missing runs are fetched (and billed) from the backend. The returned
+// slice must not be mutated.
+func (s *Session) Read(f *File, pos, nblocks int) ([]byte, error) {
+	if s.err != nil {
+		return nil, s.err
+	}
+	if f == nil {
+		return nil, s.fail(errors.New("store: read from nil file"))
+	}
+	if nblocks <= 0 {
+		return nil, s.fail(fmt.Errorf("store: read of %d blocks from %s", nblocks, f.Name()))
+	}
+	if pos < 0 || pos+nblocks > f.Blocks() {
+		return nil, s.fail(fmt.Errorf("store: read past end of %s: pos=%d n=%d blocks=%d",
+			f.Name(), pos, nblocks, f.Blocks()))
+	}
+	if s.pool == nil {
+		data, err := f.bf.ReadBlocks(pos, nblocks)
+		if err != nil {
+			return nil, s.fail(fmt.Errorf("store: read %s [%d,+%d): %w", f.Name(), pos, nblocks, err))
+		}
+		s.charge(f, pos, nblocks)
+		return data, nil
+	}
+	return s.readPooled(f, pos, nblocks)
+}
+
+// readPooled assembles the requested range from pool frames plus backend
+// reads for the missing runs. Each miss run is charged like an uncached
+// read (head tracking included); hits charge zero seek/transfer.
+func (s *Session) readPooled(f *File, pos, nblocks int) ([]byte, error) {
+	bs := s.st.Config().BlockSize
+	dst := make([]byte, nblocks*bs)
+	misses := s.pool.gather(f.Name(), pos, nblocks, bs, dst)
+	for _, run := range misses {
+		data, err := f.bf.ReadBlocks(run.pos, run.n)
+		if err != nil {
+			return nil, s.fail(fmt.Errorf("store: read %s [%d,+%d): %w", f.Name(), run.pos, run.n, err))
+		}
+		copy(dst[(run.pos-pos)*bs:], data[:run.n*bs])
+		s.charge(f, run.pos, run.n)
+		s.pool.insert(f.Name(), run.pos, bs, data[:run.n*bs])
+	}
+	return dst, nil
+}
+
+// ReadRange transfers the blocks covering the byte range [off, off+n) of
+// file f and returns those blocks plus the offset of the range within the
+// returned slice.
+func (s *Session) ReadRange(f *File, off, n int) (data []byte, rel int, err error) {
+	bs := s.st.Config().BlockSize
+	first := off / bs
+	last := (off + n - 1) / bs
+	blk, err := s.Read(f, first, last-first+1)
+	if err != nil {
+		return nil, 0, err
+	}
+	return blk, off - first*bs, nil
+}
+
+// ChargeCPU adds raw CPU seconds to the session.
+func (s *Session) ChargeCPU(seconds float64) {
+	s.Stats.CPUSeconds += seconds
+}
+
+// ChargeDistCPU charges the CPU cost of n exact distance computations in
+// dim dimensions.
+func (s *Session) ChargeDistCPU(dim, n int) {
+	s.Stats.CPUSeconds += s.st.Config().DistCPU * float64(dim) * float64(n)
+}
+
+// ChargeApproxCPU charges the CPU cost of decoding and bounding n
+// quantized approximations in dim dimensions.
+func (s *Session) ChargeApproxCPU(dim, n int) {
+	s.Stats.CPUSeconds += s.st.Config().ApproxCPU * float64(dim) * float64(n)
+}
+
+// Time returns the session's total simulated time so far, in seconds.
+func (s *Session) Time() float64 { return s.Stats.Time(s.st.Config()) }

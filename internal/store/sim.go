@@ -1,0 +1,139 @@
+package store
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// SimStore is the in-memory simulator backend: the storage hardware of
+// the paper's testbed, reduced to append-only byte slices. All cost
+// accounting happens in the Session layer; with the cache disabled the
+// combination Store+Session+SimStore is behavior-identical to the
+// original monolithic disk simulator, so every figure experiment and
+// cost calibration keeps producing the same simulated-time series.
+type SimStore struct {
+	cfg   Config
+	mu    sync.Mutex
+	files map[string]*SimFile
+	order []string
+}
+
+// NewSimStore creates a simulator backend with the given hardware
+// parameters.
+func NewSimStore(cfg Config) *SimStore {
+	if cfg.BlockSize <= 0 {
+		panic("store: BlockSize must be positive")
+	}
+	return &SimStore{cfg: cfg, files: make(map[string]*SimFile)}
+}
+
+// Config returns the simulated hardware parameters.
+func (d *SimStore) Config() Config { return d.cfg }
+
+// Create creates (or truncates) a file. Files occupy disjoint regions;
+// moving the head between files always costs a seek.
+func (d *SimStore) Create(name string) (BlockFile, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if f, ok := d.files[name]; ok {
+		f.data = f.data[:0]
+		return f, nil
+	}
+	f := &SimFile{d: d, name: name}
+	d.files[name] = f
+	d.order = append(d.order, name)
+	return f, nil
+}
+
+// Lookup returns the named file, or nil if none exists.
+func (d *SimStore) Lookup(name string) BlockFile {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if f, ok := d.files[name]; ok {
+		return f
+	}
+	return nil
+}
+
+// Names returns the file names in sorted order.
+func (d *SimStore) Names() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := append([]string(nil), d.order...)
+	sort.Strings(out)
+	return out
+}
+
+// Sync is a no-op for the simulator.
+func (d *SimStore) Sync() error { return nil }
+
+// Close is a no-op for the simulator.
+func (d *SimStore) Close() error { return nil }
+
+// SimFile is an append-only, block-aligned in-memory file. Reads are safe
+// for concurrent use; mutations must not race with reads (index layers
+// serialize them behind their tree locks, exactly as with the original
+// simulator).
+type SimFile struct {
+	d    *SimStore
+	name string
+	data []byte
+}
+
+// Name returns the file name.
+func (f *SimFile) Name() string { return f.name }
+
+// Blocks returns the current length of the file in blocks.
+func (f *SimFile) Blocks() int { return len(f.data) / f.d.cfg.BlockSize }
+
+// Bytes returns the size of the file in bytes (always block-aligned).
+func (f *SimFile) Bytes() int { return len(f.data) }
+
+// ReadBlocks returns the raw content of nblocks blocks at pos, aliasing
+// the internal storage (zero copy).
+func (f *SimFile) ReadBlocks(pos, nblocks int) ([]byte, error) {
+	bs := f.d.cfg.BlockSize
+	if pos < 0 || nblocks <= 0 || (pos+nblocks)*bs > len(f.data) {
+		return nil, fmt.Errorf("sim: read past end of %s: pos=%d n=%d blocks=%d", f.name, pos, nblocks, f.Blocks())
+	}
+	return f.data[pos*bs : (pos+nblocks)*bs], nil
+}
+
+// Append writes p at the end of the file, padded to a block boundary.
+func (f *SimFile) Append(p []byte) (pos, nblocks int, err error) {
+	bs := f.d.cfg.BlockSize
+	pos = len(f.data) / bs
+	nblocks = (len(p) + bs - 1) / bs
+	if nblocks == 0 {
+		nblocks = 1 // even an empty page occupies one block
+	}
+	f.data = append(f.data, p...)
+	if pad := nblocks*bs - len(p); pad > 0 {
+		f.data = append(f.data, make([]byte, pad)...)
+	}
+	return pos, nblocks, nil
+}
+
+// WriteBlocks overwrites existing blocks starting at pos with data.
+func (f *SimFile) WriteBlocks(pos int, data []byte) error {
+	bs := f.d.cfg.BlockSize
+	if len(data)%bs != 0 {
+		return fmt.Errorf("sim: WriteBlocks data not block-aligned (%d bytes)", len(data))
+	}
+	if pos < 0 || pos*bs+len(data) > len(f.data) {
+		return fmt.Errorf("sim: WriteBlocks past end of %s", f.name)
+	}
+	copy(f.data[pos*bs:], data)
+	return nil
+}
+
+// SetContents replaces the whole file with p, padded to a block boundary.
+func (f *SimFile) SetContents(p []byte) error {
+	f.data = f.data[:0]
+	if len(p) > 0 {
+		_, _, err := f.Append(p)
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,383 @@
+// Package store is the storage layer of the reproduction: it separates
+// the *cost accounting* of the paper's evaluation (seeks, transferred
+// blocks, CPU charges — package-level Session) from the *byte storage*
+// underneath (the BlockStore/BlockFile backend contract).
+//
+// Two backends are provided:
+//
+//   - SimStore: the in-memory simulator of the paper's testbed hardware
+//     (HP 9000/780; see DefaultConfig). This is the backend every figure
+//     experiment runs on; with the cache disabled its accounting is
+//     bit-identical to the original disk simulator.
+//   - FileStore: a real os.File-backed store that persists the pages of
+//     an index to a directory with block-aligned I/O, so a tree built in
+//     one process can be reopened and queried in another.
+//
+// Between sessions and the backend sits an optional shared BufferPool
+// (an LRU block cache with a configurable byte budget): concurrent
+// queries share hot directory and quantized pages, and cache hits charge
+// zero seek/transfer time, which makes the paper's cost model cache-aware.
+//
+// Files are append-only sequences of block-aligned pages. A Session is a
+// single query's view of the store: it tracks the head position, so that
+// a read adjacent to the previous one costs only transfer time while any
+// other read costs an additional seek. Sessions carry a sticky error
+// instead of panicking on I/O failure: the first failed operation poisons
+// the session, every later operation returns that error, and Err exposes
+// it for boundary checks.
+package store
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Config holds the hardware parameters of the (simulated or modeled)
+// machine. All time quantities are in seconds. For the file-backed store
+// the time parameters still drive the cost model and page scheduling;
+// the accounting then describes the modeled device, not the host disk.
+type Config struct {
+	// BlockSize is the disk block size in bytes. Pages are block-aligned.
+	BlockSize int
+	// Seek is the cost of one random seek, in seconds.
+	Seek float64
+	// Xfer is the cost of transferring one block, in seconds.
+	Xfer float64
+	// DistCPU is the CPU cost, per dimension, of one exact distance
+	// computation, in seconds.
+	DistCPU float64
+	// ApproxCPU is the CPU cost, per dimension, of decoding and bounding
+	// one quantized approximation, in seconds.
+	ApproxCPU float64
+}
+
+// DefaultConfig returns parameters calibrated to the paper's late-1990s
+// testbed (HP 9000/780): 4 KiB blocks, 10 ms average seek, ~3.4 MB/s
+// effective sequential transfer, and per-dimension CPU costs of a
+// ~180 MHz PA-RISC workstation. The transfer rate is backed out of the
+// paper's own measurements (a 32 MB sequential scan takes ~13 s in
+// Fig. 8/9), giving a seek:transfer ratio of ~8:1, which is what the
+// paper's seek-vs-over-read trade-off (Section 2) is calibrated against.
+func DefaultConfig() Config {
+	return Config{
+		BlockSize: 4096,
+		Seek:      10e-3,
+		Xfer:      1.2e-3,
+		DistCPU:   100e-9,
+		ApproxCPU: 120e-9,
+	}
+}
+
+// OverreadHorizon returns v = Seek/Xfer, the maximum number of blocks worth
+// over-reading instead of seeking (Section 2 of the paper).
+func (c Config) OverreadHorizon() int {
+	if c.Xfer <= 0 {
+		return 0
+	}
+	return int(c.Seek / c.Xfer)
+}
+
+// Blocks returns the number of blocks needed to store n bytes.
+func (c Config) Blocks(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return (n + c.BlockSize - 1) / c.BlockSize
+}
+
+// Stats accumulates the simulated cost of one or more operations.
+type Stats struct {
+	// Seeks counts random seeks.
+	Seeks int
+	// BlocksRead counts transferred blocks.
+	BlocksRead int
+	// Reads counts read operations (contiguous runs).
+	Reads int
+	// CPUSeconds accumulates charged CPU time.
+	CPUSeconds float64
+}
+
+// Add accumulates o into s.
+func (s *Stats) Add(o Stats) {
+	s.Seeks += o.Seeks
+	s.BlocksRead += o.BlocksRead
+	s.Reads += o.Reads
+	s.CPUSeconds += o.CPUSeconds
+}
+
+// Time returns the total simulated time in seconds under cfg.
+func (s Stats) Time(cfg Config) float64 {
+	return float64(s.Seeks)*cfg.Seek + float64(s.BlocksRead)*cfg.Xfer + s.CPUSeconds
+}
+
+// String formats the stats for logs.
+func (s Stats) String() string {
+	return fmt.Sprintf("seeks=%d blocks=%d reads=%d cpu=%.6fs", s.Seeks, s.BlocksRead, s.Reads, s.CPUSeconds)
+}
+
+// BlockFile is the backend contract for one append-only, block-aligned
+// file. Implementations provide raw byte storage only; head tracking,
+// cost charging, caching and error stickiness all live in the
+// Store/Session layer above, so a backend never needs to know how its
+// bytes are being billed.
+type BlockFile interface {
+	// Name returns the file name (unique within its store).
+	Name() string
+	// Blocks returns the current length of the file in blocks.
+	Blocks() int
+	// Bytes returns the size of the file in bytes (always block-aligned).
+	Bytes() int
+	// ReadBlocks returns the raw content of nblocks blocks starting at
+	// block pos. The returned slice may alias internal storage; callers
+	// must not mutate it.
+	ReadBlocks(pos, nblocks int) ([]byte, error)
+	// Append writes p at the end of the file, padded to a block boundary,
+	// and returns the starting block position and the number of blocks
+	// written. Even an empty p occupies one block.
+	Append(p []byte) (pos, nblocks int, err error)
+	// WriteBlocks overwrites existing blocks starting at pos with data,
+	// which must be block-aligned in length and fit within the current
+	// file extent.
+	WriteBlocks(pos int, data []byte) error
+	// SetContents replaces the whole file with p, padded to a block
+	// boundary. An empty p truncates the file to zero blocks.
+	SetContents(p []byte) error
+}
+
+// BlockStore is the backend contract for a set of named block files.
+type BlockStore interface {
+	// Config returns the store's hardware parameters.
+	Config() Config
+	// Create creates (or truncates) the named file.
+	Create(name string) (BlockFile, error)
+	// Lookup returns the named file, or nil if none exists.
+	Lookup(name string) BlockFile
+	// Names returns the file names in deterministic order.
+	Names() []string
+	// Sync flushes durable backends; it is a no-op for the simulator.
+	Sync() error
+	// Close releases backend resources. The store must not be used after.
+	Close() error
+}
+
+// Store mediates all access to a backend: it hands out canonical *File
+// wrappers (which route writes through the cache-invalidation path) and
+// per-query Sessions (which route reads through the shared buffer pool,
+// when one is attached). A Store carries a sticky write error: the first
+// failed mutation poisons it, so construction code can write freely and
+// check Err once at the end.
+type Store struct {
+	backend BlockStore
+	pool    *BufferPool
+
+	mu    sync.Mutex
+	files map[string]*File
+	err   error
+}
+
+// Wrap layers Store/Session mediation over any backend.
+func Wrap(backend BlockStore) *Store {
+	if backend.Config().BlockSize <= 0 {
+		panic("store: BlockSize must be positive")
+	}
+	return &Store{backend: backend, files: make(map[string]*File)}
+}
+
+// NewSim creates a store over a fresh in-memory simulator backend — the
+// configuration every figure experiment runs on.
+func NewSim(cfg Config) *Store {
+	return Wrap(NewSimStore(cfg))
+}
+
+// OpenFileStore creates a store over the os.File-backed backend rooted
+// at dir (created if absent; existing block files are reopened).
+func OpenFileStore(dir string, cfg Config) (*Store, error) {
+	b, err := OpenFileBackend(dir, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return Wrap(b), nil
+}
+
+// Config returns the store's hardware parameters.
+func (s *Store) Config() Config { return s.backend.Config() }
+
+// Backend returns the underlying block store.
+func (s *Store) Backend() BlockStore { return s.backend }
+
+// SetCache attaches a shared LRU buffer pool with the given byte budget
+// to the store (budget <= 0 detaches any pool). All sessions created
+// afterwards read through it; cache hits charge zero seek/transfer.
+func (s *Store) SetCache(budgetBytes int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if budgetBytes <= 0 {
+		s.pool = nil
+		return
+	}
+	s.pool = NewBufferPool(budgetBytes)
+}
+
+// Pool returns the attached buffer pool, or nil if caching is disabled.
+func (s *Store) Pool() *BufferPool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pool
+}
+
+// PinFile marks the named file's blocks as non-evictable in the buffer
+// pool (a no-op without a pool). Typical use: pin the directory file so
+// every query's level-1 scan is served from memory.
+func (s *Store) PinFile(name string) {
+	if p := s.Pool(); p != nil {
+		p.PinFile(name)
+	}
+}
+
+// NewFile creates (or truncates) a file on the backend.
+func (s *Store) NewFile(name string) (*File, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	bf, err := s.backend.Create(name)
+	if err != nil {
+		return nil, s.failLocked(err)
+	}
+	if s.pool != nil {
+		s.pool.InvalidateFile(name)
+	}
+	f := &File{st: s, bf: bf}
+	s.files[name] = f
+	return f, nil
+}
+
+// File returns the named file, or nil if none exists. The wrapper is
+// canonical: repeated calls return the same *File.
+func (s *Store) File(name string) *File {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if f, ok := s.files[name]; ok {
+		return f
+	}
+	bf := s.backend.Lookup(name)
+	if bf == nil {
+		return nil
+	}
+	f := &File{st: s, bf: bf}
+	s.files[name] = f
+	return f
+}
+
+// TotalBlocks returns the number of blocks across all files.
+func (s *Store) TotalBlocks() int {
+	var n int
+	for _, name := range s.backend.Names() {
+		if bf := s.backend.Lookup(name); bf != nil {
+			n += bf.Blocks()
+		}
+	}
+	return n
+}
+
+// NewSession starts a fresh session with the head in an undefined
+// position (the first read always seeks).
+func (s *Store) NewSession() *Session {
+	return &Session{st: s, pool: s.Pool()}
+}
+
+// Err returns the store's sticky write error: the first mutation that
+// failed, or nil. Construction code writes freely and checks once here.
+func (s *Store) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// fail records err as the store's sticky error (first one wins) and
+// returns it.
+func (s *Store) fail(err error) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.failLocked(err)
+}
+
+func (s *Store) failLocked(err error) error {
+	if s.err == nil {
+		s.err = err
+	}
+	return err
+}
+
+// Sync flushes durable backends.
+func (s *Store) Sync() error { return s.backend.Sync() }
+
+// Close flushes and releases the backend. The store must not be used
+// afterwards.
+func (s *Store) Close() error { return s.backend.Close() }
+
+// File is the mediated view of one backend file. All mutations pass
+// through it so the shared buffer pool can invalidate stale frames;
+// mutation failures are additionally recorded as the store's sticky
+// error, so bulk writers may check once instead of at every call.
+type File struct {
+	st *Store
+	bf BlockFile
+}
+
+// Name returns the file name.
+func (f *File) Name() string { return f.bf.Name() }
+
+// Blocks returns the current length of the file in blocks.
+func (f *File) Blocks() int { return f.bf.Blocks() }
+
+// Bytes returns the size of the file in bytes (always block-aligned).
+func (f *File) Bytes() int { return f.bf.Bytes() }
+
+// Append writes p at the end of the file, padded to a block boundary, and
+// returns the starting block position and the number of blocks written.
+// Appends never touch previously readable blocks, so no cache
+// invalidation is needed.
+func (f *File) Append(p []byte) (pos, nblocks int, err error) {
+	pos, nblocks, err = f.bf.Append(p)
+	if err != nil {
+		return 0, 0, f.st.fail(fmt.Errorf("store: append to %s: %w", f.Name(), err))
+	}
+	return pos, nblocks, nil
+}
+
+// WriteBlocks overwrites existing blocks starting at pos with data, which
+// must be block-aligned in length and fit within the current file extent.
+// Writes are construction/maintenance operations; their cost, where it
+// matters, is charged explicitly by the caller.
+func (f *File) WriteBlocks(pos int, data []byte) error {
+	if err := f.bf.WriteBlocks(pos, data); err != nil {
+		return f.st.fail(fmt.Errorf("store: write to %s: %w", f.Name(), err))
+	}
+	if p := f.st.Pool(); p != nil {
+		p.Invalidate(f.Name(), pos, len(data)/f.st.Config().BlockSize)
+	}
+	return nil
+}
+
+// SetContents replaces the whole file with p, padded to a block boundary.
+// An empty p truncates the file to zero blocks.
+func (f *File) SetContents(p []byte) error {
+	if err := f.bf.SetContents(p); err != nil {
+		return f.st.fail(fmt.Errorf("store: rewrite of %s: %w", f.Name(), err))
+	}
+	if pl := f.st.Pool(); pl != nil {
+		pl.InvalidateFile(f.Name())
+	}
+	return nil
+}
+
+// ReadRaw returns the raw content of nblocks blocks at pos without
+// charging any cost and without touching the cache. It is intended for
+// superblock reads, invariant checks, tests and debugging; query code
+// must go through a Session.
+func (f *File) ReadRaw(pos, nblocks int) ([]byte, error) {
+	if pos < 0 || nblocks <= 0 || pos+nblocks > f.Blocks() {
+		return nil, fmt.Errorf("store: raw read past end of %s: pos=%d n=%d blocks=%d",
+			f.Name(), pos, nblocks, f.Blocks())
+	}
+	return f.bf.ReadBlocks(pos, nblocks)
+}

@@ -1,0 +1,97 @@
+package store
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestStatsAddAndString(t *testing.T) {
+	a := Stats{Seeks: 1, BlocksRead: 2, Reads: 3, CPUSeconds: 0.5}
+	b := Stats{Seeks: 10, BlocksRead: 20, Reads: 30, CPUSeconds: 1.5}
+	a.Add(b)
+	if a.Seeks != 11 || a.BlocksRead != 22 || a.Reads != 33 || a.CPUSeconds != 2 {
+		t.Fatalf("add wrong: %+v", a)
+	}
+	if a.String() == "" {
+		t.Fatal("empty string form")
+	}
+}
+
+// Property: Stats.Time is linear in its counters.
+func TestStatsTimeLinearity(t *testing.T) {
+	cfg := testConfig()
+	f := func(s1, b1, s2, b2 uint8) bool {
+		a := Stats{Seeks: int(s1), BlocksRead: int(b1)}
+		b := Stats{Seeks: int(s2), BlocksRead: int(b2)}
+		sum := a
+		sum.Add(b)
+		return math.Abs(sum.Time(cfg)-(a.Time(cfg)+b.Time(cfg))) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOverreadHorizonAndBlocks(t *testing.T) {
+	cfg := testConfig()
+	if v := cfg.OverreadHorizon(); v != 10 {
+		t.Fatalf("horizon %d, want 10", v)
+	}
+	if cfg.Blocks(0) != 0 || cfg.Blocks(1) != 1 || cfg.Blocks(64) != 1 || cfg.Blocks(65) != 2 {
+		t.Fatal("Blocks rounding wrong")
+	}
+	if (Config{}).OverreadHorizon() != 0 {
+		t.Fatal("zero config horizon should be 0")
+	}
+}
+
+func TestDefaultConfigSane(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.BlockSize <= 0 || cfg.Seek <= cfg.Xfer || cfg.Xfer <= 0 {
+		t.Fatalf("implausible default config: %+v", cfg)
+	}
+	if h := cfg.OverreadHorizon(); h < 2 {
+		t.Fatalf("default horizon %d too small for the paper's trade-off", h)
+	}
+}
+
+func TestNewFileTwiceTruncates(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, sto *Store) {
+		f := mustFile(t, sto, "t")
+		mustAppend(t, f, make([]byte, 128))
+		f2 := mustFile(t, sto, "t")
+		if f2.Blocks() != 0 {
+			t.Fatalf("re-created file has %d blocks, want 0", f2.Blocks())
+		}
+		// The wrapper stays canonical across re-creation.
+		if sto.File("t") != f2 {
+			t.Fatal("File wrapper not canonical after re-create")
+		}
+	})
+}
+
+func TestSessionReadNilFile(t *testing.T) {
+	sto := NewSim(testConfig())
+	s := sto.NewSession()
+	if _, err := s.Read(nil, 0, 1); err == nil {
+		t.Fatal("nil file read should fail")
+	}
+}
+
+func TestReadRawUncharged(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, sto *Store) {
+		f := mustFile(t, sto, "t")
+		mustAppend(t, f, []byte{1, 2, 3})
+		got, err := f.ReadRaw(0, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[0] != 1 || got[2] != 3 {
+			t.Fatal("ReadRaw wrong bytes")
+		}
+		if _, err := f.ReadRaw(1, 1); err == nil {
+			t.Fatal("ReadRaw past end should fail")
+		}
+	})
+}

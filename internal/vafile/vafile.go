@@ -12,12 +12,13 @@
 package vafile
 
 import (
+	"errors"
 	"math"
 	"sort"
 
-	"repro/internal/disk"
 	"repro/internal/page"
 	"repro/internal/quantize"
+	"repro/internal/store"
 	"repro/internal/vec"
 )
 
@@ -39,9 +40,9 @@ func DefaultOptions() Options {
 
 // VAFile is the two-file structure: approximations plus exact data.
 type VAFile struct {
-	dsk    *disk.Disk
-	aFile  *disk.File // bit-packed approximations, point order
-	eFile  *disk.File // exact entries, same order
+	sto    *store.Store
+	aFile  *store.File // bit-packed approximations, point order
+	eFile  *store.File // exact entries, same order
 	dim    int
 	n      int
 	opt    Options
@@ -49,9 +50,9 @@ type VAFile struct {
 }
 
 // Build constructs a VA-file over pts (ids are point indices).
-func Build(dsk *disk.Disk, pts []vec.Point, opt Options) *VAFile {
+func Build(sto *store.Store, pts []vec.Point, opt Options) (*VAFile, error) {
 	if len(pts) == 0 {
-		panic("vafile: empty point set")
+		return nil, errors.New("vafile: empty point set")
 	}
 	if opt.Bits <= 0 {
 		opt.Bits = 4
@@ -60,12 +61,17 @@ func Build(dsk *disk.Disk, pts []vec.Point, opt Options) *VAFile {
 		opt.Bits = 16
 	}
 	v := &VAFile{
-		dsk:   dsk,
-		aFile: dsk.NewFile("va.approx"),
-		eFile: dsk.NewFile("va.exact"),
-		dim:   len(pts[0]),
-		n:     len(pts),
-		opt:   opt,
+		sto: sto,
+		dim: len(pts[0]),
+		n:   len(pts),
+		opt: opt,
+	}
+	var err error
+	if v.aFile, err = sto.NewFile("va.approx"); err != nil {
+		return nil, err
+	}
+	if v.eFile, err = sto.NewFile("va.exact"); err != nil {
+		return nil, err
 	}
 	v.computeBounds(pts)
 
@@ -75,14 +81,18 @@ func Build(dsk *disk.Disk, pts []vec.Point, opt Options) *VAFile {
 			w.Write(v.cellOf(j, p[j]), opt.Bits)
 		}
 	}
-	v.aFile.Append(w.Bytes())
+	if _, _, err := v.aFile.Append(w.Bytes()); err != nil {
+		return nil, err
+	}
 
 	ids := make([]uint32, len(pts))
 	for i := range ids {
 		ids[i] = uint32(i)
 	}
-	v.eFile.Append(page.MarshalExact(pts, ids))
-	return v
+	if _, _, err := v.eFile.Append(page.MarshalExact(pts, ids)); err != nil {
+		return nil, err
+	}
+	return v, nil
 }
 
 // Len returns the number of stored points.
@@ -286,15 +296,18 @@ type candidate struct {
 // the approximation file, pruning with the kth-smallest upper bound;
 // phase 2 visits the surviving candidates in lower-bound order, fetching
 // exact points until the lower bound exceeds the kth exact distance.
-func (v *VAFile) KNN(s *disk.Session, q vec.Point, k int) []vec.Neighbor {
+func (v *VAFile) KNN(s *store.Session, q vec.Point, k int) ([]vec.Neighbor, error) {
 	if k <= 0 {
-		return nil
+		return nil, nil
 	}
 	if k > v.n {
 		k = v.n
 	}
 	// Phase 1: sequential scan of the approximations.
-	buf := s.Read(v.aFile, 0, v.aFile.Blocks())
+	buf, err := s.Read(v.aFile, 0, v.aFile.Blocks())
+	if err != nil {
+		return nil, err
+	}
 	s.ChargeApproxCPU(v.dim, v.n)
 	r := quantize.NewBitReader(buf)
 	cells := make([]uint32, v.dim)
@@ -342,7 +355,10 @@ func (v *VAFile) KNN(s *disk.Session, q vec.Point, k int) []vec.Neighbor {
 		if len(res) == k && c.lb >= res[0].Dist {
 			break
 		}
-		raw, rel := s.ReadRange(v.eFile, c.idx*entrySize, entrySize)
+		raw, rel, err := s.ReadRange(v.eFile, c.idx*entrySize, entrySize)
+		if err != nil {
+			return nil, err
+		}
 		p, id := page.UnmarshalExactEntry(raw[rel:], v.dim)
 		s.ChargeDistCPU(v.dim, 1)
 		d := v.opt.Metric.Dist(q, p)
@@ -357,21 +373,24 @@ func (v *VAFile) KNN(s *disk.Session, q vec.Point, k int) []vec.Neighbor {
 	for i := len(out) - 1; i >= 0; i-- {
 		out[i] = res.pop()
 	}
-	return out
+	return out, nil
 }
 
 // NearestNeighbor returns the single nearest neighbor of q.
-func (v *VAFile) NearestNeighbor(s *disk.Session, q vec.Point) (vec.Neighbor, bool) {
-	r := v.KNN(s, q, 1)
-	if len(r) == 0 {
-		return vec.Neighbor{}, false
+func (v *VAFile) NearestNeighbor(s *store.Session, q vec.Point) (vec.Neighbor, bool, error) {
+	r, err := v.KNN(s, q, 1)
+	if err != nil || len(r) == 0 {
+		return vec.Neighbor{}, false, err
 	}
-	return r[0], true
+	return r[0], true, nil
 }
 
 // RangeSearch returns all points within eps of q.
-func (v *VAFile) RangeSearch(s *disk.Session, q vec.Point, eps float64) []vec.Neighbor {
-	buf := s.Read(v.aFile, 0, v.aFile.Blocks())
+func (v *VAFile) RangeSearch(s *store.Session, q vec.Point, eps float64) ([]vec.Neighbor, error) {
+	buf, err := s.Read(v.aFile, 0, v.aFile.Blocks())
+	if err != nil {
+		return nil, err
+	}
 	s.ChargeApproxCPU(v.dim, v.n)
 	r := quantize.NewBitReader(buf)
 	cells := make([]uint32, v.dim)
@@ -386,7 +405,10 @@ func (v *VAFile) RangeSearch(s *disk.Session, q vec.Point, eps float64) []vec.Ne
 		if lb > eps {
 			continue
 		}
-		raw, rel := s.ReadRange(v.eFile, i*entrySize, entrySize)
+		raw, rel, err := s.ReadRange(v.eFile, i*entrySize, entrySize)
+		if err != nil {
+			return nil, err
+		}
 		p, id := page.UnmarshalExactEntry(raw[rel:], v.dim)
 		s.ChargeDistCPU(v.dim, 1)
 		if d := v.opt.Metric.Dist(q, p); d <= eps {
@@ -394,7 +416,7 @@ func (v *VAFile) RangeSearch(s *disk.Session, q vec.Point, eps float64) []vec.Ne
 		}
 	}
 	sort.Slice(out, func(a, b int) bool { return out[a].Dist < out[b].Dist })
-	return out
+	return out, nil
 }
 
 // --- heaps (shared shape with the other access methods) ---
@@ -476,8 +498,11 @@ func siftDownF(a []float64, i int) {
 // WindowQuery returns all points inside the query window w. The
 // approximation file filters cells disjoint from the window; only
 // candidate cells touch the exact file.
-func (v *VAFile) WindowQuery(s *disk.Session, w vec.MBR) []vec.Neighbor {
-	buf := s.Read(v.aFile, 0, v.aFile.Blocks())
+func (v *VAFile) WindowQuery(s *store.Session, w vec.MBR) ([]vec.Neighbor, error) {
+	buf, err := s.Read(v.aFile, 0, v.aFile.Blocks())
+	if err != nil {
+		return nil, err
+	}
 	s.ChargeApproxCPU(v.dim, v.n)
 	r := quantize.NewBitReader(buf)
 	cells := make([]uint32, v.dim)
@@ -498,12 +523,15 @@ func (v *VAFile) WindowQuery(s *disk.Session, w vec.MBR) []vec.Neighbor {
 		if !intersects {
 			continue
 		}
-		raw, rel := s.ReadRange(v.eFile, i*entrySize, entrySize)
+		raw, rel, err := s.ReadRange(v.eFile, i*entrySize, entrySize)
+		if err != nil {
+			return nil, err
+		}
 		p, id := page.UnmarshalExactEntry(raw[rel:], v.dim)
 		s.ChargeDistCPU(v.dim, 1)
 		if w.Contains(p) {
 			out = append(out, vec.Neighbor{ID: id, Point: p})
 		}
 	}
-	return out
+	return out, nil
 }

@@ -6,8 +6,8 @@ import (
 	"sort"
 	"testing"
 
-	"repro/internal/disk"
 	"repro/internal/quantize"
+	"repro/internal/store"
 	"repro/internal/vec"
 )
 
@@ -36,6 +36,26 @@ func skewedPoints(r *rand.Rand, n, d int) []vec.Point {
 	return pts
 }
 
+// mustBuild builds a VA-file or fails the test.
+func mustBuild(t *testing.T, sto *store.Store, pts []vec.Point, opt Options) *VAFile {
+	t.Helper()
+	v, err := Build(sto, pts, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// mustKNN runs a KNN query on a fresh session or fails the test.
+func mustKNN(t *testing.T, sto *store.Store, v *VAFile, q vec.Point, k int) []vec.Neighbor {
+	t.Helper()
+	res, err := v.KNN(sto.NewSession(), q, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
 func bruteKNN(pts []vec.Point, q vec.Point, k int, met vec.Metric) []float64 {
 	ds := make([]float64, len(pts))
 	for i, p := range pts {
@@ -54,10 +74,10 @@ func TestKNNMatchesBruteForce(t *testing.T) {
 		for _, uniform := range []bool{false, true} {
 			for _, bits := range []int{2, 4, 8} {
 				pts := randPoints(r, 2000, 8)
-				dsk := disk.New(disk.DefaultConfig())
-				v := Build(dsk, pts, Options{Metric: met, Bits: bits, Uniform: uniform})
+				sto := store.NewSim(store.DefaultConfig())
+				v := mustBuild(t, sto, pts, Options{Metric: met, Bits: bits, Uniform: uniform})
 				for _, q := range randPoints(r, 8, 8) {
-					got := v.KNN(dsk.NewSession(), q, 5)
+					got := mustKNN(t, sto, v, q, 5)
 					want := bruteKNN(pts, q, 5, met)
 					for i := range want {
 						if math.Abs(got[i].Dist-want[i]) > 1e-5 {
@@ -75,10 +95,10 @@ func TestKNNOnSkewedData(t *testing.T) {
 	// Quantile boundaries must stay correct when data is heavily skewed.
 	r := rand.New(rand.NewSource(2))
 	pts := skewedPoints(r, 3000, 6)
-	dsk := disk.New(disk.DefaultConfig())
-	v := Build(dsk, pts, Options{Metric: vec.Euclidean, Bits: 5})
+	sto := store.NewSim(store.DefaultConfig())
+	v := mustBuild(t, sto, pts, Options{Metric: vec.Euclidean, Bits: 5})
 	for _, q := range skewedPoints(r, 10, 6) {
-		got := v.KNN(dsk.NewSession(), q, 3)
+		got := mustKNN(t, sto, v, q, 3)
 		want := bruteKNN(pts, q, 3, vec.Euclidean)
 		for i := range want {
 			if math.Abs(got[i].Dist-want[i]) > 1e-5 {
@@ -95,10 +115,10 @@ func TestDuplicateValuesAndDegenerateDims(t *testing.T) {
 		pts[i][1] = 0.5                 // a constant dimension
 		pts[i][2] = float32(i%4) * 0.25 // few distinct values
 	}
-	dsk := disk.New(disk.DefaultConfig())
-	v := Build(dsk, pts, DefaultOptions())
+	sto := store.NewSim(store.DefaultConfig())
+	v := mustBuild(t, sto, pts, DefaultOptions())
 	for _, q := range randPoints(r, 5, 3) {
-		got := v.KNN(dsk.NewSession(), q, 4)
+		got := mustKNN(t, sto, v, q, 4)
 		want := bruteKNN(pts, q, 4, vec.Euclidean)
 		for i := range want {
 			if math.Abs(got[i].Dist-want[i]) > 1e-5 {
@@ -111,11 +131,14 @@ func TestDuplicateValuesAndDegenerateDims(t *testing.T) {
 func TestRangeSearch(t *testing.T) {
 	r := rand.New(rand.NewSource(4))
 	pts := randPoints(r, 1500, 5)
-	dsk := disk.New(disk.DefaultConfig())
-	v := Build(dsk, pts, DefaultOptions())
+	sto := store.NewSim(store.DefaultConfig())
+	v := mustBuild(t, sto, pts, DefaultOptions())
 	q := randPoints(r, 1, 5)[0]
 	eps := 0.35
-	got := v.RangeSearch(dsk.NewSession(), q, eps)
+	got, err := v.RangeSearch(sto.NewSession(), q, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
 	var want int
 	for _, p := range pts {
 		if vec.Euclidean.Dist(q, p) <= eps {
@@ -135,10 +158,12 @@ func TestRangeSearch(t *testing.T) {
 func TestPhase1ScansWholeApproxFileOnce(t *testing.T) {
 	r := rand.New(rand.NewSource(5))
 	pts := randPoints(r, 4000, 10)
-	dsk := disk.New(disk.DefaultConfig())
-	v := Build(dsk, pts, DefaultOptions())
-	s := dsk.NewSession()
-	v.KNN(s, randPoints(r, 1, 10)[0], 1)
+	sto := store.NewSim(store.DefaultConfig())
+	v := mustBuild(t, sto, pts, DefaultOptions())
+	s := sto.NewSession()
+	if _, err := v.KNN(s, randPoints(r, 1, 10)[0], 1); err != nil {
+		t.Fatal(err)
+	}
 	approxBlocks := v.aFile.Blocks()
 	if s.Stats.BlocksRead < approxBlocks {
 		t.Fatalf("read %d blocks, approximation file has %d", s.Stats.BlocksRead, approxBlocks)
@@ -154,10 +179,12 @@ func TestMoreBitsShrinkCandidateSet(t *testing.T) {
 	pts := randPoints(r, 4000, 12)
 	q := randPoints(r, 1, 12)[0]
 	refines := func(bits int) int {
-		dsk := disk.New(disk.DefaultConfig())
-		v := Build(dsk, pts, Options{Metric: vec.Euclidean, Bits: bits})
-		s := dsk.NewSession()
-		v.KNN(s, q, 1)
+		sto := store.NewSim(store.DefaultConfig())
+		v := mustBuild(t, sto, pts, Options{Metric: vec.Euclidean, Bits: bits})
+		s := sto.NewSession()
+		if _, err := v.KNN(s, q, 1); err != nil {
+			t.Fatal(err)
+		}
 		return s.Stats.Seeks // 1 (scan) + #exact look-ups
 	}
 	if r2, r8 := refines(2), refines(8); r8 > r2 {
@@ -169,8 +196,8 @@ func TestLowerUpperAgreesWithTables(t *testing.T) {
 	r := rand.New(rand.NewSource(7))
 	pts := randPoints(r, 500, 7)
 	for _, met := range []vec.Metric{vec.Euclidean, vec.Maximum, vec.Manhattan} {
-		dsk := disk.New(disk.DefaultConfig())
-		v := Build(dsk, pts, Options{Metric: met, Bits: 4})
+		sto := store.NewSim(store.DefaultConfig())
+		v := mustBuild(t, sto, pts, Options{Metric: met, Bits: 4})
 		q := randPoints(r, 1, 7)[0]
 		dt := v.buildTables(q)
 		cells := make([]uint32, v.dim)
@@ -191,8 +218,8 @@ func TestLowerUpperAgreesWithTables(t *testing.T) {
 func TestBoundsBracketTrueDistances(t *testing.T) {
 	r := rand.New(rand.NewSource(8))
 	pts := skewedPoints(r, 1000, 5)
-	dsk := disk.New(disk.DefaultConfig())
-	v := Build(dsk, pts, Options{Metric: vec.Euclidean, Bits: 3})
+	sto := store.NewSim(store.DefaultConfig())
+	v := mustBuild(t, sto, pts, Options{Metric: vec.Euclidean, Bits: 3})
 	q := randPoints(r, 1, 5)[0]
 	dt := v.buildTables(q)
 	cells := make([]uint32, v.dim)
@@ -211,12 +238,12 @@ func TestBoundsBracketTrueDistances(t *testing.T) {
 func TestBitsClampingAndAccessors(t *testing.T) {
 	r := rand.New(rand.NewSource(9))
 	pts := randPoints(r, 100, 4)
-	dsk := disk.New(disk.DefaultConfig())
-	v := Build(dsk, pts, Options{Metric: vec.Euclidean, Bits: 99})
+	sto := store.NewSim(store.DefaultConfig())
+	v := mustBuild(t, sto, pts, Options{Metric: vec.Euclidean, Bits: 99})
 	if v.Bits() != 16 {
 		t.Fatalf("bits clamped to %d, want 16", v.Bits())
 	}
-	v2 := Build(disk.New(disk.DefaultConfig()), pts, Options{Metric: vec.Euclidean})
+	v2 := mustBuild(t, store.NewSim(store.DefaultConfig()), pts, Options{Metric: vec.Euclidean})
 	if v2.Bits() != 4 {
 		t.Fatalf("default bits %d, want 4", v2.Bits())
 	}

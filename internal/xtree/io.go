@@ -8,17 +8,19 @@ import (
 	"repro/internal/vec"
 )
 
-// Finalize lays the tree out on the simulated disk in level order (the
-// natural result of the X-tree's page allocation) and serializes every
-// node. It must be called after dynamic inserts and before queries; Build
-// calls it automatically.
-func (t *Tree) Finalize() {
+// Finalize lays the tree out on the store in level order (the natural
+// result of the X-tree's page allocation) and serializes every node. It
+// must be called after dynamic inserts and before queries; Build calls it
+// automatically.
+func (t *Tree) Finalize() error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if t.finalized {
-		return
+		return nil
 	}
-	t.file.SetContents(nil)
+	if err := t.file.SetContents(nil); err != nil {
+		return err
+	}
 	// Level-order enumeration.
 	queue := []*node{t.root}
 	var order []*node
@@ -36,13 +38,13 @@ func (t *Tree) Finalize() {
 		if n.leaf {
 			// A leaf needs enough blocks for its points (it can briefly
 			// exceed one unit between overflow and split at capacity+1).
-			need := t.dsk.Config().Blocks(8 + len(n.pts)*page.ExactEntrySize(t.dim))
+			need := t.sto.Config().Blocks(8 + len(n.pts)*page.ExactEntrySize(t.dim))
 			if need > n.blocks {
 				n.blocks = need
 			}
 		} else {
 			// Defensive: a directory node must always fit its entries.
-			need := t.dsk.Config().Blocks(8 + len(n.children)*(8+8*t.dim))
+			need := t.sto.Config().Blocks(8 + len(n.children)*(8+8*t.dim))
 			if need > n.blocks {
 				n.blocks = need
 			}
@@ -50,14 +52,17 @@ func (t *Tree) Finalize() {
 		pos += n.blocks
 	}
 	for _, n := range order {
-		t.file.Append(t.marshalNode(n))
+		if _, _, err := t.file.Append(t.marshalNode(n)); err != nil {
+			return err
+		}
 	}
 	t.finalized = true
+	return nil
 }
 
 // marshalNode serializes a node, padded to its block allocation.
 func (t *Tree) marshalNode(n *node) []byte {
-	bs := t.dsk.Config().BlockSize
+	bs := t.sto.Config().BlockSize
 	buf := make([]byte, n.blocks*bs)
 	le := binary.LittleEndian
 	if n.leaf {

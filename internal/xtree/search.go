@@ -1,26 +1,30 @@
 package xtree
 
 import (
+	"errors"
 	"math"
 	"sort"
 
-	"repro/internal/disk"
+	"repro/internal/store"
 	"repro/internal/vec"
 )
+
+// errNotFinalized reports a query against a tree with pending inserts.
+var errNotFinalized = errors.New("xtree: query before Finalize")
 
 // KNN returns the k nearest neighbors of q using the Hjaltason/Samet
 // best-first algorithm. Every visited node costs one random read of the
 // node's blocks — the access pattern of a conventional index structure,
 // which is exactly what the paper's comparison penalizes in high
 // dimensions.
-func (t *Tree) KNN(s *disk.Session, q vec.Point, k int) []vec.Neighbor {
+func (t *Tree) KNN(s *store.Session, q vec.Point, k int) ([]vec.Neighbor, error) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	if !t.finalized {
-		panic("xtree: query before Finalize")
+		return nil, errNotFinalized
 	}
 	if k <= 0 || t.n == 0 {
-		return nil
+		return nil, nil
 	}
 	if k > t.n {
 		k = t.n
@@ -40,7 +44,10 @@ func (t *Tree) KNN(s *disk.Session, q vec.Point, k int) []vec.Neighbor {
 		if it.dist >= prune() {
 			break
 		}
-		buf := s.Read(t.file, it.n.pos, it.n.blocks)
+		buf, err := s.Read(t.file, it.n.pos, it.n.blocks)
+		if err != nil {
+			return nil, err
+		}
 		if it.n.leaf {
 			pts, ids := t.decodeLeaf(buf)
 			s.ChargeDistCPU(t.dim, len(pts))
@@ -66,30 +73,33 @@ func (t *Tree) KNN(s *disk.Session, q vec.Point, k int) []vec.Neighbor {
 	for i := len(out) - 1; i >= 0; i-- {
 		out[i] = res.pop()
 	}
-	return out
+	return out, nil
 }
 
 // NearestNeighbor returns the single nearest neighbor of q.
-func (t *Tree) NearestNeighbor(s *disk.Session, q vec.Point) (vec.Neighbor, bool) {
-	r := t.KNN(s, q, 1)
-	if len(r) == 0 {
-		return vec.Neighbor{}, false
+func (t *Tree) NearestNeighbor(s *store.Session, q vec.Point) (vec.Neighbor, bool, error) {
+	r, err := t.KNN(s, q, 1)
+	if err != nil || len(r) == 0 {
+		return vec.Neighbor{}, false, err
 	}
-	return r[0], true
+	return r[0], true, nil
 }
 
 // RangeSearch returns all points within eps of q, ordered by distance.
-func (t *Tree) RangeSearch(s *disk.Session, q vec.Point, eps float64) []vec.Neighbor {
+func (t *Tree) RangeSearch(s *store.Session, q vec.Point, eps float64) ([]vec.Neighbor, error) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	if !t.finalized {
-		panic("xtree: query before Finalize")
+		return nil, errNotFinalized
 	}
 	met := t.opt.Metric
 	var out []vec.Neighbor
-	var walk func(n *node)
-	walk = func(n *node) {
-		buf := s.Read(t.file, n.pos, n.blocks)
+	var walk func(n *node) error
+	walk = func(n *node) error {
+		buf, err := s.Read(t.file, n.pos, n.blocks)
+		if err != nil {
+			return err
+		}
 		if n.leaf {
 			pts, ids := t.decodeLeaf(buf)
 			s.ChargeDistCPU(t.dim, len(pts))
@@ -98,20 +108,25 @@ func (t *Tree) RangeSearch(s *disk.Session, q vec.Point, eps float64) []vec.Neig
 					out = append(out, vec.Neighbor{ID: ids[i], Dist: d, Point: p})
 				}
 			}
-			return
+			return nil
 		}
 		s.ChargeApproxCPU(t.dim, len(n.children))
 		for _, c := range n.children {
 			if c.mbr.MinDist(q, met) <= eps {
-				walk(c)
+				if err := walk(c); err != nil {
+					return err
+				}
 			}
 		}
+		return nil
 	}
 	if t.root.mbr.MinDist(q, met) <= eps {
-		walk(t.root)
+		if err := walk(t.root); err != nil {
+			return nil, err
+		}
 	}
 	sort.Slice(out, func(a, b int) bool { return out[a].Dist < out[b].Dist })
-	return out
+	return out, nil
 }
 
 // --- heaps ---
@@ -208,16 +223,19 @@ func (h *resHeap) pop() vec.Neighbor {
 }
 
 // WindowQuery returns all points inside the query window w.
-func (t *Tree) WindowQuery(s *disk.Session, w vec.MBR) []vec.Neighbor {
+func (t *Tree) WindowQuery(s *store.Session, w vec.MBR) ([]vec.Neighbor, error) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	if !t.finalized {
-		panic("xtree: query before Finalize")
+		return nil, errNotFinalized
 	}
 	var out []vec.Neighbor
-	var walk func(n *node)
-	walk = func(n *node) {
-		buf := s.Read(t.file, n.pos, n.blocks)
+	var walk func(n *node) error
+	walk = func(n *node) error {
+		buf, err := s.Read(t.file, n.pos, n.blocks)
+		if err != nil {
+			return err
+		}
 		if n.leaf {
 			pts, ids := t.decodeLeaf(buf)
 			s.ChargeDistCPU(t.dim, len(pts))
@@ -226,17 +244,22 @@ func (t *Tree) WindowQuery(s *disk.Session, w vec.MBR) []vec.Neighbor {
 					out = append(out, vec.Neighbor{ID: ids[i], Point: p})
 				}
 			}
-			return
+			return nil
 		}
 		s.ChargeApproxCPU(t.dim, len(n.children))
 		for _, c := range n.children {
 			if c.mbr.Intersects(w) {
-				walk(c)
+				if err := walk(c); err != nil {
+					return err
+				}
 			}
 		}
+		return nil
 	}
 	if t.root.mbr.Intersects(w) {
-		walk(t.root)
+		if err := walk(t.root); err != nil {
+			return nil, err
+		}
 	}
-	return out
+	return out, nil
 }

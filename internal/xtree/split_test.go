@@ -1,10 +1,11 @@
 package xtree
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 
-	"repro/internal/disk"
+	"repro/internal/store"
 	"repro/internal/vec"
 )
 
@@ -80,8 +81,11 @@ func TestPrefixSuffixGroups(t *testing.T) {
 }
 
 func TestUnitsFor(t *testing.T) {
-	dsk := disk.New(disk.DefaultConfig())
-	tr := New(dsk, 8, DefaultOptions())
+	sto := store.NewSim(store.DefaultConfig())
+	tr, err := New(sto, 8, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if tr.unitsFor(1) != 1 || tr.unitsFor(tr.dirCap) != 1 {
 		t.Fatal("single unit cases wrong")
 	}
@@ -104,14 +108,14 @@ func TestSupernodeCreationOnIdenticalBoxes(t *testing.T) {
 		}
 		pts = append(pts, p)
 	}
-	dsk := disk.New(disk.DefaultConfig())
-	tr := Build(dsk, pts, DefaultOptions())
+	sto := store.NewSim(store.DefaultConfig())
+	tr := mustBuild(t, sto, pts, DefaultOptions())
 	if tr.Len() != len(pts) {
 		t.Fatalf("Len %d", tr.Len())
 	}
 	// Queries remain exact even with supernodes.
 	q := pts[0]
-	res := tr.KNN(dsk.NewSession(), q, 3)
+	res := mustKNN(t, sto, tr, q, 3)
 	if len(res) != 3 || res[0].Dist != 0 {
 		t.Fatalf("query on degenerate data: %+v", res)
 	}
@@ -141,29 +145,36 @@ func TestFinalizeIdempotentAndReFinalize(t *testing.T) {
 	for i := range pts {
 		pts[i] = vec.Point{r.Float32(), r.Float32(), r.Float32(), r.Float32()}
 	}
-	dsk := disk.New(disk.DefaultConfig())
-	tr := Build(dsk, pts, DefaultOptions())
+	sto := store.NewSim(store.DefaultConfig())
+	tr := mustBuild(t, sto, pts, DefaultOptions())
 	size := tr.file.Bytes()
-	tr.Finalize() // no-op
+	if err := tr.Finalize(); err != nil { // no-op
+		t.Fatal(err)
+	}
 	if tr.file.Bytes() != size {
 		t.Fatal("idempotent finalize changed the file")
 	}
 	tr.Insert(vec.Point{0.5, 0.5, 0.5, 0.5}, 9999)
-	tr.Finalize()
-	res := tr.KNN(dsk.NewSession(), vec.Point{0.5, 0.5, 0.5, 0.5}, 1)
+	if err := tr.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	res := mustKNN(t, sto, tr, vec.Point{0.5, 0.5, 0.5, 0.5}, 1)
 	if res[0].ID != 9999 || res[0].Dist != 0 {
 		t.Fatalf("re-finalized query: %+v", res[0])
 	}
 }
 
-func TestQueryBeforeFinalizePanics(t *testing.T) {
-	dsk := disk.New(disk.DefaultConfig())
-	tr := New(dsk, 2, DefaultOptions())
+func TestQueryBeforeFinalizeErrors(t *testing.T) {
+	sto := store.NewSim(store.DefaultConfig())
+	tr, err := New(sto, 2, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
 	tr.Insert(vec.Point{1, 2}, 0)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
-	tr.KNN(dsk.NewSession(), vec.Point{1, 2}, 1)
+	if _, err := tr.KNN(sto.NewSession(), vec.Point{1, 2}, 1); !errors.Is(err, errNotFinalized) {
+		t.Fatalf("KNN before Finalize: err = %v, want errNotFinalized", err)
+	}
+	if _, err := tr.RangeSearch(sto.NewSession(), vec.Point{1, 2}, 1); !errors.Is(err, errNotFinalized) {
+		t.Fatalf("RangeSearch before Finalize: err = %v, want errNotFinalized", err)
+	}
 }

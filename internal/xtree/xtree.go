@@ -15,13 +15,14 @@
 package xtree
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
 	"sync"
 
-	"repro/internal/disk"
 	"repro/internal/page"
+	"repro/internal/store"
 	"repro/internal/vec"
 )
 
@@ -65,11 +66,11 @@ type node struct {
 	blocks     int // size in blocks after finalize
 }
 
-// Tree is an X-tree over a simulated disk.
+// Tree is an X-tree over a block store.
 type Tree struct {
 	mu        sync.RWMutex
-	dsk       *disk.Disk
-	file      *disk.File
+	sto       *store.Store
+	file      *store.File
 	opt       Options
 	dim       int
 	n         int
@@ -81,7 +82,7 @@ type Tree struct {
 }
 
 // New creates an empty X-tree for points of dimensionality dim.
-func New(dsk *disk.Disk, dim int, opt Options) *Tree {
+func New(sto *store.Store, dim int, opt Options) (*Tree, error) {
 	if opt.NodeBlocks <= 0 {
 		opt.NodeBlocks = 1
 	}
@@ -91,10 +92,14 @@ func New(dsk *disk.Disk, dim int, opt Options) *Tree {
 	if opt.MinFanoutRatio <= 0 {
 		opt.MinFanoutRatio = 0.35
 	}
-	nodeBytes := opt.NodeBlocks * dsk.Config().BlockSize
+	nodeBytes := opt.NodeBlocks * sto.Config().BlockSize
+	file, err := sto.NewFile("x.tree")
+	if err != nil {
+		return nil, err
+	}
 	t := &Tree{
-		dsk:  dsk,
-		file: dsk.NewFile("x.tree"),
+		sto:  sto,
+		file: file,
 		opt:  opt,
 		dim:  dim,
 		// Node payload = node bytes minus the 8-byte header.
@@ -105,23 +110,28 @@ func New(dsk *disk.Disk, dim int, opt Options) *Tree {
 		height:  1,
 	}
 	if t.dirCap < 4 || t.leafCap < 2 {
-		panic(fmt.Sprintf("xtree: node size too small for dimension %d", dim))
+		return nil, fmt.Errorf("xtree: node size too small for dimension %d", dim)
 	}
-	return t
+	return t, nil
 }
 
 // Build constructs an X-tree by inserting pts one by one (ids are point
 // indices) and finalizing the disk layout.
-func Build(dsk *disk.Disk, pts []vec.Point, opt Options) *Tree {
+func Build(sto *store.Store, pts []vec.Point, opt Options) (*Tree, error) {
 	if len(pts) == 0 {
-		panic("xtree: empty point set")
+		return nil, errors.New("xtree: empty point set")
 	}
-	t := New(dsk, len(pts[0]), opt)
+	t, err := New(sto, len(pts[0]), opt)
+	if err != nil {
+		return nil, err
+	}
 	for i, p := range pts {
 		t.insert(p, uint32(i))
 	}
-	t.Finalize()
-	return t
+	if err := t.Finalize(); err != nil {
+		return nil, err
+	}
+	return t, nil
 }
 
 // Len returns the number of stored points.

@@ -6,7 +6,7 @@ import (
 	"sort"
 	"testing"
 
-	"repro/internal/disk"
+	"repro/internal/store"
 	"repro/internal/vec"
 )
 
@@ -36,6 +36,26 @@ func clusteredPoints(r *rand.Rand, n, d, clusters int) []vec.Point {
 	return pts
 }
 
+// mustBuild builds a finalized tree or fails the test.
+func mustBuild(t *testing.T, sto *store.Store, pts []vec.Point, opt Options) *Tree {
+	t.Helper()
+	tr, err := Build(sto, pts, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// mustKNN runs a KNN query on a fresh session or fails the test.
+func mustKNN(t *testing.T, sto *store.Store, tr *Tree, q vec.Point, k int) []vec.Neighbor {
+	t.Helper()
+	res, err := tr.KNN(sto.NewSession(), q, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
 func bruteKNN(pts []vec.Point, q vec.Point, k int, met vec.Metric) []float64 {
 	ds := make([]float64, len(pts))
 	for i, p := range pts {
@@ -50,15 +70,15 @@ func TestKNNMatchesBruteForce(t *testing.T) {
 		for _, d := range []int{2, 8, 16} {
 			r := rand.New(rand.NewSource(1))
 			pts := randPoints(r, 3000, d)
-			dsk := disk.New(disk.DefaultConfig())
+			sto := store.NewSim(store.DefaultConfig())
 			opt := DefaultOptions()
 			opt.Metric = met
-			tr := Build(dsk, pts, opt)
+			tr := mustBuild(t, sto, pts, opt)
 			if tr.Len() != len(pts) {
 				t.Fatalf("Len = %d", tr.Len())
 			}
 			for qi, q := range randPoints(r, 10, d) {
-				got := tr.KNN(dsk.NewSession(), q, 5)
+				got := mustKNN(t, sto, tr, q, 5)
 				want := bruteKNN(pts, q, 5, met)
 				for i := range got {
 					if math.Abs(got[i].Dist-want[i]) > 1e-5 {
@@ -73,14 +93,14 @@ func TestKNNMatchesBruteForce(t *testing.T) {
 func TestClusteredDataAndSupernodes(t *testing.T) {
 	r := rand.New(rand.NewSource(2))
 	pts := clusteredPoints(r, 5000, 12, 8)
-	dsk := disk.New(disk.DefaultConfig())
-	tr := Build(dsk, pts, DefaultOptions())
+	sto := store.NewSim(store.DefaultConfig())
+	tr := mustBuild(t, sto, pts, DefaultOptions())
 	st := tr.Stats()
 	if st.Leaves == 0 || st.Points != 5000 {
 		t.Fatalf("stats: %+v", st)
 	}
 	for qi, q := range clusteredPoints(r, 10, 12, 8) {
-		got := tr.KNN(dsk.NewSession(), q, 3)
+		got := mustKNN(t, sto, tr, q, 3)
 		want := bruteKNN(pts, q, 3, vec.Euclidean)
 		for i := range got {
 			if math.Abs(got[i].Dist-want[i]) > 1e-5 {
@@ -93,11 +113,14 @@ func TestClusteredDataAndSupernodes(t *testing.T) {
 func TestRangeSearch(t *testing.T) {
 	r := rand.New(rand.NewSource(3))
 	pts := randPoints(r, 2000, 4)
-	dsk := disk.New(disk.DefaultConfig())
-	tr := Build(dsk, pts, DefaultOptions())
+	sto := store.NewSim(store.DefaultConfig())
+	tr := mustBuild(t, sto, pts, DefaultOptions())
 	for _, q := range randPoints(r, 10, 4) {
 		eps := 0.25
-		got := tr.RangeSearch(dsk.NewSession(), q, eps)
+		got, err := tr.RangeSearch(sto.NewSession(), q, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
 		var want int
 		for _, p := range pts {
 			if vec.Euclidean.Dist(q, p) <= eps {
@@ -113,16 +136,18 @@ func TestRangeSearch(t *testing.T) {
 func TestDynamicInsertAfterBuild(t *testing.T) {
 	r := rand.New(rand.NewSource(4))
 	pts := randPoints(r, 1000, 6)
-	dsk := disk.New(disk.DefaultConfig())
-	tr := Build(dsk, pts, DefaultOptions())
+	sto := store.NewSim(store.DefaultConfig())
+	tr := mustBuild(t, sto, pts, DefaultOptions())
 	extra := randPoints(r, 500, 6)
 	for i, p := range extra {
 		tr.Insert(p, uint32(1000+i))
 	}
-	tr.Finalize()
+	if err := tr.Finalize(); err != nil {
+		t.Fatal(err)
+	}
 	all := append(append([]vec.Point{}, pts...), extra...)
 	for _, q := range randPoints(r, 10, 6) {
-		got := tr.KNN(dsk.NewSession(), q, 4)
+		got := mustKNN(t, sto, tr, q, 4)
 		want := bruteKNN(all, q, 4, vec.Euclidean)
 		for i := range got {
 			if math.Abs(got[i].Dist-want[i]) > 1e-5 {
@@ -136,12 +161,14 @@ func TestRandomIOCostGrowsWithDimension(t *testing.T) {
 	r := rand.New(rand.NewSource(5))
 	cost := func(d int) float64 {
 		pts := randPoints(r, 4000, d)
-		dsk := disk.New(disk.DefaultConfig())
-		tr := Build(dsk, pts, DefaultOptions())
+		sto := store.NewSim(store.DefaultConfig())
+		tr := mustBuild(t, sto, pts, DefaultOptions())
 		var total float64
 		for _, q := range randPoints(r, 5, d) {
-			s := dsk.NewSession()
-			tr.KNN(s, q, 1)
+			s := sto.NewSession()
+			if _, err := tr.KNN(s, q, 1); err != nil {
+				t.Fatal(err)
+			}
 			total += s.Time()
 		}
 		return total

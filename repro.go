@@ -10,27 +10,39 @@
 //     a time-optimized nearest-neighbor page access strategy;
 //   - the comparators of the paper's evaluation: X-tree (BuildXTree),
 //     VA-file (BuildVAFile) and sequential scan (BuildScan);
-//   - the simulated disk all of them run on (NewDisk), which turns page
-//     accesses into the paper's metric — elapsed seconds;
+//   - the block store all of them run on: either the simulated backend
+//     (NewStore) that turns page accesses into the paper's metric —
+//     elapsed seconds — or a real file-backed store (OpenFileStore) that
+//     persists the index across processes. Both share an optional
+//     buffer-pool cache (Store.SetCache);
 //   - the workload generators of the evaluation (GenUniform, GenCAD,
 //     GenColor, GenWeather).
 //
 // Quickstart:
 //
-//	dsk := repro.NewDisk(repro.DefaultDiskConfig())
-//	tree, err := repro.BuildIQTree(dsk, points, repro.DefaultIQTreeOptions())
+//	sto := repro.NewStore(repro.DefaultStoreConfig())
+//	tree, err := repro.BuildIQTree(sto, points, repro.DefaultIQTreeOptions())
 //	...
-//	s := dsk.NewSession()
-//	nn, ok := tree.NearestNeighbor(s, query)
+//	s := sto.NewSession()
+//	nn, ok, err := tree.NearestNeighbor(s, query)
 //	fmt.Println(nn.ID, nn.Dist, s.Time()) // result + simulated seconds
+//
+// To persist the tree on real files and reopen it in another process:
+//
+//	sto, err := repro.OpenFileStore("/tmp/iq", repro.DefaultStoreConfig())
+//	tree, err := repro.BuildIQTree(sto, points, repro.DefaultIQTreeOptions())
+//	err = sto.Close()
+//	// later, possibly elsewhere:
+//	sto, err = repro.OpenFileStore("/tmp/iq", repro.DefaultStoreConfig())
+//	tree, err = repro.OpenIQTree(sto)
 package repro
 
 import (
 	"repro/internal/core"
 	"repro/internal/dataset"
-	"repro/internal/disk"
 	"repro/internal/fractal"
 	"repro/internal/scan"
+	"repro/internal/store"
 	"repro/internal/vafile"
 	"repro/internal/vec"
 	"repro/internal/xtree"
@@ -58,23 +70,39 @@ const (
 // MBROf computes the minimum bounding rectangle of a point set.
 func MBROf(pts []Point) MBR { return vec.MBROf(pts) }
 
-// Disk is the simulated disk all access methods run on.
-type Disk = disk.Disk
+// Store is the block store all access methods run on. It wraps a
+// backend (simulated or file-backed) with cost accounting and an
+// optional buffer-pool cache.
+type Store = store.Store
 
-// DiskConfig holds the simulated hardware parameters.
-type DiskConfig = disk.Config
+// StoreConfig holds the block size and the simulated hardware parameters
+// used for cost accounting.
+type StoreConfig = store.Config
 
 // Session tracks one query's simulated I/O and CPU cost.
-type Session = disk.Session
+type Session = store.Session
 
-// DiskStats accumulates simulated cost counters.
-type DiskStats = disk.Stats
+// StoreStats accumulates simulated cost counters.
+type StoreStats = store.Stats
 
-// NewDisk creates a simulated disk.
-func NewDisk(cfg DiskConfig) *Disk { return disk.New(cfg) }
+// BufferPool is the shared LRU page cache (see Store.SetCache).
+type BufferPool = store.BufferPool
 
-// DefaultDiskConfig returns parameters calibrated to the paper's testbed.
-func DefaultDiskConfig() DiskConfig { return disk.DefaultConfig() }
+// PoolStats reports buffer-pool hit/miss/eviction counters.
+type PoolStats = store.PoolStats
+
+// NewStore creates a store over the simulated in-memory backend — the
+// paper's evaluation environment.
+func NewStore(cfg StoreConfig) *Store { return store.NewSim(cfg) }
+
+// OpenFileStore creates (or reopens) a store whose blocks live in real
+// files under dir, one file per index component.
+func OpenFileStore(dir string, cfg StoreConfig) (*Store, error) {
+	return store.OpenFileStore(dir, cfg)
+}
+
+// DefaultStoreConfig returns parameters calibrated to the paper's testbed.
+func DefaultStoreConfig() StoreConfig { return store.DefaultConfig() }
 
 // IQTree is the paper's three-level compressed index.
 type IQTree = core.Tree
@@ -93,14 +121,14 @@ func DefaultIQTreeOptions() IQTreeOptions { return core.DefaultOptions() }
 
 // BuildIQTree bulk-loads an IQ-tree over pts (point i gets id i) with
 // optimal per-page quantization.
-func BuildIQTree(d *Disk, pts []Point, opt IQTreeOptions) (*IQTree, error) {
-	return core.Build(d, pts, opt)
+func BuildIQTree(sto *Store, pts []Point, opt IQTreeOptions) (*IQTree, error) {
+	return core.Build(sto, pts, opt)
 }
 
 // OpenIQTree reopens the IQ-tree that a previous BuildIQTree (plus any
-// later maintenance) left on the disk.
-func OpenIQTree(d *Disk) (*IQTree, error) {
-	return core.Open(d)
+// later maintenance) left on the store.
+func OpenIQTree(sto *Store) (*IQTree, error) {
+	return core.Open(sto)
 }
 
 // XTree is the hierarchical-index comparator.
@@ -113,8 +141,8 @@ type XTreeOptions = xtree.Options
 func DefaultXTreeOptions() XTreeOptions { return xtree.DefaultOptions() }
 
 // BuildXTree constructs an X-tree over pts by dynamic insertion.
-func BuildXTree(d *Disk, pts []Point, opt XTreeOptions) *XTree {
-	return xtree.Build(d, pts, opt)
+func BuildXTree(sto *Store, pts []Point, opt XTreeOptions) (*XTree, error) {
+	return xtree.Build(sto, pts, opt)
 }
 
 // VAFile is the compression-based comparator.
@@ -127,16 +155,16 @@ type VAFileOptions = vafile.Options
 func DefaultVAFileOptions() VAFileOptions { return vafile.DefaultOptions() }
 
 // BuildVAFile constructs a VA-file over pts.
-func BuildVAFile(d *Disk, pts []Point, opt VAFileOptions) *VAFile {
-	return vafile.Build(d, pts, opt)
+func BuildVAFile(sto *Store, pts []Point, opt VAFileOptions) (*VAFile, error) {
+	return vafile.Build(sto, pts, opt)
 }
 
 // Scan is the sequential-scan reference method.
 type Scan = scan.Scan
 
 // BuildScan stores pts in a flat file for sequential scanning.
-func BuildScan(d *Disk, pts []Point, met Metric) *Scan {
-	return scan.Build(d, pts, met)
+func BuildScan(sto *Store, pts []Point, met Metric) (*Scan, error) {
+	return scan.Build(sto, pts, met)
 }
 
 // DatasetName identifies one of the evaluation workloads.

@@ -5,6 +5,7 @@ package repro_test
 import (
 	"math"
 	"sort"
+	"sync"
 	"testing"
 
 	"repro"
@@ -14,27 +15,43 @@ func TestFacadeEndToEnd(t *testing.T) {
 	all := repro.GenUniform(1, 5010, 8)
 	db, queries := repro.SplitDataset(all, 10)
 
-	dsk := repro.NewDisk(repro.DefaultDiskConfig())
-	tree, err := repro.BuildIQTree(dsk, db, repro.DefaultIQTreeOptions())
+	sto := repro.NewStore(repro.DefaultStoreConfig())
+	tree, err := repro.BuildIQTree(sto, db, repro.DefaultIQTreeOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
 
-	scanDisk := repro.NewDisk(repro.DefaultDiskConfig())
-	flat := repro.BuildScan(scanDisk, db, repro.Euclidean)
+	scanStore := repro.NewStore(repro.DefaultStoreConfig())
+	flat, err := repro.BuildScan(scanStore, db, repro.Euclidean)
+	if err != nil {
+		t.Fatal(err)
+	}
 
-	xDisk := repro.NewDisk(repro.DefaultDiskConfig())
-	xt := repro.BuildXTree(xDisk, db, repro.DefaultXTreeOptions())
+	xStore := repro.NewStore(repro.DefaultStoreConfig())
+	xt, err := repro.BuildXTree(xStore, db, repro.DefaultXTreeOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
 
-	vDisk := repro.NewDisk(repro.DefaultDiskConfig())
-	va := repro.BuildVAFile(vDisk, db, repro.DefaultVAFileOptions())
+	vStore := repro.NewStore(repro.DefaultStoreConfig())
+	va, err := repro.BuildVAFile(vStore, db, repro.DefaultVAFileOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
 
+	must := func(res []repro.Neighbor, err error) []repro.Neighbor {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
 	for qi, q := range queries {
-		ref := flat.KNN(scanDisk.NewSession(), q, 4)
+		ref := must(flat.KNN(scanStore.NewSession(), q, 4))
 		for name, got := range map[string][]repro.Neighbor{
-			"iqtree": tree.KNN(dsk.NewSession(), q, 4),
-			"xtree":  xt.KNN(xDisk.NewSession(), q, 4),
-			"vafile": va.KNN(vDisk.NewSession(), q, 4),
+			"iqtree": must(tree.KNN(sto.NewSession(), q, 4)),
+			"xtree":  must(xt.KNN(xStore.NewSession(), q, 4)),
+			"vafile": must(va.KNN(vStore.NewSession(), q, 4)),
 		} {
 			if len(got) != len(ref) {
 				t.Fatalf("%s query %d: %d results", name, qi, len(got))
@@ -51,13 +68,15 @@ func TestFacadeEndToEnd(t *testing.T) {
 func TestFacadeSessionAccounting(t *testing.T) {
 	all := repro.GenWeather(2, 3005)
 	db, queries := repro.SplitDataset(all, 5)
-	dsk := repro.NewDisk(repro.DefaultDiskConfig())
-	tree, err := repro.BuildIQTree(dsk, db, repro.DefaultIQTreeOptions())
+	sto := repro.NewStore(repro.DefaultStoreConfig())
+	tree, err := repro.BuildIQTree(sto, db, repro.DefaultIQTreeOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := dsk.NewSession()
-	if _, ok := tree.NearestNeighbor(s, queries[0]); !ok {
+	s := sto.NewSession()
+	if _, ok, err := tree.NearestNeighbor(s, queries[0]); err != nil {
+		t.Fatal(err)
+	} else if !ok {
 		t.Fatal("no result")
 	}
 	if s.Time() <= 0 || s.Stats.Seeks == 0 || s.Stats.BlocksRead == 0 {
@@ -68,21 +87,152 @@ func TestFacadeSessionAccounting(t *testing.T) {
 func TestFacadePersistence(t *testing.T) {
 	all := repro.GenCAD(3, 2005)
 	db, queries := repro.SplitDataset(all, 5)
-	dsk := repro.NewDisk(repro.DefaultDiskConfig())
-	orig, err := repro.BuildIQTree(dsk, db, repro.DefaultIQTreeOptions())
+	sto := repro.NewStore(repro.DefaultStoreConfig())
+	orig, err := repro.BuildIQTree(sto, db, repro.DefaultIQTreeOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
-	reopened, err := repro.OpenIQTree(dsk)
+	reopened, err := repro.OpenIQTree(sto)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, q := range queries {
-		a, _ := orig.NearestNeighbor(dsk.NewSession(), q)
-		b, _ := reopened.NearestNeighbor(dsk.NewSession(), q)
+		a, _, err := orig.NearestNeighbor(sto.NewSession(), q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _, err := reopened.NearestNeighbor(sto.NewSession(), q)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if a.ID != b.ID || a.Dist != b.Dist {
 			t.Fatalf("reopened tree disagrees: %+v vs %+v", a, b)
 		}
+	}
+}
+
+// TestFacadeFilePersistenceRoundTrip builds an IQ-tree on a file-backed
+// store, closes it, reopens the directory in a fresh store, and checks
+// that the reopened tree returns identical KNN results.
+func TestFacadeFilePersistenceRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	all := repro.GenColor(11, 3008)
+	db, queries := repro.SplitDataset(all, 8)
+
+	sto, err := repro.OpenFileStore(dir, repro.DefaultStoreConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := repro.BuildIQTree(sto, db, repro.DefaultIQTreeOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([][]repro.Neighbor, len(queries))
+	for i, q := range queries {
+		if want[i], err = tree.KNN(sto.NewSession(), q, 5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sto.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sto.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A different process would do exactly this: open the directory and
+	// reconstruct the tree from the persisted pages.
+	sto2, err := repro.OpenFileStore(dir, repro.DefaultStoreConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sto2.Close()
+	reopened, err := repro.OpenIQTree(sto2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi, q := range queries {
+		got, err := reopened.KNN(sto2.NewSession(), q, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want[qi]) {
+			t.Fatalf("query %d: %d results, want %d", qi, len(got), len(want[qi]))
+		}
+		for i := range got {
+			if got[i].ID != want[qi][i].ID || got[i].Dist != want[qi][i].Dist {
+				t.Fatalf("query %d result %d: %+v, want %+v", qi, i, got[i], want[qi][i])
+			}
+		}
+	}
+}
+
+// TestFacadeConcurrentQueriesSharedPool is the concurrency smoke test:
+// many goroutines run KNN and range queries against one tree through a
+// shared buffer pool. Run under -race this exercises the pool's locking.
+func TestFacadeConcurrentQueriesSharedPool(t *testing.T) {
+	all := repro.GenUniform(13, 4016, 8)
+	db, queries := repro.SplitDataset(all, 16)
+
+	sto := repro.NewStore(repro.DefaultStoreConfig())
+	sto.SetCache(1 << 20)
+	tree, err := repro.BuildIQTree(sto, db, repro.DefaultIQTreeOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference answers, computed single-threaded.
+	wantKNN := make([][]repro.Neighbor, len(queries))
+	wantRange := make([]int, len(queries))
+	for i, q := range queries {
+		if wantKNN[i], err = tree.KNN(sto.NewSession(), q, 5); err != nil {
+			t.Fatal(err)
+		}
+		res, err := tree.RangeSearch(sto.NewSession(), q, 0.6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantRange[i] = len(res)
+	}
+
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for round := 0; round < 3; round++ {
+				for qi, q := range queries {
+					got, err := tree.KNN(sto.NewSession(), q, 5)
+					if err != nil {
+						t.Errorf("worker %d query %d: %v", w, qi, err)
+						return
+					}
+					for i := range got {
+						if got[i].ID != wantKNN[qi][i].ID {
+							t.Errorf("worker %d query %d: id %d, want %d",
+								w, qi, got[i].ID, wantKNN[qi][i].ID)
+							return
+						}
+					}
+					res, err := tree.RangeSearch(sto.NewSession(), q, 0.6)
+					if err != nil {
+						t.Errorf("worker %d range %d: %v", w, qi, err)
+						return
+					}
+					if len(res) != wantRange[qi] {
+						t.Errorf("worker %d range %d: %d results, want %d",
+							w, qi, len(res), wantRange[qi])
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if ps := sto.Pool().Stats(); ps.Hits == 0 {
+		t.Fatalf("shared pool saw no hits: %+v", ps)
 	}
 }
 
@@ -112,8 +262,8 @@ func TestFacadeDatasets(t *testing.T) {
 func TestFacadeRangeAndStats(t *testing.T) {
 	all := repro.GenColor(5, 4003)
 	db, queries := repro.SplitDataset(all, 3)
-	dsk := repro.NewDisk(repro.DefaultDiskConfig())
-	tree, err := repro.BuildIQTree(dsk, db, repro.DefaultIQTreeOptions())
+	sto := repro.NewStore(repro.DefaultStoreConfig())
+	tree, err := repro.BuildIQTree(sto, db, repro.DefaultIQTreeOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,7 +271,10 @@ func TestFacadeRangeAndStats(t *testing.T) {
 	if st.Points != len(db) || st.Pages == 0 {
 		t.Fatalf("stats: %+v", st)
 	}
-	res := tree.RangeSearch(dsk.NewSession(), queries[0], 0.2)
+	res, err := tree.RangeSearch(sto.NewSession(), queries[0], 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !sort.SliceIsSorted(res, func(i, j int) bool { return res[i].Dist < res[j].Dist }) {
 		t.Fatal("range results not sorted")
 	}

@@ -1,0 +1,29 @@
+#!/bin/sh
+# ci.sh — the checks every change must pass, in the order they fail fastest.
+# Run from the repository root: ./scripts/ci.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt needed on:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test =="
+go test ./...
+
+echo "== go test -race (short set) =="
+go test -race -short -run 'Concurrent|Session|Pool|Cache|Facade' \
+	. ./internal/store/ ./internal/core/
+
+echo "CI OK"
