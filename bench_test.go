@@ -338,6 +338,34 @@ func BenchmarkAblationFixedBits(b *testing.B) {
 	})
 }
 
+// BenchmarkObserverOverhead gates the observability layer on the
+// Fig. 8 d=16 IQ-tree query path: "off" runs with no observer attached
+// (the production default, where every hook is a nil check), "on"
+// records a full per-query trace. ci.sh asserts "on" stays within 2% of
+// "off"; since the disabled path does strictly less work than the
+// enabled one, that bounds the hooks' cost on the default path too.
+func BenchmarkObserverOverhead(b *testing.B) {
+	bi := getIndex(b, dataset.Uniform, benchN, 16, experiments.IQTree)
+	tr := bi.idx.(*core.Tree)
+	b.Run("off", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s := bi.sto.NewSession()
+			if _, err := tr.KNN(s, bi.queries[i%len(bi.queries)], 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("on", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s := bi.sto.NewSession()
+			var qt core.Trace
+			if _, err := tr.KNNTrace(s, bi.queries[i%len(bi.queries)], 1, &qt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkIterator measures the incremental ranking iterator: cost of
 // the first pull and of a deep 100-neighbor pull.
 func BenchmarkIterator(b *testing.B) {

@@ -7,12 +7,20 @@
 //	iqbench -fig 8 -scale 0.05  # figure 8 at 5% of the paper's N
 //	iqbench -fig 9 -csv out.csv # also dump CSV rows
 //
+// -metrics <file.json> writes a machine-readable report after the run:
+// every figure's series plus a snapshot of the process-wide metrics
+// registry (query counts, seek/block totals, latency histograms with
+// p50/p95/p99). -debug-addr <host:port> serves expvar and pprof while
+// the benchmark runs, e.g. -debug-addr 127.0.0.1:6060 then visit
+// /metrics, /debug/vars or /debug/pprof/.
+//
 // The reported numbers are average simulated seconds per nearest-neighbor
 // query; shapes (who wins, crossover dimensions, speed-up factors) are the
 // reproduction target, not the paper's absolute values.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -20,9 +28,27 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "iqbench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// metricsReport is the schema of the -metrics JSON file.
+type metricsReport struct {
+	Date    string               `json:"date"`
+	Scale   float64              `json:"scale"`
+	Queries int                  `json:"queries"`
+	Seed    int64                `json:"seed"`
+	Figures []experiments.Figure `json:"figures"`
+	Metrics obs.Snapshot         `json:"metrics"`
+}
+
+func run() error {
 	var (
 		figFlag   = flag.String("fig", "all", "figure to run: 7..12, an ablation (va-bits | cost-model | knn), or 'all'")
 		scale     = flag.Float64("scale", 1.0, "fraction of the paper's database sizes")
@@ -31,11 +57,20 @@ func main() {
 		csvPath   = flag.String("csv", "", "also write CSV rows to this file")
 		chart     = flag.Bool("chart", false, "also render ASCII charts")
 		quickFlag = flag.Bool("quick", false, "shorthand for -scale 0.04 -queries 20")
+		metrics   = flag.String("metrics", "", "write a machine-readable JSON report (figures + registry snapshot) to this file")
+		debugAddr = flag.String("debug-addr", "", "serve expvar + pprof on this address while running (e.g. 127.0.0.1:6060)")
 	)
 	flag.Parse()
 	if *quickFlag {
 		*scale = 0.04
 		*queries = 20
+	}
+	if *debugAddr != "" {
+		addr, err := obs.StartDebugServer(*debugAddr)
+		if err != nil {
+			return fmt.Errorf("debug server: %w", err)
+		}
+		fmt.Printf("debug server on http://%s (/metrics, /debug/vars, /debug/pprof/)\n\n", addr)
 	}
 	opts := experiments.RunOpts{Scale: *scale, Queries: *queries, Seed: *seed}
 
@@ -53,20 +88,19 @@ func main() {
 		for _, f := range strings.Split(*figFlag, ",") {
 			f = strings.TrimSpace(f)
 			if _, ok := runners[f]; !ok {
-				fmt.Fprintf(os.Stderr, "iqbench: unknown figure %q (want 7..12 or all)\n", f)
-				os.Exit(2)
+				return fmt.Errorf("unknown figure %q (want 7..12 or all)", f)
 			}
 			order = append(order, f)
 		}
 	}
 
 	var csv strings.Builder
+	var figures []experiments.Figure
 	for _, f := range order {
 		start := time.Now()
 		fig, err := runners[f](opts)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "iqbench: figure %s: %v\n", f, err)
-			os.Exit(1)
+			return fmt.Errorf("figure %s: %w", f, err)
 		}
 		fmt.Println(fig.Format())
 		if *chart {
@@ -74,11 +108,30 @@ func main() {
 		}
 		fmt.Printf("(wall time %.1fs)\n\n", time.Since(start).Seconds())
 		csv.WriteString(fig.CSV())
+		figures = append(figures, fig)
 	}
 	if *csvPath != "" {
 		if err := os.WriteFile(*csvPath, []byte(csv.String()), 0o644); err != nil {
-			fmt.Fprintf(os.Stderr, "iqbench: write csv: %v\n", err)
-			os.Exit(1)
+			return fmt.Errorf("write csv: %w", err)
 		}
 	}
+	if *metrics != "" {
+		report := metricsReport{
+			Date:    time.Now().UTC().Format(time.RFC3339),
+			Scale:   *scale,
+			Queries: *queries,
+			Seed:    *seed,
+			Figures: figures,
+			Metrics: obs.Default().Snapshot(),
+		}
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return fmt.Errorf("encode metrics: %w", err)
+		}
+		if err := os.WriteFile(*metrics, append(data, '\n'), 0o644); err != nil {
+			return fmt.Errorf("write metrics: %w", err)
+		}
+		fmt.Printf("metrics written to %s\n", *metrics)
+	}
+	return nil
 }

@@ -17,6 +17,9 @@
 //
 // -cache attaches a shared LRU buffer pool (in bytes); cached blocks
 // cost no simulated I/O, and -explain reports the pool's hit rate.
+// -trace prints the full per-query plan: a per-level cost table
+// (directory/quantized/exact seeks, transfers and CPU), the page
+// scheduler's batch decisions, and the candidate/refinement funnel.
 package main
 
 import (
@@ -37,6 +40,13 @@ import (
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "iqtool: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() (err error) {
 	var (
 		name     = flag.String("dataset", "uniform", "uniform | cad | color | weather")
 		in       = flag.String("in", "", "binary input file from datagen (overrides -dataset)")
@@ -50,6 +60,7 @@ func main() {
 		pagesFlg = flag.Bool("pages", false, "with -stats: also dump one line per quantized page")
 		verify   = flag.Bool("verify", false, "run the full structural invariant check after building")
 		explain  = flag.Bool("explain", false, "per query: print the T1st/T2nd/T3rd cost decomposition and physical work")
+		traceFlg = flag.Bool("trace", false, "per query: print the full trace (per-level cost table, batches, funnel)")
 		compare  = flag.Bool("compare", false, "also run X-tree, VA-file and scan on the same queries")
 		maxMet   = flag.Bool("lmax", false, "use the maximum metric instead of Euclidean")
 		backend  = flag.String("store", "sim", "block store backend: sim | file")
@@ -62,7 +73,7 @@ func main() {
 	if *open {
 		*backend = "file"
 		if *compare {
-			fatal(fmt.Errorf("-compare requires building (omit -open)"))
+			return fmt.Errorf("-compare requires building (omit -open)")
 		}
 	}
 	var sto *store.Store
@@ -71,15 +82,20 @@ func main() {
 		sto = store.NewSim(store.DefaultConfig())
 	case "file":
 		if *dir == "" {
-			fatal(fmt.Errorf("-store file requires -dir"))
+			return fmt.Errorf("-store file requires -dir")
 		}
-		var err error
 		if sto, err = store.OpenFileStore(*dir, store.DefaultConfig()); err != nil {
-			fatal(err)
+			return err
 		}
-		defer sto.Close()
+		// A failed close/sync means the on-disk index may be stale;
+		// surface it instead of silently exiting 0.
+		defer func() {
+			if cerr := sto.Close(); cerr != nil && err == nil {
+				err = fmt.Errorf("close store: %w", cerr)
+			}
+		}()
 	default:
-		fatal(fmt.Errorf("unknown -store %q (want sim or file)", *backend))
+		return fmt.Errorf("unknown -store %q (want sim or file)", *backend)
 	}
 	if *cache > 0 {
 		sto.SetCache(*cache)
@@ -93,34 +109,32 @@ func main() {
 	var tree *core.Tree
 	var db, qs []vec.Point
 	if *open {
-		var err error
 		if tree, err = core.Open(sto); err != nil {
-			fatal(fmt.Errorf("open tree in %s: %w", *dir, err))
+			return fmt.Errorf("open tree in %s: %w", *dir, err)
 		}
 		// The database stays on disk; regenerate the same held-out query
 		// workload the build run used (same -dataset/-n/-seed/-queries).
 		qpts, err := dataset.Generate(dataset.Name(*name), *seed, *n+*queries, *d)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		_, qs = dataset.Split(qpts, *queries)
 	} else {
 		var pts []vec.Point
-		var err error
 		if *in != "" {
 			pts, err = readBin(*in)
 		} else {
 			pts, err = dataset.Generate(dataset.Name(*name), *seed, *n+*queries, *d)
 		}
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		db, qs = dataset.Split(pts, *queries)
 		if tree, err = core.Build(sto, db, opt); err != nil {
-			fatal(err)
+			return err
 		}
 		if err := sto.Sync(); err != nil {
-			fatal(err)
+			return err
 		}
 	}
 
@@ -132,7 +146,7 @@ func main() {
 	fmt.Printf("  model-predicted NN query cost: %.4fs\n", st.PredictedCost)
 	if *verify {
 		if err := tree.CheckInvariants(); err != nil {
-			fatal(fmt.Errorf("invariant check FAILED: %w", err))
+			return fmt.Errorf("invariant check FAILED: %w", err)
 		}
 		fmt.Println("  structural invariants: OK")
 	}
@@ -143,7 +157,7 @@ func main() {
 				fmt.Printf("    %6d %6d %3d %.3e\n", row.QPos, row.Count, row.Bits, row.Volume)
 			}
 		}
-		return
+		return nil
 	}
 
 	var others []competitor
@@ -153,15 +167,15 @@ func main() {
 		sd := store.NewSim(store.DefaultConfig())
 		xt, err := xtree.Build(xd, db, xtree.DefaultOptions())
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		va, err := vafile.Build(vd, db, vafile.DefaultOptions())
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		sc, err := scan.Build(sd, db, opt.Metric)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		others = []competitor{
 			{"X-tree", xd, xt},
@@ -174,18 +188,18 @@ func main() {
 	totals := make([]float64, len(others))
 	for qi, q := range qs {
 		s := sto.NewSession()
+		var trace core.Trace
 		if *rng > 0 {
-			res, err := tree.RangeSearch(s, q, *rng)
+			res, err := tree.RangeSearchTrace(s, q, *rng, &trace)
 			if err != nil {
-				fatal(err)
+				return err
 			}
 			fmt.Printf("query %d: %d results in range %.3f  (%.4fs simulated, %v)\n",
 				qi, len(res), *rng, s.Time(), s.Stats)
 		} else {
-			var trace core.Trace
 			res, err := tree.KNNTrace(s, q, *knn, &trace)
 			if err != nil {
-				fatal(err)
+				return err
 			}
 			fmt.Printf("query %d (%.4fs simulated, %v):\n", qi, s.Time(), s.Stats)
 			for i, nb := range res {
@@ -198,7 +212,7 @@ func main() {
 				t3 := s.FileStats(core.EFileName)
 				fmt.Printf("   T1st directory: %.4fs (%v)\n", t1.Time(cfg), t1)
 				fmt.Printf("   T2nd quantized: %.4fs (%v); %d pages in %d batches\n",
-					t2.Time(cfg), t2, trace.PagesRead, trace.Batches)
+					t2.Time(cfg), t2, trace.PagesRead, len(trace.Batches))
 				fmt.Printf("   T3rd exact:     %.4fs (%v); %d exact-page refinements\n",
 					t3.Time(cfg), t3, trace.Refinements)
 				fmt.Printf("   CPU:            %.4fs\n", s.Stats.CPUSeconds)
@@ -206,6 +220,12 @@ func main() {
 					fmt.Printf("   buffer pool:    %v\n", p.Stats())
 				}
 			}
+		}
+		if *traceFlg {
+			fmt.Print(trace.Format())
+		}
+		if err := s.Err(); err != nil {
+			return fmt.Errorf("query %d left a poisoned session: %w", qi, err)
 		}
 		iqTotal += s.Time()
 		for ci, c := range others {
@@ -219,7 +239,10 @@ func main() {
 				_, err = c.idx.KNN(cs, q, *knn)
 			}
 			if err != nil {
-				fatal(err)
+				return err
+			}
+			if err := cs.Err(); err != nil {
+				return fmt.Errorf("%s query %d left a poisoned session: %w", c.name, qi, err)
 			}
 			totals[ci] += cs.Time()
 		}
@@ -229,6 +252,7 @@ func main() {
 	for ci, c := range others {
 		fmt.Printf("%33s %.4f  (%.1fx)\n", c.name, totals[ci]/nq, totals[ci]/math.Max(iqTotal, 1e-12))
 	}
+	return nil
 }
 
 type searcher interface {
@@ -293,9 +317,4 @@ func readBin(path string) ([]vec.Point, error) {
 		pts[i] = p
 	}
 	return pts, nil
-}
-
-func fatal(err error) {
-	fmt.Fprintf(os.Stderr, "iqtool: %v\n", err)
-	os.Exit(1)
 }

@@ -46,6 +46,11 @@ func main() {
 			log.Fatal(err)
 		}
 	}
+	// Insert swallows nothing, but the sticky session error is the
+	// cheap way to confirm the whole maintenance batch stayed clean.
+	if err := maint.Err(); err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("\ninserted %d new parts (maintenance I/O: %.2fs simulated)\n",
 		len(newParts), maint.Time())
 	st = tree.Stats()
@@ -79,6 +84,9 @@ func main() {
 	again, err := tree.KNN(s, q, 1)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if len(again) == 0 {
+		log.Fatal("no parts left after retirement")
 	}
 	fmt.Printf("\nafter retiring part#%d the best match is part#%d (dist %.4f)\n",
 		after[0].ID, again[0].ID, again[0].Dist)

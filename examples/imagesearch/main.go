@@ -51,7 +51,11 @@ func main() {
 		}
 		iqT += s.Time()
 		fmt.Printf("query image %d — 10 most similar (IQ-tree, %.4fs):", i, s.Time())
-		for _, h := range hits[:3] {
+		top := hits
+		if len(top) > 3 {
+			top = top[:3]
+		}
+		for _, h := range top {
 			fmt.Printf("  img#%d(%.3f)", h.ID, h.Dist)
 		}
 		fmt.Println(" ...")

@@ -91,7 +91,7 @@ func (it *NNIterator) start() {
 			return
 		}
 	}
-	it.s.ChargeApproxCPU(t.dim, len(t.entries))
+	it.s.ChargeApproxCPU(t.dirFile, t.dim, len(t.entries))
 	it.minD = make([]float64, len(t.entries))
 	it.processed = make([]bool, len(t.entries))
 	for i, e := range t.entries {
@@ -137,7 +137,7 @@ func (it *NNIterator) processPage(entry int) {
 		qp := page.UnmarshalQPage(buf[(pos-first)*pageBytes : (pos-first+1)*pageBytes])
 		if qp.Bits == quantize.ExactBits {
 			pts, ids := qp.ExactPoints(t.dim)
-			it.s.ChargeDistCPU(t.dim, len(pts))
+			it.s.ChargeDistCPU(t.qFile, t.dim, len(pts))
 			for i, p := range pts {
 				it.pushConfirmed(Neighbor{ID: ids[i], Dist: met.Dist(it.q, p), Point: p})
 			}
@@ -145,7 +145,7 @@ func (it *NNIterator) processPage(entry int) {
 		}
 		grid := t.grids[pos]
 		cells := qp.Cells(grid)
-		it.s.ChargeApproxCPU(t.dim, qp.Count)
+		it.s.ChargeApproxCPU(t.qFile, t.dim, qp.Count)
 		for i := 0; i < qp.Count; i++ {
 			lb := grid.MinDist(it.q, cells[i*t.dim:(i+1)*t.dim], met)
 			it.pushItem(pqItem{dist: lb, entry: int32(pos), pt: int32(i)})
@@ -196,7 +196,7 @@ func (it *NNIterator) refine(item pqItem) {
 		}
 		it.exactCache[item.entry] = ep
 	}
-	it.s.ChargeDistCPU(t.dim, 1)
+	it.s.ChargeDistCPU(t.eFile, t.dim, 1)
 	it.pushConfirmed(Neighbor{
 		ID:    ep.ids[item.pt],
 		Dist:  t.opt.Metric.Dist(it.q, ep.pts[item.pt]),

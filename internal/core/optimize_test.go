@@ -253,10 +253,10 @@ func TestTraceCountsWork(t *testing.T) {
 	if _, err := tr.KNNTrace(tr.sto.NewSession(), randPoints(r, 1, 10)[0], 1, &trace); err != nil {
 		t.Fatal(err)
 	}
-	if trace.PagesRead == 0 || trace.Batches == 0 {
+	if trace.PagesRead == 0 || len(trace.Batches) == 0 {
 		t.Fatalf("empty trace: %+v", trace)
 	}
-	if trace.PagesRead < trace.Batches {
+	if trace.PagesRead < len(trace.Batches) {
 		t.Fatalf("more batches than pages: %+v", trace)
 	}
 }

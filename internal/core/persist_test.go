@@ -126,6 +126,87 @@ func TestOpenWithDeletedPages(t *testing.T) {
 	}
 }
 
+// TestFileStoreMutateAfterReopen is the durability round-trip of the
+// bugfix sweep: build → close → reopen → insert → close → reopen →
+// query, on real files, with a buffer pool attached in every phase so a
+// stale cache or an unsynced write surfaces as a wrong query result.
+func TestFileStoreMutateAfterReopen(t *testing.T) {
+	dir := t.TempDir()
+	r := rand.New(rand.NewSource(5))
+	pts := randPoints(r, 1200, 6)
+	extra := randPoints(r, 150, 6)
+	all := append(append([]vec.Point{}, pts...), extra...)
+
+	// Phase 1: build and close.
+	sto, err := store.OpenFileStore(dir, store.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sto.SetCache(1 << 20)
+	if _, err := Build(sto, pts, DefaultOptions()); err != nil {
+		t.Fatal(err)
+	}
+	if err := sto.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 2: reopen, insert, close.
+	sto, err = store.OpenFileStore(dir, store.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sto.SetCache(1 << 20)
+	tr, err := Open(sto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != len(pts) {
+		t.Fatalf("reopened Len %d, want %d", tr.Len(), len(pts))
+	}
+	s := sto.NewSession()
+	for i, p := range extra {
+		if err := tr.Insert(s, p, uint32(len(pts)+i)); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	if err := s.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sto.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 3: reopen and query; results must reflect the inserts.
+	sto, err = store.OpenFileStore(dir, store.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sto.Close()
+	sto.SetCache(1 << 20)
+	tr, err = Open(sto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != len(all) {
+		t.Fatalf("final Len %d, want %d", tr.Len(), len(all))
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for qi, q := range randPoints(r, 10, 6) {
+		got, err := tr.KNN(sto.NewSession(), q, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bruteKNN(all, q, 3, vec.Euclidean)
+		for i := range got {
+			if diff := got[i].Dist - want[i]; diff > 1e-5 || diff < -1e-5 {
+				t.Fatalf("query %d rank %d: %f vs %f", qi, i, got[i].Dist, want[i])
+			}
+		}
+	}
+}
+
 func TestOpenErrors(t *testing.T) {
 	sto := store.NewSim(store.DefaultConfig())
 	if _, err := Open(sto); err == nil {

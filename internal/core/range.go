@@ -1,8 +1,10 @@
 package core
 
 import (
+	"fmt"
 	"sort"
 
+	"repro/internal/obs"
 	"repro/internal/page"
 	"repro/internal/pagesched"
 	"repro/internal/quantize"
@@ -15,10 +17,18 @@ import (
 // pages are known in advance from the directory, the second level is
 // fetched with the optimal known-set schedule of paper Section 2 (Fig. 1).
 func (t *Tree) RangeSearch(s *store.Session, q vec.Point, eps float64) ([]Neighbor, error) {
+	return t.RangeSearchTrace(s, q, eps, nil)
+}
+
+// RangeSearchTrace is RangeSearch with an optional physical-work trace
+// (see KNNTrace for the attachment semantics).
+func (t *Tree) RangeSearchTrace(s *store.Session, q vec.Point, eps float64, tr *Trace) ([]Neighbor, error) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
+	detach := attachTrace(s, tr, t.sto.Config(), fmt.Sprintf("range eps=%g", eps))
+	defer detach()
 	met := t.opt.Metric
-	res, err := t.scanCandidates(s,
+	res, err := t.scanCandidates(s, tr,
 		func(mbr vec.MBR) bool { return mbr.MinDist(q, met) <= eps },
 		func(g quantize.Grid, cells []uint32) candState {
 			if g.MinDist(q, cells, met) > eps {
@@ -41,9 +51,17 @@ func (t *Tree) RangeSearch(s *store.Session, q vec.Point, eps float64) ([]Neighb
 // WindowQuery returns all points inside the query window w. Dist fields of
 // the results are 0.
 func (t *Tree) WindowQuery(s *store.Session, w vec.MBR) ([]Neighbor, error) {
+	return t.WindowQueryTrace(s, w, nil)
+}
+
+// WindowQueryTrace is WindowQuery with an optional physical-work trace
+// (see KNNTrace for the attachment semantics).
+func (t *Tree) WindowQueryTrace(s *store.Session, w vec.MBR, tr *Trace) ([]Neighbor, error) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	return t.scanCandidates(s,
+	detach := attachTrace(s, tr, t.sto.Config(), "window")
+	defer detach()
+	return t.scanCandidates(s, tr,
 		func(mbr vec.MBR) bool { return mbr.Intersects(w) },
 		func(g quantize.Grid, cells []uint32) candState {
 			box := g.CellBox(cells)
@@ -69,7 +87,7 @@ const (
 // via exactHit (which returns the result distance and whether the exact
 // point qualifies). Every qualifying point must be refined regardless of
 // certainty, because point ids live in the exact pages.
-func (t *Tree) scanCandidates(s *store.Session,
+func (t *Tree) scanCandidates(s *store.Session, tr *Trace,
 	pageHit func(vec.MBR) bool,
 	approxHit func(quantize.Grid, []uint32) candState,
 	exactHit func(vec.Point) (float64, bool),
@@ -80,7 +98,7 @@ func (t *Tree) scanCandidates(s *store.Session,
 			return nil, err
 		}
 	}
-	s.ChargeApproxCPU(t.dim, len(t.entries))
+	s.ChargeApproxCPU(t.dirFile, t.dim, len(t.entries))
 
 	var positions []int
 	for i, e := range t.entries {
@@ -111,23 +129,33 @@ func (t *Tree) scanCandidates(s *store.Session,
 		}
 		firstPage := run.Pos
 		nPages := run.Blocks / t.opt.QPageBlocks
+		tr.AddPages(nPages)
+		pending := 0
 		for j := 0; j < nPages; j++ {
 			pos := firstPage + j
 			if !hit[pos] {
+				tr.AddPruned(1) // gap page over-read because it was cheaper than a seek
 				continue
 			}
-			res, err := t.rangePage(s, pos, buf[j*pageBytes:(j+1)*pageBytes], approxHit, exactHit)
+			pending++
+			res, err := t.rangePage(s, tr, pos, buf[j*pageBytes:(j+1)*pageBytes], approxHit, exactHit)
 			if err != nil {
 				return nil, err
 			}
 			out = append(out, res...)
 		}
+		tr.AddBatch(obs.BatchDecision{
+			Pivot:   -1, // known-set run: no pivot
+			First:   firstPage,
+			Last:    firstPage + nPages - 1,
+			Pending: pending,
+		})
 	}
 	return out, nil
 }
 
 // rangePage processes one candidate page of a range-style query.
-func (t *Tree) rangePage(s *store.Session, entry int, buf []byte,
+func (t *Tree) rangePage(s *store.Session, tr *Trace, entry int, buf []byte,
 	approxHit func(quantize.Grid, []uint32) candState,
 	exactHit func(vec.Point) (float64, bool),
 ) ([]Neighbor, error) {
@@ -135,7 +163,7 @@ func (t *Tree) rangePage(s *store.Session, entry int, buf []byte,
 	var out []Neighbor
 	if qp.Bits == quantize.ExactBits {
 		pts, ids := qp.ExactPoints(t.dim)
-		s.ChargeDistCPU(t.dim, len(pts))
+		s.ChargeDistCPU(t.qFile, t.dim, len(pts))
 		for i, p := range pts {
 			if d, ok := exactHit(p); ok {
 				out = append(out, Neighbor{ID: ids[i], Dist: d, Point: p})
@@ -145,13 +173,14 @@ func (t *Tree) rangePage(s *store.Session, entry int, buf []byte,
 	}
 	grid := t.grids[entry]
 	cells := qp.Cells(grid)
-	s.ChargeApproxCPU(t.dim, qp.Count)
+	s.ChargeApproxCPU(t.qFile, t.dim, qp.Count)
 	var need []int
 	for i := 0; i < qp.Count; i++ {
 		if approxHit(grid, cells[i*t.dim:(i+1)*t.dim]) == candCheck {
 			need = append(need, i)
 		}
 	}
+	tr.AddCandidates(len(need))
 	if len(need) == 0 {
 		return nil, nil
 	}
@@ -166,7 +195,8 @@ func (t *Tree) rangePage(s *store.Session, entry int, buf []byte,
 	if err != nil {
 		return nil, err
 	}
-	s.ChargeDistCPU(t.dim, len(need))
+	tr.AddRefinement(len(need))
+	s.ChargeDistCPU(t.eFile, t.dim, len(need))
 	for _, i := range need {
 		off := rel + (i-need[0])*entrySize
 		p, id := page.UnmarshalExactEntry(raw[off:], t.dim)

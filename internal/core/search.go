@@ -1,9 +1,11 @@
 package core
 
 import (
+	"fmt"
 	"math"
 	"sort"
 
+	"repro/internal/obs"
 	"repro/internal/page"
 	"repro/internal/pagesched"
 	"repro/internal/quantize"
@@ -14,12 +16,13 @@ import (
 // Neighbor is one search result.
 type Neighbor = vec.Neighbor
 
-// Trace records the physical work of one query, for the ablation studies.
-type Trace struct {
-	PagesRead   int // quantized pages transferred
-	Batches     int // contiguous second-level read operations
-	Refinements int // exact-geometry look-ups
-}
+// Trace records the physical work of one query: per-level simulated
+// cost, the scheduler's batch decisions, and the candidate/refinement
+// funnel. It is the obs.QueryTrace of the observability layer; the
+// traced query entry points attach it to the session for the duration of
+// the query, so it also captures per-level seek/transfer/CPU charges.
+// All methods are nil-safe — a nil *Trace records nothing.
+type Trace = obs.QueryTrace
 
 // NearestNeighbor returns the nearest neighbor of q, charging all
 // simulated I/O and CPU to session s. ok is false when the tree is
@@ -39,15 +42,17 @@ func (t *Tree) KNN(s *store.Session, q vec.Point, k int) ([]Neighbor, error) {
 	return t.KNNTrace(s, q, k, nil)
 }
 
-// KNNTrace is KNN with an optional physical-work trace.
+// KNNTrace is KNN with an optional physical-work trace: a non-nil tr is
+// attached to the session as its observer for the duration of the query
+// (displacing, then restoring, any previously attached observer), so it
+// records the per-level cost decomposition alongside the plan events.
 func (t *Tree) KNNTrace(s *store.Session, q vec.Point, k int, tr *Trace) ([]Neighbor, error) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
+	detach := attachTrace(s, tr, t.sto.Config(), fmt.Sprintf("knn k=%d", k))
+	defer detach()
 	if k <= 0 || t.n == 0 {
 		return nil, s.Err()
-	}
-	if tr == nil {
-		tr = &Trace{}
 	}
 	st := &nnSearch{t: t, s: s, q: q, k: k, tr: tr}
 	st.run()
@@ -55,6 +60,20 @@ func (t *Tree) KNNTrace(s *store.Session, q vec.Point, k int, tr *Trace) ([]Neig
 		return nil, st.err
 	}
 	return st.results(), nil
+}
+
+// attachTrace installs tr as the session's observer and returns the
+// function undoing it. With a nil tr it is a no-op (the session keeps
+// whatever observer it already has).
+func attachTrace(s *store.Session, tr *Trace, cfg store.Config, label string) func() {
+	if tr == nil {
+		return func() {}
+	}
+	tr.SetCosts(cfg.Seek, cfg.Xfer)
+	tr.SetLabel(label)
+	prev := s.Observer()
+	s.SetObserver(tr)
+	return func() { s.SetObserver(prev) }
 }
 
 // pqItem is an entry of the search priority list (paper Sec. 3.2): either
@@ -127,7 +146,7 @@ func (st *nnSearch) run() {
 			return
 		}
 	}
-	st.s.ChargeApproxCPU(t.dim, len(t.entries))
+	st.s.ChargeApproxCPU(t.dirFile, t.dim, len(t.entries))
 
 	st.minD = make([]float64, len(t.entries))
 	st.processed = make([]bool, len(t.entries))
@@ -169,13 +188,14 @@ func (st *nnSearch) run() {
 // (the "standard NN-search" of Fig. 7).
 func (st *nnSearch) processSingle(entry int) {
 	t := st.t
-	buf, err := st.s.Read(t.qFile, int(t.entries[entry].QPos)*t.opt.QPageBlocks, t.opt.QPageBlocks)
+	pos := int(t.entries[entry].QPos)
+	buf, err := st.s.Read(t.qFile, pos*t.opt.QPageBlocks, t.opt.QPageBlocks)
 	if err != nil {
 		st.err = err
 		return
 	}
-	st.tr.PagesRead++
-	st.tr.Batches++
+	st.tr.AddPages(1)
+	st.tr.AddBatch(obs.BatchDecision{Pivot: pos, First: pos, Last: pos, Pending: 1})
 	st.processPage(entry, buf)
 }
 
@@ -190,6 +210,7 @@ func (st *nnSearch) processBatch(entry int) {
 		PageBlocks: t.opt.QPageBlocks,
 		NumPages:   t.qFile.Blocks() / t.opt.QPageBlocks,
 		Prob:       st.accessProb,
+		Trace:      st.tr,
 	}
 	first, last := sched.Batch(pivot)
 	buf, err := st.s.Read(t.qFile, first*t.opt.QPageBlocks, (last-first+1)*t.opt.QPageBlocks)
@@ -197,16 +218,19 @@ func (st *nnSearch) processBatch(entry int) {
 		st.err = err
 		return
 	}
-	st.tr.PagesRead += last - first + 1
-	st.tr.Batches++
+	st.tr.AddPages(last - first + 1)
 	pageBytes := t.qPageBytes()
+	pending := 0
 	for pos := first; pos <= last; pos++ {
 		e := pos // entry index == quantized page position (build invariant)
 		if e >= len(t.entries) || st.processed[e] || t.free[e] {
+			st.tr.AddPruned(1)
 			continue
 		}
+		pending++
 		st.processPage(e, buf[(pos-first)*pageBytes:(pos-first+1)*pageBytes])
 	}
+	st.tr.NotePending(pending)
 }
 
 // accessProb estimates the probability that the pending page at file
@@ -245,13 +269,14 @@ func (st *nnSearch) processPage(entry int, buf []byte) {
 	t := st.t
 	st.processed[entry] = true
 	if st.minD[entry] >= st.prune() {
+		st.tr.AddPruned(1)
 		return // transferred as part of a batch but certainly irrelevant
 	}
 	qp := page.UnmarshalQPage(buf)
 	met := t.opt.Metric
 	if qp.Bits == quantize.ExactBits {
 		pts, ids := qp.ExactPoints(t.dim)
-		st.s.ChargeDistCPU(t.dim, len(pts))
+		st.s.ChargeDistCPU(t.qFile, t.dim, len(pts))
 		for i, p := range pts {
 			d := met.Dist(st.q, p)
 			st.pushUB(d)
@@ -261,16 +286,19 @@ func (st *nnSearch) processPage(entry int, buf []byte) {
 	}
 	grid := t.grids[entry]
 	cells := qp.Cells(grid)
-	st.s.ChargeApproxCPU(t.dim, qp.Count)
+	st.s.ChargeApproxCPU(t.qFile, t.dim, qp.Count)
+	cand := 0
 	for i := 0; i < qp.Count; i++ {
 		cs := cells[i*t.dim : (i+1)*t.dim]
 		lb := grid.MinDist(st.q, cs, met)
 		ubD := grid.MaxDist(st.q, cs, met)
 		st.pushUB(ubD)
 		if lb < st.prune() {
+			cand++
 			st.pushItem(pqItem{dist: lb, entry: int32(entry), pt: int32(i)})
 		}
 	}
+	st.tr.AddCandidates(cand)
 }
 
 // refine resolves one point approximation against the exact geometry: the
@@ -288,7 +316,7 @@ func (st *nnSearch) refine(it pqItem) {
 			st.err = err
 			return
 		}
-		st.tr.Refinements++
+		st.tr.AddRefinement(int(e.Count))
 		ep = exactPage{pts: make([]vec.Point, e.Count), ids: make([]uint32, e.Count)}
 		for i := 0; i < int(e.Count); i++ {
 			ep.pts[i], ep.ids[i] = page.UnmarshalExactEntry(raw[rel+i*entrySize:], t.dim)
@@ -299,7 +327,7 @@ func (st *nnSearch) refine(it pqItem) {
 		st.exactCache[it.entry] = ep
 	}
 	p, id := ep.pts[it.pt], ep.ids[it.pt]
-	st.s.ChargeDistCPU(t.dim, 1)
+	st.s.ChargeDistCPU(t.eFile, t.dim, 1)
 	st.addResult(Neighbor{ID: id, Dist: t.opt.Metric.Dist(st.q, p), Point: p})
 }
 

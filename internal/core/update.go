@@ -25,6 +25,11 @@ func (t *Tree) Insert(s *store.Session, p vec.Point, id uint32) error {
 
 	target := t.chooseEntry(p)
 	if target < 0 {
+		// Every page is free (the tree was emptied by deletes): revive a
+		// slot instead of failing the insert.
+		target = t.reviveFreeEntry()
+	}
+	if target < 0 {
 		return fmt.Errorf("core: no page available for insert")
 	}
 	pts, ids, err := t.readPagePoints(s, target)
@@ -64,6 +69,9 @@ func (t *Tree) InsertBatch(s *store.Session, pts []vec.Point, ids []uint32) erro
 	groups := make(map[int][]int)
 	for i, p := range pts {
 		target := t.chooseEntry(p)
+		if target < 0 {
+			target = t.reviveFreeEntry()
+		}
 		if target < 0 {
 			return fmt.Errorf("core: no page available for insert")
 		}
@@ -282,9 +290,27 @@ func (t *Tree) chooseEntry(p vec.Point) int {
 	return best
 }
 
+// reviveFreeEntry returns a free page slot to service, empty, to be
+// filled by the caller's rewrite — used when an insert finds no live
+// page because deletes emptied the whole tree. Returns -1 when no free
+// slot exists either.
+func (t *Tree) reviveFreeEntry() int {
+	for i := range t.free {
+		if t.free[i] {
+			t.free[i] = false
+			t.entries[i].Count = 0
+			return i
+		}
+	}
+	return -1
+}
+
 // readPagePoints loads the exact points and ids of a page, charging s.
 func (t *Tree) readPagePoints(s *store.Session, entry int) ([]vec.Point, []uint32, error) {
 	e := t.entries[entry]
+	if e.Count == 0 {
+		return nil, nil, nil // empty (e.g. just-revived) page: nothing to read
+	}
 	if e.Bits == quantize.ExactBits {
 		buf, err := s.Read(t.qFile, int(e.QPos)*t.opt.QPageBlocks, t.opt.QPageBlocks)
 		if err != nil {
@@ -401,9 +427,9 @@ func (t *Tree) rewritePage(s *store.Session, entry int, pts []vec.Point, ids []u
 		t.qFile.WriteBlocks(int(e.QPos)*t.opt.QPageBlocks, page.MarshalQPage(grid, pts, ids, t.qPageBytes()))
 	}
 	t.grids[entry] = grid
-	// Write cost: one seek plus the page transfer(s).
-	s.Stats.Seeks++
-	s.Stats.BlocksRead += t.opt.QPageBlocks
+	// Write cost: one seek plus the page transfer(s), attributed to the
+	// quantized file (the exact-page rewrite rides on the same pass).
+	s.ChargeWrite(t.qFile, 1, t.opt.QPageBlocks)
 }
 
 // rewriteDirectory re-serializes the whole first-level directory (it is

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/obs"
 	"repro/internal/scan"
 	"repro/internal/store"
 	"repro/internal/vafile"
@@ -171,6 +172,7 @@ func runMethod(cfg Config, m Method, db, queries []vec.Point) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	obs.Default().Histogram("experiments.method." + string(m) + ".avg_seconds").Observe(secs)
 	return Result{Method: m, Seconds: secs, Stats: stats, Detail: detail}, nil
 }
 
@@ -199,18 +201,30 @@ func measure(sto *store.Store, idx searcher, queries []vec.Point, k int) (float6
 				}
 				s := sto.NewSession()
 				_, errs[i] = idx.KNN(s, queries[i], k)
+				if errs[i] == nil {
+					// A query can swallow individual read errors; the
+					// sticky session error is the boundary check that
+					// keeps a poisoned session out of the figures.
+					errs[i] = s.Err()
+				}
 				perQuery[i] = s.Stats
 			}
 		}()
 	}
 	wg.Wait()
+	reg := obs.Default()
+	lat := reg.Histogram("experiments.query_seconds")
 	var agg store.Stats
 	for i, st := range perQuery {
 		if errs[i] != nil {
 			return 0, store.Stats{}, errs[i]
 		}
 		agg.Add(st)
+		lat.Observe(st.Time(sto.Config()))
 	}
+	reg.Counter("experiments.queries").Add(int64(len(queries)))
+	reg.Counter("experiments.seeks").Add(int64(agg.Seeks))
+	reg.Counter("experiments.blocks_read").Add(int64(agg.BlocksRead))
 	return agg.Time(sto.Config()) / float64(len(queries)), agg, nil
 }
 

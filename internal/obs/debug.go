@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+var publishOnce sync.Once
+
+// publish registers the default registry's snapshot with expvar under
+// the key "iq". Done lazily so programs that never start the debug
+// server do not touch expvar.
+func publish() {
+	publishOnce.Do(func() {
+		expvar.Publish("iq", expvar.Func(func() any {
+			return Default().Snapshot()
+		}))
+	})
+}
+
+// DebugHandler returns an http.Handler serving the opt-in debug surface:
+//
+//	/metrics        registry snapshot as indented JSON
+//	/debug/vars     expvar (includes the registry under "iq")
+//	/debug/pprof/   the standard pprof profiles
+func DebugHandler() http.Handler {
+	publish()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		Default().WriteJSON(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// StartDebugServer serves the debug surface on addr (e.g. "localhost:6060")
+// in a background goroutine. It returns the bound address (useful with a
+// ":0" port) or an error if the listener cannot be opened. The server
+// lives for the remainder of the process.
+func StartDebugServer(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	srv := &http.Server{Handler: DebugHandler()}
+	go srv.Serve(ln)
+	return ln.Addr().String(), nil
+}

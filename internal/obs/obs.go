@@ -1,0 +1,86 @@
+// Package obs is the observability layer of the reproduction: a
+// zero-dependency (stdlib-only) home for
+//
+//   - a process-wide metrics Registry (atomic counters, gauges, and
+//     bounded latency histograms with p50/p95/p99), published on demand
+//     via expvar and a JSON endpoint (see StartDebugServer);
+//   - an optional per-query QueryTrace that records, per index level,
+//     the simulated seek/transfer/CPU cost, the scheduler's batch
+//     decisions, pages scheduled vs. pruned, candidate and refinement
+//     counts, and buffer-pool hits — the raw material behind
+//     `iqtool -trace` and the paper's T1st/T2nd/T3rd decomposition.
+//
+// Observation is strictly opt-in: the store session and the access
+// methods carry a nil-checked Observer hook, so with no observer
+// attached the query path pays one nil check per cost event and nothing
+// else (see BenchmarkObserverOverhead and BENCH_obs.json).
+package obs
+
+// CPUKind classifies a CPU charge for tracing.
+type CPUKind uint8
+
+// The CPU charge kinds mirrored from the store session.
+const (
+	// CPUOther is an uncategorized CPU charge.
+	CPUOther CPUKind = iota
+	// CPUDist is the cost of exact distance computations.
+	CPUDist
+	// CPUApprox is the cost of decoding and bounding approximations.
+	CPUApprox
+)
+
+// String returns the kind's short label.
+func (k CPUKind) String() string {
+	switch k {
+	case CPUDist:
+		return "dist"
+	case CPUApprox:
+		return "approx"
+	default:
+		return "other"
+	}
+}
+
+// ReadTier tells an observer which layer served a read.
+type ReadTier uint8
+
+const (
+	// ReadBackend is a read charged against the raw backend (no pool).
+	ReadBackend ReadTier = iota
+	// ReadPoolMiss is a backend read performed because the buffer pool
+	// did not hold the blocks (charged like a backend read).
+	ReadPoolMiss
+	// ReadPoolHit reports blocks served from the buffer pool; hits
+	// charge zero simulated seek/transfer time.
+	ReadPoolHit
+)
+
+// Observer receives the cost events of one store session. Implementations
+// must be cheap: the hooks run inside the query path. All methods take
+// primitive arguments so that observers need no knowledge of the store.
+//
+// An Observer is attached per session (Session.SetObserver) and is not
+// required to be safe for concurrent use unless the session is shared.
+type Observer interface {
+	// ObserveRead reports one read operation against the named file.
+	// For ReadPoolHit events seeks is 0 and blocks counts the cached
+	// blocks (which charge no simulated time); for the other tiers the
+	// values mirror the session's cost charge exactly.
+	ObserveRead(file string, seeks, blocks int, tier ReadTier)
+	// ObserveCPU reports one CPU charge, attributed to the named file
+	// ("" when unattributed), in seconds.
+	ObserveCPU(file string, kind CPUKind, seconds float64)
+	// ObserveWrite reports one charged write operation (maintenance
+	// path): seeks and blocks mirror the session's charge.
+	ObserveWrite(file string, seeks, blocks int)
+}
+
+// TraceFrom returns the *QueryTrace behind an Observer, or nil if the
+// observer is nil or of another type. Access methods use it to record
+// plan-level events (candidates, refinements) on a best-effort basis.
+func TraceFrom(o Observer) *QueryTrace {
+	if t, ok := o.(*QueryTrace); ok {
+		return t
+	}
+	return nil
+}

@@ -1,0 +1,289 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous value.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adjusts the gauge by n (may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// histCap bounds the sample reservoir of a Histogram. Once full, new
+// observations overwrite the oldest (a sliding window over the last
+// histCap samples) — bounded memory, recent-history quantiles.
+const histCap = 1024
+
+// Histogram records float64 observations (typically simulated latencies
+// in seconds) in a bounded sliding window and reports count, sum,
+// min/max over all observations ever, and p50/p95/p99 over the window.
+type Histogram struct {
+	mu      sync.Mutex
+	samples []float64
+	next    int // overwrite cursor once the window is full
+	count   int64
+	sum     float64
+	min     float64
+	max     float64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	if len(h.samples) < histCap {
+		h.samples = append(h.samples, v)
+		return
+	}
+	h.samples[h.next] = v
+	h.next = (h.next + 1) % histCap
+}
+
+// HistogramSnapshot is a point-in-time view of a Histogram.
+type HistogramSnapshot struct {
+	Count int64   `json:"count"`
+	Sum   float64 `json:"sum"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+}
+
+// Snapshot returns the histogram's current statistics. Quantiles are
+// computed over the bounded sample window (nearest-rank).
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := HistogramSnapshot{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
+	if h.count > 0 {
+		s.Mean = h.sum / float64(h.count)
+	}
+	if len(h.samples) == 0 {
+		return s
+	}
+	sorted := make([]float64, len(h.samples))
+	copy(sorted, h.samples)
+	sort.Float64s(sorted)
+	s.P50 = quantile(sorted, 0.50)
+	s.P95 = quantile(sorted, 0.95)
+	s.P99 = quantile(sorted, 0.99)
+	return s
+}
+
+// quantile returns the nearest-rank q-quantile of a sorted sample.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// Registry is a namespace of counters, gauges, and histograms, created
+// on first use and safe for concurrent access. The zero value is ready
+// to use; most callers share the process-wide Default registry.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// defaultRegistry is the process-wide registry behind Default.
+var defaultRegistry Registry
+
+// Default returns the process-wide registry.
+func Default() *Registry { return &defaultRegistry }
+
+// Counter returns (creating if needed) the named counter.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.counters == nil {
+		r.counters = make(map[string]*Counter)
+	}
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (creating if needed) the named gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.gauges == nil {
+		r.gauges = make(map[string]*Gauge)
+	}
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns (creating if needed) the named histogram.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.histograms == nil {
+		r.histograms = make(map[string]*Histogram)
+	}
+	h, ok := r.histograms[name]
+	if !ok {
+		h = &Histogram{}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Snapshot is a point-in-time view of a whole Registry, JSON-encodable.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]int64             `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot captures the current value of every metric in the registry.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	counters := make([]struct {
+		name string
+		c    *Counter
+	}, 0, len(r.counters))
+	for name, c := range r.counters {
+		counters = append(counters, struct {
+			name string
+			c    *Counter
+		}{name, c})
+	}
+	gauges := make([]struct {
+		name string
+		g    *Gauge
+	}, 0, len(r.gauges))
+	for name, g := range r.gauges {
+		gauges = append(gauges, struct {
+			name string
+			g    *Gauge
+		}{name, g})
+	}
+	hists := make([]struct {
+		name string
+		h    *Histogram
+	}, 0, len(r.histograms))
+	for name, h := range r.histograms {
+		hists = append(hists, struct {
+			name string
+			h    *Histogram
+		}{name, h})
+	}
+	r.mu.Unlock()
+
+	var s Snapshot
+	if len(counters) > 0 {
+		s.Counters = make(map[string]int64, len(counters))
+		for _, e := range counters {
+			s.Counters[e.name] = e.c.Value()
+		}
+	}
+	if len(gauges) > 0 {
+		s.Gauges = make(map[string]int64, len(gauges))
+		for _, e := range gauges {
+			s.Gauges[e.name] = e.g.Value()
+		}
+	}
+	if len(hists) > 0 {
+		s.Histograms = make(map[string]HistogramSnapshot, len(hists))
+		for _, e := range hists {
+			s.Histograms[e.name] = e.h.Snapshot()
+		}
+	}
+	return s
+}
+
+// WriteJSON writes the registry snapshot as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// Format renders the snapshot as sorted human-readable lines.
+func (s Snapshot) Format() string {
+	var out string
+	names := make([]string, 0, len(s.Counters))
+	for n := range s.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		out += fmt.Sprintf("%-40s %d\n", n, s.Counters[n])
+	}
+	names = names[:0]
+	for n := range s.Gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		out += fmt.Sprintf("%-40s %d\n", n, s.Gauges[n])
+	}
+	names = names[:0]
+	for n := range s.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		h := s.Histograms[n]
+		out += fmt.Sprintf("%-40s count=%d mean=%.6g p50=%.6g p95=%.6g p99=%.6g\n",
+			n, h.Count, h.Mean, h.P50, h.P95, h.P99)
+	}
+	return out
+}

@@ -1,0 +1,324 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// LevelTrace accumulates the charged cost of one file (= one level of the
+// IQ-tree: directory, quantized, exact) during a traced query. The
+// counter fields mirror the session's Stats exactly: pool hits are kept
+// separate (CachedBlocks) because they charge no simulated time.
+type LevelTrace struct {
+	File         string
+	Seeks        int
+	Blocks       int
+	Reads        int
+	Writes       int
+	CachedBlocks int     // blocks served by the buffer pool (zero cost)
+	CPUSeconds   float64 // CPU attributed to this level
+	DistCPU      float64 // … of which exact distance computations
+	ApproxCPU    float64 // … of which approximation decode/bound work
+}
+
+// Time returns the level's simulated time under the given per-seek and
+// per-block costs.
+func (l *LevelTrace) Time(seek, xfer float64) float64 {
+	return float64(l.Seeks)*seek + float64(l.Blocks)*xfer + l.CPUSeconds
+}
+
+// BatchDecision records one scheduler decision: the contiguous page run
+// [First, Last] loaded around Pivot (Pivot < 0 for known-set runs of
+// range-style queries, where no pivot exists). Pending counts the pages
+// of the run that were still needed when it was scheduled; the rest were
+// over-read because transferring them was cheaper than seeking past.
+type BatchDecision struct {
+	Pivot   int
+	First   int
+	Last    int
+	Pending int
+}
+
+// Pages returns the number of pages transferred by the batch.
+func (b BatchDecision) Pages() int { return b.Last - b.First + 1 }
+
+// QueryTrace records the physical work of one query: per-level cost, the
+// page scheduler's batch decisions, and the funnel from scheduled pages
+// through candidates to exact-geometry refinements. It implements
+// Observer, so attaching it to a session (or passing it to the *Trace
+// query variants, which attach it for you) captures every cost charge.
+//
+// All recording methods are nil-safe: calling them on a nil *QueryTrace
+// is a no-op, so query code traces unconditionally and pays only a nil
+// check when tracing is off.
+type QueryTrace struct {
+	// Label names the query (e.g. "knn k=10"); set by the traced query
+	// entry points when empty.
+	Label string
+
+	// Levels holds per-file cost in first-touch order.
+	Levels []*LevelTrace
+
+	// Batches lists the scheduler's read-batch decisions in order.
+	Batches []BatchDecision
+
+	// PagesRead counts quantized pages transferred (including over-read).
+	PagesRead int
+	// PagesPruned counts transferred pages that contributed nothing
+	// (already processed, logically deleted, or pruned by the current
+	// search bound before decoding).
+	PagesPruned int
+	// Candidates counts point approximations that entered the candidate
+	// set (could not be decided on the quantized representation alone).
+	Candidates int
+	// Refinements counts third-level exact-page accesses.
+	Refinements int
+	// RefinedPoints counts individual points resolved against exact
+	// geometry (several per exact-page access when candidates share a
+	// partition).
+	RefinedPoints int
+
+	// SeekCost and XferCost are the per-seek and per-block simulated
+	// costs used to render counter sums as seconds (set by SetCosts).
+	SeekCost float64
+	XferCost float64
+
+	index map[string]*LevelTrace
+}
+
+// NewQueryTrace returns an empty trace with the given label.
+func NewQueryTrace(label string) *QueryTrace { return &QueryTrace{Label: label} }
+
+// SetCosts records the per-seek and per-block simulated costs so the
+// trace can render times. Nil-safe.
+func (t *QueryTrace) SetCosts(seek, xfer float64) {
+	if t == nil {
+		return
+	}
+	t.SeekCost, t.XferCost = seek, xfer
+}
+
+// SetLabel sets the label unless one is already present. Nil-safe.
+func (t *QueryTrace) SetLabel(label string) {
+	if t == nil || t.Label != "" {
+		return
+	}
+	t.Label = label
+}
+
+// Level returns (creating if needed) the per-level accumulator for file.
+func (t *QueryTrace) Level(file string) *LevelTrace {
+	if t.index == nil {
+		t.index = make(map[string]*LevelTrace, 4)
+	}
+	l, ok := t.index[file]
+	if !ok {
+		l = &LevelTrace{File: file}
+		t.index[file] = l
+		t.Levels = append(t.Levels, l)
+	}
+	return l
+}
+
+// ObserveRead implements Observer.
+func (t *QueryTrace) ObserveRead(file string, seeks, blocks int, tier ReadTier) {
+	if t == nil {
+		return
+	}
+	l := t.Level(file)
+	if tier == ReadPoolHit {
+		l.CachedBlocks += blocks
+		return
+	}
+	l.Seeks += seeks
+	l.Blocks += blocks
+	l.Reads++
+}
+
+// ObserveCPU implements Observer.
+func (t *QueryTrace) ObserveCPU(file string, kind CPUKind, seconds float64) {
+	if t == nil {
+		return
+	}
+	l := t.Level(file)
+	l.CPUSeconds += seconds
+	switch kind {
+	case CPUDist:
+		l.DistCPU += seconds
+	case CPUApprox:
+		l.ApproxCPU += seconds
+	}
+}
+
+// ObserveWrite implements Observer.
+func (t *QueryTrace) ObserveWrite(file string, seeks, blocks int) {
+	if t == nil {
+		return
+	}
+	l := t.Level(file)
+	l.Seeks += seeks
+	l.Blocks += blocks
+	l.Writes++
+}
+
+// AddBatch appends one scheduler decision. Nil-safe.
+func (t *QueryTrace) AddBatch(b BatchDecision) {
+	if t == nil {
+		return
+	}
+	t.Batches = append(t.Batches, b)
+}
+
+// NotePending sets the Pending count of the most recent batch (the
+// scheduler records the extent, the search knows how many pages of it
+// were still needed). Nil-safe; a no-op when no batch was recorded.
+func (t *QueryTrace) NotePending(pending int) {
+	if t == nil || len(t.Batches) == 0 {
+		return
+	}
+	t.Batches[len(t.Batches)-1].Pending = pending
+}
+
+// AddPages counts n quantized pages as transferred. Nil-safe.
+func (t *QueryTrace) AddPages(n int) {
+	if t == nil {
+		return
+	}
+	t.PagesRead += n
+}
+
+// AddPruned counts n transferred pages as contributing nothing. Nil-safe.
+func (t *QueryTrace) AddPruned(n int) {
+	if t == nil {
+		return
+	}
+	t.PagesPruned += n
+}
+
+// AddCandidates counts n point approximations entering the candidate
+// set. Nil-safe.
+func (t *QueryTrace) AddCandidates(n int) {
+	if t == nil {
+		return
+	}
+	t.Candidates += n
+}
+
+// AddRefinement counts one exact-page access resolving points exact
+// points. Nil-safe.
+func (t *QueryTrace) AddRefinement(points int) {
+	if t == nil {
+		return
+	}
+	t.Refinements++
+	t.RefinedPoints += points
+}
+
+// Totals sums the charged counters across all levels. The result matches
+// the session's aggregate Stats exactly (pool hits excluded, as they
+// charge nothing).
+func (t *QueryTrace) Totals() (seeks, blocks, reads int, cpuSeconds float64) {
+	if t == nil {
+		return
+	}
+	for _, l := range t.Levels {
+		seeks += l.Seeks
+		blocks += l.Blocks
+		reads += l.Reads
+		cpuSeconds += l.CPUSeconds
+	}
+	return
+}
+
+// Time returns the total simulated seconds of the traced query.
+func (t *QueryTrace) Time() float64 {
+	if t == nil {
+		return 0
+	}
+	seeks, blocks, _, cpu := t.Totals()
+	return float64(seeks)*t.SeekCost + float64(blocks)*t.XferCost + cpu
+}
+
+// CachedBlocks returns the total blocks served by the buffer pool.
+func (t *QueryTrace) CachedBlocks() int {
+	if t == nil {
+		return 0
+	}
+	n := 0
+	for _, l := range t.Levels {
+		n += l.CachedBlocks
+	}
+	return n
+}
+
+// Format renders the trace as a human-readable query plan: a per-level
+// cost table followed by the scheduler's decisions and the candidate/
+// refinement funnel.
+func (t *QueryTrace) Format() string {
+	if t == nil {
+		return "(no trace)"
+	}
+	var b strings.Builder
+	label := t.Label
+	if label == "" {
+		label = "query"
+	}
+	fmt.Fprintf(&b, "trace: %s — %.4fs simulated\n", label, t.Time())
+	fmt.Fprintf(&b, "  %-12s %6s %7s %6s %7s %9s %9s %9s %10s\n",
+		"level", "seeks", "blocks", "ops", "cached", "seek(s)", "xfer(s)", "cpu(s)", "total(s)")
+	var ts, tb, to, tc int
+	var tcpu float64
+	for _, l := range t.Levels {
+		ops := l.Reads + l.Writes
+		fmt.Fprintf(&b, "  %-12s %6d %7d %6d %7d %9.4f %9.4f %9.4f %10.4f\n",
+			l.File, l.Seeks, l.Blocks, ops, l.CachedBlocks,
+			float64(l.Seeks)*t.SeekCost, float64(l.Blocks)*t.XferCost,
+			l.CPUSeconds, l.Time(t.SeekCost, t.XferCost))
+		ts += l.Seeks
+		tb += l.Blocks
+		to += ops
+		tc += l.CachedBlocks
+		tcpu += l.CPUSeconds
+	}
+	fmt.Fprintf(&b, "  %-12s %6d %7d %6d %7d %9.4f %9.4f %9.4f %10.4f\n",
+		"total", ts, tb, to, tc,
+		float64(ts)*t.SeekCost, float64(tb)*t.XferCost, tcpu, t.Time())
+	if len(t.Batches) > 0 {
+		fmt.Fprintf(&b, "  batches: %d —", len(t.Batches))
+		max := len(t.Batches)
+		const shown = 8
+		if max > shown {
+			max = shown
+		}
+		for _, dec := range t.Batches[:max] {
+			if dec.Pivot >= 0 {
+				fmt.Fprintf(&b, " [pivot %d: pages %d..%d, %d pending]", dec.Pivot, dec.First, dec.Last, dec.Pending)
+			} else {
+				fmt.Fprintf(&b, " [run: pages %d..%d, %d pending]", dec.First, dec.Last, dec.Pending)
+			}
+		}
+		if len(t.Batches) > shown {
+			fmt.Fprintf(&b, " … (%d more)", len(t.Batches)-shown)
+		}
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(&b, "  pages: %d scheduled, %d pruned; candidates: %d; refinements: %d accesses / %d points\n",
+		t.PagesRead, t.PagesPruned, t.Candidates, t.Refinements, t.RefinedPoints)
+	if tc > 0 {
+		fmt.Fprintf(&b, "  buffer pool: %d blocks served from cache (zero simulated cost)\n", tc)
+	}
+	return b.String()
+}
+
+// SortedLevels returns the levels sorted by file name (for deterministic
+// machine-readable output; Levels itself keeps first-touch order).
+func (t *QueryTrace) SortedLevels() []*LevelTrace {
+	if t == nil {
+		return nil
+	}
+	out := make([]*LevelTrace, len(t.Levels))
+	copy(out, t.Levels)
+	sort.Slice(out, func(i, j int) bool { return out[i].File < out[j].File })
+	return out
+}

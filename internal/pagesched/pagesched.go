@@ -17,6 +17,7 @@ import (
 	"math"
 
 	"repro/internal/mathx"
+	"repro/internal/obs"
 	"repro/internal/store"
 	"repro/internal/vec"
 )
@@ -146,6 +147,10 @@ type Scheduler struct {
 	// Prob returns the access probability of the page at position pos;
 	// it must return 0 for pages already processed or pruned.
 	Prob func(pos int) float64
+	// Trace, when non-nil, records each Batch decision (pivot and
+	// committed extent); the caller fills in the pending count once it
+	// knows how many pages of the batch were still needed.
+	Trace *obs.QueryTrace
 }
 
 // Batch returns the page positions [first, last] to load together with the
@@ -185,5 +190,6 @@ func (s *Scheduler) Batch(pivot int) (first, last int) {
 			break
 		}
 	}
+	s.Trace.AddBatch(obs.BatchDecision{Pivot: pivot, First: first, Last: last})
 	return first, last
 }

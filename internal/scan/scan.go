@@ -7,6 +7,7 @@ package scan
 import (
 	"errors"
 
+	"repro/internal/obs"
 	"repro/internal/page"
 	"repro/internal/store"
 	"repro/internal/vec"
@@ -108,7 +109,10 @@ func (sc *Scan) scanAll(s *store.Session, fn func(vec.Point, uint32)) error {
 	if err != nil {
 		return err
 	}
-	s.ChargeDistCPU(sc.dim, sc.n)
+	tr := obs.TraceFrom(s.Observer())
+	tr.AddPages(sc.file.Blocks())
+	tr.AddCandidates(sc.n) // every point is distance-checked
+	s.ChargeDistCPU(sc.file, sc.dim, sc.n)
 	entrySize := page.ExactEntrySize(sc.dim)
 	for i := 0; i < sc.n; i++ {
 		p, id := page.UnmarshalExactEntry(buf[i*entrySize:], sc.dim)

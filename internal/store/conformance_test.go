@@ -231,12 +231,19 @@ func TestReadPastEndFails(t *testing.T) {
 func TestCPUCharges(t *testing.T) {
 	forEachBackend(t, func(t *testing.T, sto *Store) {
 		s := sto.NewSession()
-		s.ChargeDistCPU(16, 10)   // 16e-6
-		s.ChargeApproxCPU(8, 100) // 80e-6
-		s.ChargeCPU(1e-3)
+		f := mustFile(t, sto, "cpu")
+		s.ChargeDistCPU(f, 16, 10)   // 16e-6
+		s.ChargeApproxCPU(f, 8, 100) // 80e-6
+		s.ChargeCPU(nil, 1e-3)       // unattributed: aggregate only
 		want := 16*10*1e-7 + 8*100*1e-7 + 1e-3
 		if math.Abs(s.Stats.CPUSeconds-want) > 1e-15 {
 			t.Fatalf("cpu %g, want %g", s.Stats.CPUSeconds, want)
+		}
+		// Attributed CPU shows up in the file's decomposition; the
+		// unattributed charge only in the aggregate.
+		perFile := s.FileStats("cpu").CPUSeconds
+		if math.Abs(perFile-(16*10*1e-7+8*100*1e-7)) > 1e-15 {
+			t.Fatalf("per-file cpu %g", perFile)
 		}
 	})
 }

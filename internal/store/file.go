@@ -1,12 +1,14 @@
 package store
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
+	"syscall"
 )
 
 // FileStore is the os.File-backed backend: every logical block file is a
@@ -134,7 +136,8 @@ func (d *FileStore) Names() []string {
 	return out
 }
 
-// Sync flushes every backing file to stable storage.
+// Sync flushes every backing file — and the directory itself, so that
+// newly created files are durable too — to stable storage.
 func (d *FileStore) Sync() error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -143,10 +146,27 @@ func (d *FileStore) Sync() error {
 			return fmt.Errorf("store: sync %s: %w", f.name, err)
 		}
 	}
+	return d.syncDirLocked()
+}
+
+// syncDirLocked fsyncs the store directory, making file creations and
+// renames durable. Filesystems that reject directory fsync (it is
+// optional on some platforms) are tolerated.
+func (d *FileStore) syncDirLocked() error {
+	h, err := os.Open(d.dir)
+	if err != nil {
+		return fmt.Errorf("store: open dir for sync: %w", err)
+	}
+	defer h.Close()
+	if err := h.Sync(); err != nil && !errors.Is(err, syscall.EINVAL) && !errors.Is(err, syscall.ENOTSUP) {
+		return fmt.Errorf("store: sync dir: %w", err)
+	}
 	return nil
 }
 
-// Close syncs and closes every backing file.
+// Close syncs and closes every backing file (and the directory entry
+// metadata), so mutations against a reopened store are durable once
+// Close returns.
 func (d *FileStore) Close() error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -158,6 +178,9 @@ func (d *FileStore) Close() error {
 		if err := f.h.Close(); err != nil && first == nil {
 			first = err
 		}
+	}
+	if err := d.syncDirLocked(); err != nil && first == nil {
+		first = err
 	}
 	d.files = make(map[string]*osFile)
 	return first

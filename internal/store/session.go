@@ -3,6 +3,8 @@ package store
 import (
 	"errors"
 	"fmt"
+
+	"repro/internal/obs"
 )
 
 // Session is one query's view of the store. It tracks the head position
@@ -23,8 +25,18 @@ type Session struct {
 	started bool
 	Stats   Stats
 	perFile map[string]*Stats
+	obs     obs.Observer // nil = no observation (the common case)
 	err     error
 }
+
+// SetObserver attaches an observer that receives every cost event the
+// session charges (and the zero-cost buffer-pool hits). Pass nil to
+// detach. The typical observer is an *obs.QueryTrace; with none attached
+// the charge paths pay a single nil check.
+func (s *Session) SetObserver(o obs.Observer) { s.obs = o }
+
+// Observer returns the currently attached observer (nil if none).
+func (s *Session) Observer() obs.Observer { return s.obs }
 
 // Err returns the session's sticky error: the first read that failed, or
 // nil. Query code that ignores per-read errors must check it before
@@ -40,10 +52,11 @@ func (s *Session) fail(err error) error {
 	return s.err
 }
 
-// FileStats returns the session's I/O attributed to the named file (CPU
-// charges are global, not per file). The zero Stats is returned for
-// untouched files. For the IQ-tree this decomposes a query into the
-// paper's T1st/T2nd/T3rd components.
+// FileStats returns the session's charges attributed to the named file,
+// including CPU attributed via the Charge*CPU file argument. The zero
+// Stats is returned for untouched files. For the IQ-tree this decomposes
+// a query into the paper's T1st/T2nd/T3rd components; CPU charged with a
+// nil file (unattributed) appears only in the session's aggregate Stats.
 func (s *Session) FileStats(name string) Stats {
 	if st, ok := s.perFile[name]; ok {
 		return *st
@@ -51,8 +64,8 @@ func (s *Session) FileStats(name string) Stats {
 	return Stats{}
 }
 
-// chargeFile attributes one read to a file.
-func (s *Session) chargeFile(name string, seeks, blocks int) {
+// fileStats returns (creating if needed) the per-file accumulator.
+func (s *Session) fileStats(name string) *Stats {
 	if s.perFile == nil {
 		s.perFile = make(map[string]*Stats, 4)
 	}
@@ -61,14 +74,22 @@ func (s *Session) chargeFile(name string, seeks, blocks int) {
 		st = &Stats{}
 		s.perFile[name] = st
 	}
+	return st
+}
+
+// chargeFile attributes one read to a file.
+func (s *Session) chargeFile(name string, seeks, blocks int) {
+	st := s.fileStats(name)
 	st.Seeks += seeks
 	st.BlocksRead += blocks
 	st.Reads++
 }
 
 // charge bills one contiguous backend read and moves the head: a seek is
-// charged unless the head is already at (f, pos).
-func (s *Session) charge(f *File, pos, nblocks int) {
+// charged unless the head is already at (f, pos). tier tells an attached
+// observer whether the read went straight to the backend or filled a
+// buffer-pool miss.
+func (s *Session) charge(f *File, pos, nblocks int, tier obs.ReadTier) {
 	seeks := 0
 	if !s.started || s.cur != f || s.head != pos {
 		seeks = 1
@@ -80,6 +101,32 @@ func (s *Session) charge(f *File, pos, nblocks int) {
 	s.chargeFile(f.Name(), seeks, nblocks)
 	s.cur = f
 	s.head = pos + nblocks
+	if s.obs != nil {
+		s.obs.ObserveRead(f.Name(), seeks, nblocks, tier)
+	}
+}
+
+// ChargeWrite bills one charged write operation against file f: seeks
+// seeks plus blocks transferred, attributed to the file and reported to
+// any observer. Maintenance paths (page rewrites) use it so updates show
+// up in the same per-file decomposition as reads. The head position is
+// left untouched: the simulated cost model bills every write a full
+// seek, matching the historical accounting.
+func (s *Session) ChargeWrite(f *File, seeks, blocks int) {
+	s.Stats.Seeks += seeks
+	s.Stats.BlocksRead += blocks
+	if f != nil {
+		st := s.fileStats(f.Name())
+		st.Seeks += seeks
+		st.BlocksRead += blocks
+	}
+	if s.obs != nil {
+		name := ""
+		if f != nil {
+			name = f.Name()
+		}
+		s.obs.ObserveWrite(name, seeks, blocks)
+	}
 }
 
 // Read transfers nblocks starting at block pos of file f and returns the
@@ -106,7 +153,7 @@ func (s *Session) Read(f *File, pos, nblocks int) ([]byte, error) {
 		if err != nil {
 			return nil, s.fail(fmt.Errorf("store: read %s [%d,+%d): %w", f.Name(), pos, nblocks, err))
 		}
-		s.charge(f, pos, nblocks)
+		s.charge(f, pos, nblocks, obs.ReadBackend)
 		return data, nil
 	}
 	return s.readPooled(f, pos, nblocks)
@@ -114,19 +161,25 @@ func (s *Session) Read(f *File, pos, nblocks int) ([]byte, error) {
 
 // readPooled assembles the requested range from pool frames plus backend
 // reads for the missing runs. Each miss run is charged like an uncached
-// read (head tracking included); hits charge zero seek/transfer.
+// read (head tracking included); hits charge zero seek/transfer and are
+// reported to an attached observer as ReadPoolHit.
 func (s *Session) readPooled(f *File, pos, nblocks int) ([]byte, error) {
 	bs := s.st.Config().BlockSize
 	dst := make([]byte, nblocks*bs)
 	misses := s.pool.gather(f.Name(), pos, nblocks, bs, dst)
+	missed := 0
 	for _, run := range misses {
 		data, err := f.bf.ReadBlocks(run.pos, run.n)
 		if err != nil {
 			return nil, s.fail(fmt.Errorf("store: read %s [%d,+%d): %w", f.Name(), run.pos, run.n, err))
 		}
 		copy(dst[(run.pos-pos)*bs:], data[:run.n*bs])
-		s.charge(f, run.pos, run.n)
+		s.charge(f, run.pos, run.n, obs.ReadPoolMiss)
 		s.pool.insert(f.Name(), run.pos, bs, data[:run.n*bs])
+		missed += run.n
+	}
+	if s.obs != nil && missed < nblocks {
+		s.obs.ObserveRead(f.Name(), 0, nblocks-missed, obs.ReadPoolHit)
 	}
 	return dst, nil
 }
@@ -145,21 +198,38 @@ func (s *Session) ReadRange(f *File, off, n int) (data []byte, rel int, err erro
 	return blk, off - first*bs, nil
 }
 
-// ChargeCPU adds raw CPU seconds to the session.
-func (s *Session) ChargeCPU(seconds float64) {
+// chargeCPU adds seconds to the aggregate and, when f is non-nil, to the
+// file's decomposition, reporting the charge to any observer.
+func (s *Session) chargeCPU(f *File, kind obs.CPUKind, seconds float64) {
 	s.Stats.CPUSeconds += seconds
+	name := ""
+	if f != nil {
+		name = f.Name()
+		s.fileStats(name).CPUSeconds += seconds
+	}
+	if s.obs != nil {
+		s.obs.ObserveCPU(name, kind, seconds)
+	}
+}
+
+// ChargeCPU adds raw CPU seconds to the session, attributed to file f
+// (nil = aggregate only).
+func (s *Session) ChargeCPU(f *File, seconds float64) {
+	s.chargeCPU(f, obs.CPUOther, seconds)
 }
 
 // ChargeDistCPU charges the CPU cost of n exact distance computations in
-// dim dimensions.
-func (s *Session) ChargeDistCPU(dim, n int) {
-	s.Stats.CPUSeconds += s.st.Config().DistCPU * float64(dim) * float64(n)
+// dim dimensions, attributed to file f — conventionally the file whose
+// blocks produced the points being compared (nil = aggregate only).
+func (s *Session) ChargeDistCPU(f *File, dim, n int) {
+	s.chargeCPU(f, obs.CPUDist, s.st.Config().DistCPU*float64(dim)*float64(n))
 }
 
 // ChargeApproxCPU charges the CPU cost of decoding and bounding n
-// quantized approximations in dim dimensions.
-func (s *Session) ChargeApproxCPU(dim, n int) {
-	s.Stats.CPUSeconds += s.st.Config().ApproxCPU * float64(dim) * float64(n)
+// quantized approximations in dim dimensions, attributed to file f
+// (nil = aggregate only).
+func (s *Session) ChargeApproxCPU(f *File, dim, n int) {
+	s.chargeCPU(f, obs.CPUApprox, s.st.Config().ApproxCPU*float64(dim)*float64(n))
 }
 
 // Time returns the session's total simulated time so far, in seconds.

@@ -16,6 +16,7 @@ import (
 	"math"
 	"sort"
 
+	"repro/internal/obs"
 	"repro/internal/page"
 	"repro/internal/quantize"
 	"repro/internal/store"
@@ -308,7 +309,7 @@ func (v *VAFile) KNN(s *store.Session, q vec.Point, k int) ([]vec.Neighbor, erro
 	if err != nil {
 		return nil, err
 	}
-	s.ChargeApproxCPU(v.dim, v.n)
+	s.ChargeApproxCPU(v.aFile, v.dim, v.n)
 	r := quantize.NewBitReader(buf)
 	cells := make([]uint32, v.dim)
 	dt := v.buildTables(q)
@@ -347,6 +348,8 @@ func (v *VAFile) KNN(s *store.Session, q vec.Point, k int) ([]vec.Neighbor, erro
 		}
 	}
 	sort.Slice(kept, func(a, b int) bool { return kept[a].lb < kept[b].lb })
+	tr := obs.TraceFrom(s.Observer())
+	tr.AddCandidates(len(kept))
 
 	// Phase 2: visit candidates in lower-bound order.
 	var res resHeap
@@ -360,7 +363,8 @@ func (v *VAFile) KNN(s *store.Session, q vec.Point, k int) ([]vec.Neighbor, erro
 			return nil, err
 		}
 		p, id := page.UnmarshalExactEntry(raw[rel:], v.dim)
-		s.ChargeDistCPU(v.dim, 1)
+		tr.AddRefinement(1)
+		s.ChargeDistCPU(v.eFile, v.dim, 1)
 		d := v.opt.Metric.Dist(q, p)
 		if len(res) < k {
 			res.push(vec.Neighbor{ID: id, Dist: d, Point: p})
@@ -391,7 +395,8 @@ func (v *VAFile) RangeSearch(s *store.Session, q vec.Point, eps float64) ([]vec.
 	if err != nil {
 		return nil, err
 	}
-	s.ChargeApproxCPU(v.dim, v.n)
+	s.ChargeApproxCPU(v.aFile, v.dim, v.n)
+	tr := obs.TraceFrom(s.Observer())
 	r := quantize.NewBitReader(buf)
 	cells := make([]uint32, v.dim)
 	dt := v.buildTables(q)
@@ -405,12 +410,14 @@ func (v *VAFile) RangeSearch(s *store.Session, q vec.Point, eps float64) ([]vec.
 		if lb > eps {
 			continue
 		}
+		tr.AddCandidates(1)
 		raw, rel, err := s.ReadRange(v.eFile, i*entrySize, entrySize)
 		if err != nil {
 			return nil, err
 		}
 		p, id := page.UnmarshalExactEntry(raw[rel:], v.dim)
-		s.ChargeDistCPU(v.dim, 1)
+		tr.AddRefinement(1)
+		s.ChargeDistCPU(v.eFile, v.dim, 1)
 		if d := v.opt.Metric.Dist(q, p); d <= eps {
 			out = append(out, vec.Neighbor{ID: id, Dist: d, Point: p})
 		}
@@ -503,7 +510,8 @@ func (v *VAFile) WindowQuery(s *store.Session, w vec.MBR) ([]vec.Neighbor, error
 	if err != nil {
 		return nil, err
 	}
-	s.ChargeApproxCPU(v.dim, v.n)
+	s.ChargeApproxCPU(v.aFile, v.dim, v.n)
+	tr := obs.TraceFrom(s.Observer())
 	r := quantize.NewBitReader(buf)
 	cells := make([]uint32, v.dim)
 	var out []vec.Neighbor
@@ -523,12 +531,14 @@ func (v *VAFile) WindowQuery(s *store.Session, w vec.MBR) ([]vec.Neighbor, error
 		if !intersects {
 			continue
 		}
+		tr.AddCandidates(1)
 		raw, rel, err := s.ReadRange(v.eFile, i*entrySize, entrySize)
 		if err != nil {
 			return nil, err
 		}
 		p, id := page.UnmarshalExactEntry(raw[rel:], v.dim)
-		s.ChargeDistCPU(v.dim, 1)
+		tr.AddRefinement(1)
+		s.ChargeDistCPU(v.eFile, v.dim, 1)
 		if w.Contains(p) {
 			out = append(out, vec.Neighbor{ID: id, Point: p})
 		}

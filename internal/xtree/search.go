@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 
+	"repro/internal/obs"
 	"repro/internal/store"
 	"repro/internal/vec"
 )
@@ -30,6 +31,7 @@ func (t *Tree) KNN(s *store.Session, q vec.Point, k int) ([]vec.Neighbor, error)
 		k = t.n
 	}
 	met := t.opt.Metric
+	tr := obs.TraceFrom(s.Observer())
 	var pq nodeHeap
 	pq.push(nodeItem{dist: t.root.mbr.MinDist(q, met), n: t.root})
 	var res resHeap
@@ -48,9 +50,11 @@ func (t *Tree) KNN(s *store.Session, q vec.Point, k int) ([]vec.Neighbor, error)
 		if err != nil {
 			return nil, err
 		}
+		tr.AddPages(1)
 		if it.n.leaf {
 			pts, ids := t.decodeLeaf(buf)
-			s.ChargeDistCPU(t.dim, len(pts))
+			tr.AddCandidates(len(pts))
+			s.ChargeDistCPU(t.file, t.dim, len(pts))
 			for i, p := range pts {
 				d := met.Dist(q, p)
 				if len(res) < k {
@@ -62,7 +66,7 @@ func (t *Tree) KNN(s *store.Session, q vec.Point, k int) ([]vec.Neighbor, error)
 			}
 			continue
 		}
-		s.ChargeApproxCPU(t.dim, len(it.n.children))
+		s.ChargeApproxCPU(t.file, t.dim, len(it.n.children))
 		for _, c := range it.n.children {
 			if d := c.mbr.MinDist(q, met); d < prune() {
 				pq.push(nodeItem{dist: d, n: c})
@@ -102,7 +106,7 @@ func (t *Tree) RangeSearch(s *store.Session, q vec.Point, eps float64) ([]vec.Ne
 		}
 		if n.leaf {
 			pts, ids := t.decodeLeaf(buf)
-			s.ChargeDistCPU(t.dim, len(pts))
+			s.ChargeDistCPU(t.file, t.dim, len(pts))
 			for i, p := range pts {
 				if d := met.Dist(q, p); d <= eps {
 					out = append(out, vec.Neighbor{ID: ids[i], Dist: d, Point: p})
@@ -110,7 +114,7 @@ func (t *Tree) RangeSearch(s *store.Session, q vec.Point, eps float64) ([]vec.Ne
 			}
 			return nil
 		}
-		s.ChargeApproxCPU(t.dim, len(n.children))
+		s.ChargeApproxCPU(t.file, t.dim, len(n.children))
 		for _, c := range n.children {
 			if c.mbr.MinDist(q, met) <= eps {
 				if err := walk(c); err != nil {
@@ -238,7 +242,7 @@ func (t *Tree) WindowQuery(s *store.Session, w vec.MBR) ([]vec.Neighbor, error) 
 		}
 		if n.leaf {
 			pts, ids := t.decodeLeaf(buf)
-			s.ChargeDistCPU(t.dim, len(pts))
+			s.ChargeDistCPU(t.file, t.dim, len(pts))
 			for i, p := range pts {
 				if w.Contains(p) {
 					out = append(out, vec.Neighbor{ID: ids[i], Point: p})
@@ -246,7 +250,7 @@ func (t *Tree) WindowQuery(s *store.Session, w vec.MBR) ([]vec.Neighbor, error) 
 			}
 			return nil
 		}
-		s.ChargeApproxCPU(t.dim, len(n.children))
+		s.ChargeApproxCPU(t.file, t.dim, len(n.children))
 		for _, c := range n.children {
 			if c.mbr.Intersects(w) {
 				if err := walk(c); err != nil {

@@ -41,6 +41,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/fractal"
+	"repro/internal/obs"
 	"repro/internal/scan"
 	"repro/internal/store"
 	"repro/internal/vafile"
@@ -115,6 +116,27 @@ type IQTreeStats = core.Stats
 
 // QueryTrace records the physical work of one IQ-tree query.
 type QueryTrace = core.Trace
+
+// Observer receives per-event cost notifications from a Session
+// (Session.SetObserver); *QueryTrace implements it. A nil Observer is
+// valid and costs nothing.
+type Observer = obs.Observer
+
+// MetricsRegistry is a named set of counters, gauges and latency
+// histograms; see Metrics for the process-wide instance.
+type MetricsRegistry = obs.Registry
+
+// MetricsSnapshot is a point-in-time, JSON-serializable copy of a
+// registry's metrics.
+type MetricsSnapshot = obs.Snapshot
+
+// Metrics returns the process-wide default metrics registry that the
+// experiment harness records into.
+func Metrics() *MetricsRegistry { return obs.Default() }
+
+// StartDebugServer serves expvar, pprof and a /metrics snapshot on addr
+// in the background, returning the bound address.
+func StartDebugServer(addr string) (string, error) { return obs.StartDebugServer(addr) }
 
 // DefaultIQTreeOptions returns the paper's full IQ-tree configuration.
 func DefaultIQTreeOptions() IQTreeOptions { return core.DefaultOptions() }

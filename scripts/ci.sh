@@ -23,7 +23,22 @@ echo "== go test =="
 go test ./...
 
 echo "== go test -race (short set) =="
-go test -race -short -run 'Concurrent|Session|Pool|Cache|Facade' \
-	. ./internal/store/ ./internal/core/
+go test -race -short -run 'Concurrent|Session|Pool|Cache|Facade|Registry|Trace|Histogram|Observer' \
+	. ./internal/store/ ./internal/core/ ./internal/obs/
+
+echo "== observer overhead gate =="
+go test -run '^$' -bench 'BenchmarkObserverOverhead' -benchtime 300x -count 3 . |
+	awk '
+		/BenchmarkObserverOverhead\/off/ { if (!moff || $3 < moff) moff = $3 }
+		/BenchmarkObserverOverhead\/on/  { if (!mon  || $3 < mon)  mon  = $3 }
+		END {
+			if (!moff || !mon) { print "gate: missing benchmark output" > "/dev/stderr"; exit 1 }
+			ratio = mon / moff
+			printf "observer on/off ns per op ratio: %.4f\n", ratio
+			if (ratio > 1.02) {
+				printf "observer overhead gate FAILED: %.1f%% > 2%%\n", (ratio - 1) * 100 > "/dev/stderr"
+				exit 1
+			}
+		}'
 
 echo "CI OK"
