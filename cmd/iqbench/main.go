@@ -59,11 +59,17 @@ func run() error {
 		quickFlag = flag.Bool("quick", false, "shorthand for -scale 0.04 -queries 20")
 		metrics   = flag.String("metrics", "", "write a machine-readable JSON report (figures + registry snapshot) to this file")
 		debugAddr = flag.String("debug-addr", "", "serve expvar + pprof on this address while running (e.g. 127.0.0.1:6060)")
+		parallel  = flag.String("parallel", "", "throughput mode instead of figures: comma-separated worker counts (e.g. 1,2,4,8)")
+		benchOut  = flag.String("bench-out", "BENCH_engine.json", "where -parallel writes its JSON scaling report")
+		gate      = flag.Bool("gate", false, "with -parallel: fail unless 4-worker simulated QPS is >= 2x the 1-worker rate")
 	)
 	flag.Parse()
 	if *quickFlag {
 		*scale = 0.04
 		*queries = 20
+	}
+	if *parallel != "" {
+		return runParallel(*parallel, *scale, *queries, *seed, *benchOut, *gate)
 	}
 	if *debugAddr != "" {
 		addr, err := obs.StartDebugServer(*debugAddr)

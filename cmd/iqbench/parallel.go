@@ -1,0 +1,151 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/engine"
+	"repro/internal/obs"
+	"repro/internal/store"
+)
+
+// parallelReport is the schema of the -parallel JSON report
+// (BENCH_engine.json): one row per worker count over the same query
+// batch against the same tree.
+type parallelReport struct {
+	Date    string        `json:"date"`
+	Dataset string        `json:"dataset"`
+	N       int           `json:"n"`
+	Dim     int           `json:"dim"`
+	Queries int           `json:"queries"`
+	K       int           `json:"k"`
+	Rows    []parallelRow `json:"rows"`
+}
+
+// parallelRow is one point of the scaling curve. SimQPS divides the
+// batch size by the simulated makespan (the busiest worker's summed
+// simulated seconds — the model of one disk per worker); WallQPS is the
+// host wall-clock throughput, which only scales with real cores.
+type parallelRow struct {
+	Workers     int     `json:"workers"`
+	SimQPS      float64 `json:"sim_qps"`
+	WallQPS     float64 `json:"wall_qps"`
+	SimMakespan float64 `json:"sim_makespan_seconds"`
+	WallSeconds float64 `json:"wall_seconds"`
+	P50         float64 `json:"sim_latency_p50"`
+	P95         float64 `json:"sim_latency_p95"`
+	P99         float64 `json:"sim_latency_p99"`
+}
+
+// runParallel benchmarks the engine's scaling curve: it builds one
+// IQ-tree on the simulated disk and pushes the same KNN batch through
+// worker pools of each requested size.
+func runParallel(spec string, scale float64, queries int, seed int64, out string, gate bool) error {
+	var workerCounts []int
+	for _, part := range strings.Split(spec, ",") {
+		w, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || w <= 0 {
+			return fmt.Errorf("bad -parallel worker count %q", part)
+		}
+		workerCounts = append(workerCounts, w)
+	}
+
+	n := int(float64(100000) * scale)
+	if n < 2000 {
+		n = 2000
+	}
+	const dim, k = 16, 1
+	pts, err := dataset.Generate(dataset.Uniform, seed, n+queries, dim)
+	if err != nil {
+		return err
+	}
+	db, qs := dataset.Split(pts, queries)
+	sto := store.NewSim(store.DefaultConfig())
+	tr, err := core.Build(sto, db, core.DefaultOptions())
+	if err != nil {
+		return err
+	}
+	batch := make([]engine.Query, len(qs))
+	for i, q := range qs {
+		batch[i] = engine.Query{Kind: engine.KNN, Point: q, K: k}
+	}
+
+	report := parallelReport{
+		Date:    time.Now().UTC().Format(time.RFC3339),
+		Dataset: string(dataset.Uniform),
+		N:       n,
+		Dim:     dim,
+		Queries: queries,
+		K:       k,
+	}
+	fmt.Printf("engine scaling: %s n=%d dim=%d queries=%d k=%d\n", dataset.Uniform, n, dim, queries, k)
+	for _, w := range workerCounts {
+		reg := &obs.Registry{}
+		e := engine.New(sto, tr, w, engine.WithRegistry(reg))
+		start := time.Now()
+		results := e.SubmitBatch(batch)
+		wall := time.Since(start).Seconds()
+		for _, res := range results {
+			if res.Err != nil {
+				e.Close()
+				return fmt.Errorf("workers=%d: %w", w, res.Err)
+			}
+		}
+		makespan := e.Makespan()
+		e.Close()
+		lat := reg.Histogram("engine.sim_latency_seconds").Snapshot()
+		row := parallelRow{
+			Workers:     w,
+			SimQPS:      float64(len(batch)) / makespan,
+			WallQPS:     float64(len(batch)) / wall,
+			SimMakespan: makespan,
+			WallSeconds: wall,
+			P50:         lat.P50,
+			P95:         lat.P95,
+			P99:         lat.P99,
+		}
+		report.Rows = append(report.Rows, row)
+		fmt.Printf("workers=%d  simQPS=%8.1f  wallQPS=%8.1f  sim p50/p95/p99 = %.4f/%.4f/%.4f s\n",
+			w, row.SimQPS, row.WallQPS, row.P50, row.P95, row.P99)
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("write %s: %w", out, err)
+	}
+	fmt.Printf("report written to %s\n", out)
+
+	if speedup, ok := checkScaling(report); gate {
+		if !ok {
+			return fmt.Errorf("scaling gate FAILED: 4-worker simulated QPS is %.2fx the 1-worker rate, want >= 2x", speedup)
+		}
+		fmt.Printf("scaling gate OK: 4 workers deliver %.2fx the 1-worker simulated QPS\n", speedup)
+	}
+	return nil
+}
+
+// checkScaling reports the 4-vs-1-worker simulated speed-up (0 when the
+// report lacks either row).
+func checkScaling(r parallelReport) (float64, bool) {
+	var one, four float64
+	for _, row := range r.Rows {
+		switch row.Workers {
+		case 1:
+			one = row.SimQPS
+		case 4:
+			four = row.SimQPS
+		}
+	}
+	if one <= 0 || four <= 0 {
+		return 0, false
+	}
+	return four / one, four >= 2*one
+}

@@ -11,9 +11,11 @@ import (
 // builder performs the bulk construction of Section 3.3: top-down
 // partitioning along the dimension of largest MBR extension (the
 // bulk-load strategy of [4]) followed by the optimal-quantization
-// refinement of Section 3.5.
+// refinement of Section 3.5. It fills the snapshot sn, which the caller
+// publishes once the build succeeded.
 type builder struct {
 	t    *Tree
+	sn   *snapshot
 	pts  []vec.Point
 	ids  []uint32 // ids[i] is the id of pts[i]; nil means identity
 	perm []int32  // permutation of point indices; nodes own ranges of it
@@ -34,18 +36,18 @@ type bnode struct {
 
 func (n *bnode) count() int { return n.hi - n.lo }
 
-func newBuilder(t *Tree, pts []vec.Point) *builder {
+func newBuilder(t *Tree, sn *snapshot, pts []vec.Point) *builder {
 	perm := make([]int32, len(pts))
 	for i := range perm {
 		perm[i] = int32(i)
 	}
-	return &builder{t: t, pts: pts, perm: perm}
+	return &builder{t: t, sn: sn, pts: pts, perm: perm}
 }
 
 func (b *builder) run() {
 	ranges := b.initialRanges()
 	if b.t.opt.Quantize && b.t.opt.FixedBits == 0 && b.t.opt.RefineCostFactor == 0 {
-		b.t.model.RefineFactor = b.calibrateRefinement(ranges)
+		b.sn.model.RefineFactor = b.calibrateRefinement(ranges)
 	}
 	roots := make([]*bnode, len(ranges))
 	for i, r := range ranges {
@@ -135,7 +137,7 @@ func (b *builder) newNode(lo, hi int, mbr vec.MBR) *bnode {
 	if !b.t.opt.Quantize {
 		return n
 	}
-	n.varCost = b.t.model.RefinementCost(n.mbr, n.count(), n.bits)
+	n.varCost = b.sn.model.RefinementCost(n.mbr, n.count(), n.bits)
 	if n.bits < quantize.ExactBits && n.count() >= 2 {
 		mid := b.medianSplit(lo, hi, mbr)
 		n.left = b.newNode(lo, mid, b.mbrOf(lo, mid))
@@ -247,7 +249,7 @@ func (b *builder) optimize(roots []*bnode) []*bnode {
 		}
 	}
 	constCost := func(n int) float64 {
-		return b.t.model.DirectoryCost(n) + b.t.model.SecondLevelCost(n)
+		return b.sn.model.DirectoryCost(n) + b.sn.model.SecondLevelCost(n)
 	}
 	bestCost := constCost(nPages) + totalVar
 	bestStep := 0
@@ -293,9 +295,10 @@ func (b *builder) optimize(roots []*bnode) []*bnode {
 // file, and one directory entry each.
 func (b *builder) write(frontier []*bnode) {
 	t := b.t
+	sn := b.sn
 	dirBuf := make([]byte, 0, len(frontier)*page.DirEntrySize(t.dim))
 	entryBuf := make([]byte, page.DirEntrySize(t.dim))
-	for qpos, n := range frontier {
+	for _, n := range frontier {
 		pts := make([]vec.Point, n.count())
 		ids := make([]uint32, n.count())
 		for i := 0; i < n.count(); i++ {
@@ -311,10 +314,10 @@ func (b *builder) write(frontier []*bnode) {
 		e := page.DirEntry{
 			Count: uint32(n.count()),
 			Bits:  uint8(n.bits),
-			QPos:  uint32(qpos),
 			Base:  uint32(n.lo),
 			MBR:   n.mbr,
 		}
+		var qpos int
 		if n.bits < quantize.ExactBits {
 			// Write failures are recorded as the store's sticky error,
 			// which Build checks once after the builder finishes.
@@ -323,15 +326,20 @@ func (b *builder) write(frontier []*bnode) {
 				e.EPos = uint32(epos)
 				e.EBlocks = uint32(eblocks)
 			}
-			t.qFile.Append(page.MarshalQPage(grid, pts, nil, t.qPageBytes()))
+			bpos, _, _ := t.qFile.Append(page.MarshalQPage(grid, pts, nil, t.qPageBytes()))
+			qpos = bpos / t.opt.QPageBlocks
 		} else {
-			t.qFile.Append(page.MarshalQPage(grid, pts, ids, t.qPageBytes()))
+			bpos, _, _ := t.qFile.Append(page.MarshalQPage(grid, pts, ids, t.qPageBytes()))
+			qpos = bpos / t.opt.QPageBlocks
 		}
+		e.QPos = uint32(qpos)
 		e.Marshal(entryBuf, t.dim)
 		dirBuf = append(dirBuf, entryBuf...)
-		t.entries = append(t.entries, e)
-		t.grids = append(t.grids, grid)
-		t.free = append(t.free, false)
+		entryIdx := sn.appendEntry()
+		sn.entries[entryIdx] = e
+		sn.grids[entryIdx] = grid
+		sn.setOwner(qpos, entryIdx)
 	}
 	t.dirFile.SetContents(dirBuf)
+	sn.dirBlocks = t.dirFile.Blocks()
 }

@@ -41,7 +41,7 @@ func (b *builder) calibrateRefinement(ranges []partRange) float64 {
 		if bits >= quantize.ExactBits {
 			continue
 		}
-		predicted += float64(r.hi-r.lo) * t.model.RefinementProbability(r.mbr, r.hi-r.lo, bits)
+		predicted += float64(r.hi-r.lo) * b.sn.model.RefinementProbability(r.mbr, r.hi-r.lo, bits)
 	}
 	predicted *= float64(len(queries))
 

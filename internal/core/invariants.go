@@ -8,7 +8,7 @@ import (
 )
 
 // CheckInvariants validates the full physical structure of the tree
-// against its in-memory state. It is used by tests and by cautious
+// against its current snapshot. It is used by tests and by cautious
 // maintenance code after batches of updates. The checks are:
 //
 //  1. live page counts sum to Len();
@@ -19,17 +19,20 @@ import (
 //     quantized cells match re-encoding the exact point;
 //  6. compressed pages have a consistent third-level region; exact
 //     (32-bit) pages have none;
-//  7. no point id appears twice.
+//  7. no point id appears twice;
+//  8. the position index maps every live entry's page position back to
+//     that entry (page versions are owned by at most one entry).
 //
 // It returns the first violation found, or nil.
 func (t *Tree) CheckInvariants() error {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
+	t.world.RLock()
+	defer t.world.RUnlock()
+	sn := t.load()
 
 	// (3) directory bytes round-trip.
 	entrySize := page.DirEntrySize(t.dim)
-	if t.dirFile.Bytes() < len(t.entries)*entrySize {
-		return fmt.Errorf("directory file holds %d bytes, need %d", t.dirFile.Bytes(), len(t.entries)*entrySize)
+	if t.dirFile.Bytes() < len(sn.entries)*entrySize {
+		return fmt.Errorf("directory file holds %d bytes, need %d", t.dirFile.Bytes(), len(sn.entries)*entrySize)
 	}
 	var raw []byte
 	if t.dirFile.Blocks() > 0 {
@@ -39,23 +42,28 @@ func (t *Tree) CheckInvariants() error {
 		}
 	}
 
-	seen := make(map[uint32]bool, t.n)
+	seen := make(map[uint32]bool, sn.n)
 	total := 0
 	free := t.sto.NewSession()
-	for i, e := range t.entries {
+	for i, e := range sn.entries {
 		got := page.UnmarshalDirEntry(raw[i*entrySize:], t.dim)
 		if got.Count != e.Count || got.Bits != e.Bits || got.QPos != e.QPos ||
 			got.EPos != e.EPos || got.EBlocks != e.EBlocks {
 			return fmt.Errorf("entry %d: serialized directory diverges (%+v vs %+v)", i, got, e)
 		}
-		if t.free[i] {
+		if sn.free[i] {
 			if e.Count != 0 {
 				return fmt.Errorf("entry %d: free but count %d", i, e.Count)
 			}
 			continue
 		}
-		if int(e.QPos) != i {
-			return fmt.Errorf("entry %d: QPos %d breaks the position invariant", i, e.QPos)
+		// (8) position-index consistency: the entry's page version exists
+		// and is owned by exactly this entry.
+		if int(e.QPos)*t.opt.QPageBlocks >= t.qFile.Blocks() {
+			return fmt.Errorf("entry %d: QPos %d past the quantized file", i, e.QPos)
+		}
+		if owner := sn.entryIndex(int(e.QPos)); owner != i {
+			return fmt.Errorf("entry %d: position index maps QPos %d to entry %d", i, e.QPos, owner)
 		}
 		bits := int(e.Bits)
 		if bits < 1 || bits > quantize.ExactBits {
@@ -87,14 +95,14 @@ func (t *Tree) CheckInvariants() error {
 		}
 
 		// (5) + (7) per-point checks via the exact geometry.
-		pts, ids, err := t.readPagePoints(free, i)
+		pts, ids, err := t.readPagePoints(free, sn, i)
 		if err != nil {
 			return err
 		}
 		if len(pts) != int(e.Count) {
 			return fmt.Errorf("entry %d: read %d exact points, want %d", i, len(pts), e.Count)
 		}
-		grid := t.grids[i]
+		grid := sn.grids[i]
 		var cells []uint32
 		var stored []uint32
 		if bits < quantize.ExactBits {
@@ -120,8 +128,20 @@ func (t *Tree) CheckInvariants() error {
 		}
 	}
 	// (1) totals.
-	if total != t.n {
-		return fmt.Errorf("live page counts sum to %d, Len is %d", total, t.n)
+	if total != sn.n {
+		return fmt.Errorf("live page counts sum to %d, Len is %d", total, sn.n)
+	}
+	// (8b) no stale position claims a live entry.
+	for pos, owner := range sn.entryAt {
+		if owner < 0 {
+			continue
+		}
+		if int(owner) >= len(sn.entries) {
+			return fmt.Errorf("position %d: owner %d out of range", pos, owner)
+		}
+		if !sn.free[owner] && int(sn.entries[owner].QPos) != pos {
+			return fmt.Errorf("position %d: claims live entry %d whose QPos is %d", pos, owner, sn.entries[owner].QPos)
+		}
 	}
 	return nil
 }

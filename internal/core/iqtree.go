@@ -14,15 +14,26 @@
 // evaluation. On the simulator backend the accounting reproduces the
 // paper's testbed; on the file-backed backend the same tree persists to a
 // directory and can be reopened by another process.
+//
+// Concurrency: the tree is multi-version. Every query pins an immutable
+// directory snapshot with one atomic load and runs lock-free against it;
+// Insert, InsertBatch and Delete serialize on a writer mutex, write new
+// page versions out of place and publish the next snapshot atomically,
+// so readers and writers overlap freely (see DESIGN.md §8). Only
+// Reoptimize — which compacts the data files in place — excludes
+// queries, via a readers-writer lock that every entry point takes in
+// read mode.
 package core
 
 import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/costmodel"
 	"repro/internal/fractal"
+	"repro/internal/index"
 	"repro/internal/page"
 	"repro/internal/quantize"
 	"repro/internal/store"
@@ -80,10 +91,23 @@ func DefaultOptions() Options {
 	}
 }
 
-// Tree is an immutable-by-default IQ-tree; Insert and Delete take the
-// write lock, searches the read lock, so concurrent searches are safe.
+// Tree is a multi-version IQ-tree: searches pin an immutable snapshot
+// and run lock-free; Insert and Delete serialize on the writer mutex and
+// publish copy-on-write snapshots, so concurrent searches and updates
+// are safe. Reoptimize is the only stop-the-world operation.
 type Tree struct {
-	mu  sync.RWMutex
+	// world excludes Reoptimize (write side) from everything else (read
+	// side): queries and incremental updates hold it shared, so they
+	// overlap freely; compaction rewrites the files in place and must
+	// drain them first.
+	world sync.RWMutex
+	mu    sync.Mutex // serializes writers (Insert/InsertBatch/Delete)
+	snap  atomic.Pointer[snapshot]
+	// reoptGen counts Reoptimize runs; an NNIterator records it at
+	// creation and refuses to continue across a compaction (its pinned
+	// snapshot would point into rewritten file regions).
+	reoptGen atomic.Uint64
+
 	opt Options
 	sto *store.Store
 
@@ -93,38 +117,28 @@ type Tree struct {
 	eFile    *store.File // level 3: exact pages (variable size)
 
 	dim        int
-	n          int // live points
-	dataSpace  vec.MBR
 	fractalDim float64
-	model      costmodel.Model
-
-	entries []page.DirEntry // decoded directory, index = quantized page position
-	grids   []quantize.Grid // per-entry quantization grid
-	free    []bool          // entries logically deleted (empty after merges)
 }
+
+// load pins the current snapshot (one atomic load).
+func (t *Tree) load() *snapshot { return t.snap.Load() }
+
+// publish installs sn as the current snapshot.
+func (t *Tree) publish(sn *snapshot) { t.snap.Store(sn) }
+
+// Epoch returns the epoch counter of the current snapshot; it increases
+// by one per published update (tests use it to reason about snapshot
+// isolation).
+func (t *Tree) Epoch() uint64 { return t.load().epoch }
 
 // Dim returns the dimensionality of the indexed points.
 func (t *Tree) Dim() int { return t.dim }
 
 // Len returns the number of live points.
-func (t *Tree) Len() int {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return t.n
-}
+func (t *Tree) Len() int { return t.load().n }
 
 // NumPages returns the number of live quantized data pages.
-func (t *Tree) NumPages() int {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	n := 0
-	for i := range t.entries {
-		if !t.free[i] {
-			n++
-		}
-	}
-	return n
-}
+func (t *Tree) NumPages() int { return t.load().livePages() }
 
 // Options returns the tree's construction options.
 func (t *Tree) Options() Options { return t.opt }
@@ -133,7 +147,7 @@ func (t *Tree) Options() Options { return t.opt }
 func (t *Tree) FractalDim() float64 { return t.fractalDim }
 
 // Model returns a copy of the tree's cost model.
-func (t *Tree) Model() costmodel.Model { return t.model }
+func (t *Tree) Model() costmodel.Model { return t.load().model }
 
 // qPageBytes returns the byte size of one quantized page.
 func (t *Tree) qPageBytes() int { return t.opt.QPageBlocks * t.sto.Config().BlockSize }
@@ -186,7 +200,6 @@ func Build(sto *store.Store, pts []vec.Point, opt Options) (*Tree, error) {
 		opt: opt,
 		sto: sto,
 		dim: dim,
-		n:   len(pts),
 	}
 	var err error
 	if t.metaFile, err = sto.NewFile(MetaFileName); err != nil {
@@ -201,7 +214,7 @@ func Build(sto *store.Store, pts []vec.Point, opt Options) (*Tree, error) {
 	if t.eFile, err = sto.NewFile(EFileName); err != nil {
 		return nil, err
 	}
-	t.dataSpace = vec.MBROf(pts)
+	sn := &snapshot{n: len(pts), dataSpace: vec.MBROf(pts)}
 
 	df := opt.FractalDim
 	if opt.UniformModel {
@@ -210,13 +223,13 @@ func Build(sto *store.Store, pts []vec.Point, opt Options) (*Tree, error) {
 		df = fractal.Estimate(pts, opt.Metric)
 	}
 	t.fractalDim = df
-	t.model = costmodel.Model{
+	sn.model = costmodel.Model{
 		Disk:          sto.Config(),
 		Metric:        opt.Metric,
 		Dim:           dim,
 		N:             len(pts),
 		FractalDim:    df,
-		DataSpace:     t.dataSpace,
+		DataSpace:     sn.dataSpace,
 		DirEntryBytes: page.DirEntrySize(dim),
 		QPageBlocks:   opt.QPageBlocks,
 		ExactBlocks:   1,
@@ -228,14 +241,15 @@ func Build(sto *store.Store, pts []vec.Point, opt Options) (*Tree, error) {
 		return nil, fmt.Errorf("core: quantized page too small for even one %d-dimensional point", dim)
 	}
 
-	b := newBuilder(t, pts)
+	b := newBuilder(t, sn, pts)
 	b.run()
-	if err := t.writeMeta(); err != nil {
+	if err := t.writeMeta(sn); err != nil {
 		return nil, err
 	}
 	if err := sto.Err(); err != nil {
 		return nil, fmt.Errorf("core: build: %w", err)
 	}
+	t.publish(sn)
 	return t, nil
 }
 
@@ -245,22 +259,8 @@ func (t *Tree) Store() *store.Store { return t.sto }
 // CostEstimate returns the cost model's predicted time per nearest-
 // neighbor query for the current page configuration (Eq. 23).
 func (t *Tree) CostEstimate() float64 {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return t.model.Total(t.pageInfos())
-}
-
-// pageInfos snapshots the live pages for cost-model evaluation.
-// Callers must hold at least the read lock.
-func (t *Tree) pageInfos() []costmodel.PageInfo {
-	infos := make([]costmodel.PageInfo, 0, len(t.entries))
-	for i, e := range t.entries {
-		if t.free[i] {
-			continue
-		}
-		infos = append(infos, costmodel.PageInfo{MBR: e.MBR, Count: int(e.Count), Bits: int(e.Bits)})
-	}
-	return infos
+	sn := t.load()
+	return sn.model.Total(sn.pageInfos())
 }
 
 // Stats summarizes the physical structure of the tree.
@@ -277,25 +277,37 @@ type Stats struct {
 
 // Stats returns structural statistics of the tree.
 func (t *Tree) Stats() Stats {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
+	sn := t.load()
 	st := Stats{
-		Points:         t.n,
+		Points:         sn.n,
 		BitsHistogram:  make(map[int]int),
 		DirectoryBytes: t.dirFile.Bytes(),
 		QuantizedBytes: t.qFile.Bytes(),
 		ExactBytes:     t.eFile.Bytes(),
 		FractalDim:     t.fractalDim,
 	}
-	for i, e := range t.entries {
-		if t.free[i] {
+	for i, e := range sn.entries {
+		if sn.free[i] {
 			continue
 		}
 		st.Pages++
 		st.BitsHistogram[int(e.Bits)]++
 	}
-	st.PredictedCost = t.model.Total(t.pageInfos())
+	st.PredictedCost = sn.model.Total(sn.pageInfos())
 	return st
+}
+
+// IndexStats implements index.Index with the common cross-method shape
+// summary.
+func (t *Tree) IndexStats() index.Stats {
+	sn := t.load()
+	return index.Stats{
+		Method: "IQ-tree",
+		Points: sn.n,
+		Dim:    t.dim,
+		Pages:  sn.livePages(),
+		Bytes:  t.dirFile.Bytes() + t.qFile.Bytes() + t.eFile.Bytes(),
+	}
 }
 
 // PageInfoRow describes one live quantized page for introspection.
@@ -307,14 +319,14 @@ type PageInfoRow struct {
 	MBR    vec.MBR
 }
 
-// DescribePages returns one row per live page, in disk order — the raw
-// material behind Stats' bits histogram, used by cmd/iqtool and tests.
+// DescribePages returns one row per live page, in directory order — the
+// raw material behind Stats' bits histogram, used by cmd/iqtool and
+// tests.
 func (t *Tree) DescribePages() []PageInfoRow {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	rows := make([]PageInfoRow, 0, len(t.entries))
-	for i, e := range t.entries {
-		if t.free[i] {
+	sn := t.load()
+	rows := make([]PageInfoRow, 0, len(sn.entries))
+	for i, e := range sn.entries {
+		if sn.free[i] {
 			continue
 		}
 		rows = append(rows, PageInfoRow{

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"sort"
 
 	"repro/internal/page"
@@ -10,18 +11,28 @@ import (
 	"repro/internal/vec"
 )
 
+// ErrStaleIterator is reported by an NNIterator whose pinned snapshot was
+// invalidated by a Reoptimize: compaction rewrites the data files in
+// place, so the iterator's page positions no longer mean anything.
+var ErrStaleIterator = errors.New("core: iterator invalidated by Reoptimize")
+
 // NNIterator enumerates the neighbors of a query point in increasing
 // distance order, on demand — the incremental ranking of Hjaltason and
 // Samet (the paper's reference [13]), running over the IQ-tree's three
 // levels. Unlike KNN it needs no a-priori k: callers pull neighbors until
 // satisfied (e.g. distance browsing, joins).
 //
-// The iterator holds the tree's read lock between Next calls only while
-// it works; it must not be used concurrently with updates to the tree.
+// The iterator pins the directory snapshot current at creation, so it is
+// safe to interleave Next calls with concurrent inserts and deletes —
+// the iteration keeps enumerating the pinned epoch. Only Reoptimize
+// invalidates it (see ErrStaleIterator). The iterator itself is not safe
+// for concurrent use from multiple goroutines.
 type NNIterator struct {
-	t *Tree
-	s *store.Session
-	q vec.Point
+	t   *Tree
+	sn  *snapshot
+	gen uint64 // reoptGen at creation
+	s   *store.Session
+	q   vec.Point
 
 	minD      []float64
 	processed []bool
@@ -37,10 +48,10 @@ type NNIterator struct {
 	err        error // first read failure; ends the iteration
 }
 
-// NewNNIterator starts an incremental nearest-neighbor ranking for q.
-// All simulated I/O and CPU is charged to s.
+// NewNNIterator starts an incremental nearest-neighbor ranking for q over
+// the tree's current snapshot. All simulated I/O and CPU is charged to s.
 func (t *Tree) NewNNIterator(s *store.Session, q vec.Point) *NNIterator {
-	return &NNIterator{t: t, s: s, q: q}
+	return &NNIterator{t: t, sn: t.load(), gen: t.reoptGen.Load(), s: s, q: q}
 }
 
 // Err returns the first read failure encountered by the iterator, or nil.
@@ -51,9 +62,13 @@ func (it *NNIterator) Err() error { return it.err }
 // Next returns the next neighbor in increasing distance order, or
 // ok=false when the database is exhausted or a read failed (see Err).
 func (it *NNIterator) Next() (Neighbor, bool) {
-	it.t.mu.RLock()
-	defer it.t.mu.RUnlock()
+	it.t.world.RLock()
+	defer it.t.world.RUnlock()
 	if it.err != nil {
+		return Neighbor{}, false
+	}
+	if it.t.reoptGen.Load() != it.gen {
+		it.err = ErrStaleIterator
 		return Neighbor{}, false
 	}
 	if !it.started {
@@ -84,18 +99,19 @@ func (it *NNIterator) Next() (Neighbor, bool) {
 func (it *NNIterator) start() {
 	it.started = true
 	t := it.t
+	sn := it.sn
 	met := t.opt.Metric
-	if t.dirFile.Blocks() > 0 {
-		if _, err := it.s.Read(t.dirFile, 0, t.dirFile.Blocks()); err != nil {
+	if sn.dirBlocks > 0 {
+		if _, err := it.s.Read(t.dirFile, 0, sn.dirBlocks); err != nil {
 			it.err = err
 			return
 		}
 	}
-	it.s.ChargeApproxCPU(t.dirFile, t.dim, len(t.entries))
-	it.minD = make([]float64, len(t.entries))
-	it.processed = make([]bool, len(t.entries))
-	for i, e := range t.entries {
-		if t.free[i] {
+	it.s.ChargeApproxCPU(t.dirFile, t.dim, len(sn.entries))
+	it.minD = make([]float64, len(sn.entries))
+	it.processed = make([]bool, len(sn.entries))
+	for i, e := range sn.entries {
+		if sn.free[i] {
 			it.processed[i] = true
 			continue
 		}
@@ -112,15 +128,17 @@ func (it *NNIterator) start() {
 // emitted.
 func (it *NNIterator) processPage(entry int) {
 	t := it.t
-	first, last := entry, entry
+	sn := it.sn
+	pivot := int(sn.entries[entry].QPos)
+	first, last := pivot, pivot
 	if t.opt.OptimizedIO {
 		sched := &pagesched.Scheduler{
 			Cfg:        t.sto.Config(),
 			PageBlocks: t.opt.QPageBlocks,
-			NumPages:   t.qFile.Blocks() / t.opt.QPageBlocks,
+			NumPages:   len(sn.entryAt),
 			Prob:       it.accessProb,
 		}
-		first, last = sched.Batch(int(t.entries[entry].QPos))
+		first, last = sched.Batch(pivot)
 	}
 	buf, err := it.s.Read(t.qFile, first*t.opt.QPageBlocks, (last-first+1)*t.opt.QPageBlocks)
 	if err != nil {
@@ -130,10 +148,11 @@ func (it *NNIterator) processPage(entry int) {
 	pageBytes := t.qPageBytes()
 	met := t.opt.Metric
 	for pos := first; pos <= last; pos++ {
-		if pos >= len(t.entries) || it.processed[pos] || t.free[pos] {
+		e := sn.entryIndex(pos)
+		if e < 0 || it.processed[e] || sn.free[e] {
 			continue
 		}
-		it.processed[pos] = true
+		it.processed[e] = true
 		qp := page.UnmarshalQPage(buf[(pos-first)*pageBytes : (pos-first+1)*pageBytes])
 		if qp.Bits == quantize.ExactBits {
 			pts, ids := qp.ExactPoints(t.dim)
@@ -143,44 +162,45 @@ func (it *NNIterator) processPage(entry int) {
 			}
 			continue
 		}
-		grid := t.grids[pos]
+		grid := sn.grids[e]
 		cells := qp.Cells(grid)
 		it.s.ChargeApproxCPU(t.qFile, t.dim, qp.Count)
 		for i := 0; i < qp.Count; i++ {
 			lb := grid.MinDist(it.q, cells[i*t.dim:(i+1)*t.dim], met)
-			it.pushItem(pqItem{dist: lb, entry: int32(pos), pt: int32(i)})
+			it.pushItem(pqItem{dist: lb, entry: int32(e), pt: int32(i)})
 		}
 	}
 }
 
 func (it *NNIterator) accessProb(pos int) float64 {
-	t := it.t
-	if pos >= len(t.entries) || it.processed[pos] || t.free[pos] {
+	sn := it.sn
+	entry := sn.entryIndex(pos)
+	if entry < 0 || it.processed[entry] || sn.free[entry] {
 		return 0
 	}
-	r := it.minD[pos]
+	r := it.minD[entry]
 	it.regionBuf = it.regionBuf[:0]
 	for _, e := range it.sorted {
 		if it.minD[e] >= r {
 			break
 		}
-		if it.processed[e] || int(e) == pos {
+		if it.processed[e] || int(e) == entry {
 			continue
 		}
 		it.regionBuf = append(it.regionBuf, pagesched.Region{
-			MBR:     t.entries[e].MBR,
-			Count:   int(t.entries[e].Count),
+			MBR:     sn.entries[e].MBR,
+			Count:   int(sn.entries[e].Count),
 			MinDist: it.minD[e],
 		})
 	}
-	return pagesched.AccessProbability(it.q, t.opt.Metric, r, it.regionBuf)
+	return pagesched.AccessProbability(it.q, it.t.opt.Metric, r, it.regionBuf)
 }
 
 func (it *NNIterator) refine(item pqItem) {
 	t := it.t
 	ep, ok := it.exactCache[item.entry]
 	if !ok {
-		e := t.entries[item.entry]
+		e := it.sn.entries[item.entry]
 		entrySize := page.ExactEntrySize(t.dim)
 		raw, rel, err := it.s.ReadRange(t.eFile, int(e.EPos)*t.sto.Config().BlockSize, int(e.Count)*entrySize)
 		if err != nil {

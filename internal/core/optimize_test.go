@@ -56,7 +56,7 @@ func TestOptimizerMatchesExhaustiveSearch(t *testing.T) {
 		greedyCost := tr.CostEstimate()
 
 		// Rebuild the split tree exactly as the builder saw it.
-		b := newBuilder(tr, pts)
+		b := newBuilder(tr, tr.load(), pts)
 		ranges := b.initialRanges()
 		roots := make([]*bnode, len(ranges))
 		for i, rg := range ranges {
@@ -81,6 +81,7 @@ func TestOptimizerMatchesExhaustiveSearch(t *testing.T) {
 				t.Fatalf("enumeration blew up (%d)", len(frontiers))
 			}
 		}
+		model := tr.Model()
 		best := greedyCost
 		bestIsExhaustive := false
 		for _, f := range frontiers {
@@ -88,7 +89,7 @@ func TestOptimizerMatchesExhaustiveSearch(t *testing.T) {
 			for i, n := range f {
 				infos[i] = costmodel.PageInfo{MBR: n.mbr, Count: n.count(), Bits: n.bits}
 			}
-			if c := tr.model.Total(infos); c < best-1e-12 {
+			if c := model.Total(infos); c < best-1e-12 {
 				best = c
 				bestIsExhaustive = true
 			}

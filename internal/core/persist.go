@@ -29,25 +29,26 @@ const metaMagic = 0x49515452 // "IQTR"
 
 const metaVersion = 1
 
-// writeMeta serializes the superblock. Layout (little-endian):
+// writeMeta serializes the superblock for the given epoch. Layout
+// (little-endian):
 //
 //	magic u32 | version u32 | dim u32 | entries u32 | live points u64 |
 //	metric u8 | quantize u8 | optimizedIO u8 | pad | qpageBlocks u32 |
 //	fractalDim f64 | refineFactor f64
-func (t *Tree) writeMeta() error {
+func (t *Tree) writeMeta(sn *snapshot) error {
 	buf := make([]byte, 48)
 	le := binary.LittleEndian
 	le.PutUint32(buf[0:], metaMagic)
 	le.PutUint32(buf[4:], metaVersion)
 	le.PutUint32(buf[8:], uint32(t.dim))
-	le.PutUint32(buf[12:], uint32(len(t.entries)))
-	le.PutUint64(buf[16:], uint64(t.n))
+	le.PutUint32(buf[12:], uint32(len(sn.entries)))
+	le.PutUint64(buf[16:], uint64(sn.n))
 	buf[24] = uint8(t.opt.Metric)
 	buf[25] = b2u(t.opt.Quantize)
 	buf[26] = b2u(t.opt.OptimizedIO)
 	le.PutUint32(buf[28:], uint32(t.opt.QPageBlocks))
 	le.PutUint64(buf[32:], math.Float64bits(t.fractalDim))
-	le.PutUint64(buf[40:], math.Float64bits(t.model.RefineFactor))
+	le.PutUint64(buf[40:], math.Float64bits(sn.model.RefineFactor))
 	return t.metaFile.SetContents(buf)
 }
 
@@ -91,7 +92,6 @@ func Open(sto *store.Store) (*Tree, error) {
 		qFile:    qf,
 		eFile:    ef,
 		dim:      int(le.Uint32(buf[8:])),
-		n:        int(le.Uint64(buf[16:])),
 	}
 	nEntries := int(le.Uint32(buf[12:]))
 	t.opt = Options{
@@ -101,6 +101,10 @@ func Open(sto *store.Store) (*Tree, error) {
 		QPageBlocks: int(le.Uint32(buf[28:])),
 	}
 	t.fractalDim = math.Float64frombits(le.Uint64(buf[32:]))
+	sn := &snapshot{
+		n:         int(le.Uint64(buf[16:])),
+		dirBlocks: dir.Blocks(),
+	}
 
 	// Rebuild the in-memory directory from level 1.
 	entrySize := page.DirEntrySize(t.dim)
@@ -113,32 +117,43 @@ func Open(sto *store.Store) (*Tree, error) {
 			return nil, err
 		}
 	}
-	t.dataSpace = vec.NewMBR(t.dim)
+	sn.dataSpace = vec.NewMBR(t.dim)
+	// The quantized file may extend past the last live page (stale
+	// versions from out-of-place updates); size the position index by the
+	// file so batch scans can classify every position.
+	if qpages := qf.Blocks() / t.opt.QPageBlocks; qpages > 0 {
+		sn.entryAt = make([]int32, qpages)
+		for i := range sn.entryAt {
+			sn.entryAt[i] = -1
+		}
+	}
 	for i := 0; i < nEntries; i++ {
 		e := page.UnmarshalDirEntry(raw[i*entrySize:], t.dim)
-		t.entries = append(t.entries, e)
+		sn.entries = append(sn.entries, e)
 		bits := int(e.Bits)
 		if bits < 1 || bits > quantize.ExactBits {
 			bits = 1 // freed placeholder entries may carry stale levels
 		}
-		t.grids = append(t.grids, quantize.NewGrid(e.MBR, bits))
+		sn.grids = append(sn.grids, quantize.NewGrid(e.MBR, bits))
 		free := e.Count == 0
-		t.free = append(t.free, free)
+		sn.free = append(sn.free, free)
 		if !free {
-			t.dataSpace.ExtendMBR(e.MBR)
+			sn.dataSpace.ExtendMBR(e.MBR)
+			sn.setOwner(int(e.QPos), i)
 		}
 	}
-	t.model = costmodel.Model{
+	sn.model = costmodel.Model{
 		Disk:          sto.Config(),
 		Metric:        t.opt.Metric,
 		Dim:           t.dim,
-		N:             t.n,
+		N:             sn.n,
 		FractalDim:    t.fractalDim,
-		DataSpace:     t.dataSpace,
+		DataSpace:     sn.dataSpace,
 		DirEntryBytes: entrySize,
 		QPageBlocks:   t.opt.QPageBlocks,
 		ExactBlocks:   1,
 		RefineFactor:  math.Float64frombits(le.Uint64(buf[40:])),
 	}
+	t.publish(sn)
 	return t, nil
 }

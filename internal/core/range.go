@@ -16,19 +16,22 @@ import (
 // tree's metric), ordered by increasing distance. Because the affected
 // pages are known in advance from the directory, the second level is
 // fetched with the optimal known-set schedule of paper Section 2 (Fig. 1).
+// When the session's observer is a *Trace, plan events are recorded into
+// it (see KNN).
 func (t *Tree) RangeSearch(s *store.Session, q vec.Point, eps float64) ([]Neighbor, error) {
-	return t.RangeSearchTrace(s, q, eps, nil)
+	return t.RangeSearchTrace(s, q, eps, obs.TraceFrom(s.Observer()))
 }
 
 // RangeSearchTrace is RangeSearch with an optional physical-work trace
 // (see KNNTrace for the attachment semantics).
 func (t *Tree) RangeSearchTrace(s *store.Session, q vec.Point, eps float64, tr *Trace) ([]Neighbor, error) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
+	t.world.RLock()
+	defer t.world.RUnlock()
+	sn := t.load()
 	detach := attachTrace(s, tr, t.sto.Config(), fmt.Sprintf("range eps=%g", eps))
 	defer detach()
 	met := t.opt.Metric
-	res, err := t.scanCandidates(s, tr,
+	res, err := t.scanCandidates(s, sn, tr,
 		func(mbr vec.MBR) bool { return mbr.MinDist(q, met) <= eps },
 		func(g quantize.Grid, cells []uint32) candState {
 			if g.MinDist(q, cells, met) > eps {
@@ -51,17 +54,18 @@ func (t *Tree) RangeSearchTrace(s *store.Session, q vec.Point, eps float64, tr *
 // WindowQuery returns all points inside the query window w. Dist fields of
 // the results are 0.
 func (t *Tree) WindowQuery(s *store.Session, w vec.MBR) ([]Neighbor, error) {
-	return t.WindowQueryTrace(s, w, nil)
+	return t.WindowQueryTrace(s, w, obs.TraceFrom(s.Observer()))
 }
 
 // WindowQueryTrace is WindowQuery with an optional physical-work trace
 // (see KNNTrace for the attachment semantics).
 func (t *Tree) WindowQueryTrace(s *store.Session, w vec.MBR, tr *Trace) ([]Neighbor, error) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
+	t.world.RLock()
+	defer t.world.RUnlock()
+	sn := t.load()
 	detach := attachTrace(s, tr, t.sto.Config(), "window")
 	defer detach()
-	return t.scanCandidates(s, tr,
+	return t.scanCandidates(s, sn, tr,
 		func(mbr vec.MBR) bool { return mbr.Intersects(w) },
 		func(g quantize.Grid, cells []uint32) candState {
 			box := g.CellBox(cells)
@@ -82,31 +86,34 @@ const (
 	candCheck                  // needs the exact point (for the id, and possibly the decision)
 )
 
-// scanCandidates drives both range-style queries: select pages via
-// pageHit, classify approximations via approxHit, and refine candidates
-// via exactHit (which returns the result distance and whether the exact
-// point qualifies). Every qualifying point must be refined regardless of
-// certainty, because point ids live in the exact pages.
-func (t *Tree) scanCandidates(s *store.Session, tr *Trace,
+// scanCandidates drives both range-style queries against the pinned
+// snapshot sn: select pages via pageHit, classify approximations via
+// approxHit, and refine candidates via exactHit (which returns the result
+// distance and whether the exact point qualifies). Every qualifying point
+// must be refined regardless of certainty, because point ids live in the
+// exact pages.
+func (t *Tree) scanCandidates(s *store.Session, sn *snapshot, tr *Trace,
 	pageHit func(vec.MBR) bool,
 	approxHit func(quantize.Grid, []uint32) candState,
 	exactHit func(vec.Point) (float64, bool),
 ) ([]Neighbor, error) {
 	// Level 1: directory scan.
-	if t.dirFile.Blocks() > 0 {
-		if _, err := s.Read(t.dirFile, 0, t.dirFile.Blocks()); err != nil {
+	if sn.dirBlocks > 0 {
+		if _, err := s.Read(t.dirFile, 0, sn.dirBlocks); err != nil {
 			return nil, err
 		}
 	}
-	s.ChargeApproxCPU(t.dirFile, t.dim, len(t.entries))
+	s.ChargeApproxCPU(t.dirFile, t.dim, len(sn.entries))
 
 	var positions []int
-	for i, e := range t.entries {
-		if t.free[i] {
+	posEntry := make(map[int]int)
+	for i, e := range sn.entries {
+		if sn.free[i] {
 			continue
 		}
 		if pageHit(e.MBR) {
 			positions = append(positions, int(e.QPos))
+			posEntry[int(e.QPos)] = i
 		}
 	}
 	if len(positions) == 0 {
@@ -116,10 +123,6 @@ func (t *Tree) scanCandidates(s *store.Session, tr *Trace,
 
 	// Level 2: optimal known-set fetch (Fig. 1), optionally buffer-capped.
 	runs := pagesched.PlanKnownSet(positions, t.opt.QPageBlocks, t.sto.Config(), t.opt.MaxBufferBlocks)
-	hit := make(map[int]bool, len(positions))
-	for _, p := range positions {
-		hit[p] = true
-	}
 	pageBytes := t.qPageBytes()
 	var out []Neighbor
 	for _, run := range runs {
@@ -133,12 +136,13 @@ func (t *Tree) scanCandidates(s *store.Session, tr *Trace,
 		pending := 0
 		for j := 0; j < nPages; j++ {
 			pos := firstPage + j
-			if !hit[pos] {
+			entry, wanted := posEntry[pos]
+			if !wanted {
 				tr.AddPruned(1) // gap page over-read because it was cheaper than a seek
 				continue
 			}
 			pending++
-			res, err := t.rangePage(s, tr, pos, buf[j*pageBytes:(j+1)*pageBytes], approxHit, exactHit)
+			res, err := t.rangePage(s, sn, tr, entry, buf[j*pageBytes:(j+1)*pageBytes], approxHit, exactHit)
 			if err != nil {
 				return nil, err
 			}
@@ -155,7 +159,7 @@ func (t *Tree) scanCandidates(s *store.Session, tr *Trace,
 }
 
 // rangePage processes one candidate page of a range-style query.
-func (t *Tree) rangePage(s *store.Session, tr *Trace, entry int, buf []byte,
+func (t *Tree) rangePage(s *store.Session, sn *snapshot, tr *Trace, entry int, buf []byte,
 	approxHit func(quantize.Grid, []uint32) candState,
 	exactHit func(vec.Point) (float64, bool),
 ) ([]Neighbor, error) {
@@ -171,7 +175,7 @@ func (t *Tree) rangePage(s *store.Session, tr *Trace, entry int, buf []byte,
 		}
 		return out, nil
 	}
-	grid := t.grids[entry]
+	grid := sn.grids[entry]
 	cells := qp.Cells(grid)
 	s.ChargeApproxCPU(t.qFile, t.dim, qp.Count)
 	var need []int
@@ -186,7 +190,7 @@ func (t *Tree) rangePage(s *store.Session, tr *Trace, entry int, buf []byte,
 	}
 	// Level 3: candidates of one page are contiguous in the exact file;
 	// read the covering range in a single operation.
-	e := t.entries[entry]
+	e := sn.entries[entry]
 	entrySize := page.ExactEntrySize(t.dim)
 	base := int(e.EPos) * t.sto.Config().BlockSize
 	lo := base + need[0]*entrySize

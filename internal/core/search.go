@@ -37,9 +37,11 @@ func (t *Tree) NearestNeighbor(s *store.Session, q vec.Point) (nb Neighbor, ok b
 
 // KNN returns the k nearest neighbors of q ordered by increasing
 // distance. On a read failure it returns the session's (sticky) error;
-// the partial result must not be trusted.
+// the partial result must not be trusted. When the session's observer is
+// a *Trace, the query records its plan events into it (so a serving
+// layer attaching traces per query needs no method-specific entry point).
 func (t *Tree) KNN(s *store.Session, q vec.Point, k int) ([]Neighbor, error) {
-	return t.KNNTrace(s, q, k, nil)
+	return t.KNNTrace(s, q, k, obs.TraceFrom(s.Observer()))
 }
 
 // KNNTrace is KNN with an optional physical-work trace: a non-nil tr is
@@ -47,14 +49,15 @@ func (t *Tree) KNN(s *store.Session, q vec.Point, k int) ([]Neighbor, error) {
 // (displacing, then restoring, any previously attached observer), so it
 // records the per-level cost decomposition alongside the plan events.
 func (t *Tree) KNNTrace(s *store.Session, q vec.Point, k int, tr *Trace) ([]Neighbor, error) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
+	t.world.RLock()
+	defer t.world.RUnlock()
+	sn := t.load()
 	detach := attachTrace(s, tr, t.sto.Config(), fmt.Sprintf("knn k=%d", k))
 	defer detach()
-	if k <= 0 || t.n == 0 {
+	if k <= 0 || sn.n == 0 {
 		return nil, s.Err()
 	}
-	st := &nnSearch{t: t, s: s, q: q, k: k, tr: tr}
+	st := &nnSearch{t: t, sn: sn, s: s, q: q, k: k, tr: tr}
 	st.run()
 	if st.err != nil {
 		return nil, st.err
@@ -86,6 +89,7 @@ type pqItem struct {
 
 type nnSearch struct {
 	t   *Tree
+	sn  *snapshot // pinned directory epoch; all state below indexes it
 	s   *store.Session
 	q   vec.Point
 	k   int
@@ -137,21 +141,23 @@ func (st *nnSearch) prune() float64 { return math.Min(st.nnDist(), st.bound()) }
 
 func (st *nnSearch) run() {
 	t := st.t
+	sn := st.sn
 	met := t.opt.Metric
 
-	// Level 1: sequential scan of the flat directory.
-	if t.dirFile.Blocks() > 0 {
-		if _, err := st.s.Read(t.dirFile, 0, t.dirFile.Blocks()); err != nil {
+	// Level 1: sequential scan of the flat directory (the extent the
+	// pinned epoch was published with — the file may have grown since).
+	if sn.dirBlocks > 0 {
+		if _, err := st.s.Read(t.dirFile, 0, sn.dirBlocks); err != nil {
 			st.err = err
 			return
 		}
 	}
-	st.s.ChargeApproxCPU(t.dirFile, t.dim, len(t.entries))
+	st.s.ChargeApproxCPU(t.dirFile, t.dim, len(sn.entries))
 
-	st.minD = make([]float64, len(t.entries))
-	st.processed = make([]bool, len(t.entries))
-	for i, e := range t.entries {
-		if t.free[i] {
+	st.minD = make([]float64, len(sn.entries))
+	st.processed = make([]bool, len(sn.entries))
+	for i, e := range sn.entries {
+		if sn.free[i] {
 			st.processed[i] = true
 			continue
 		}
@@ -188,7 +194,7 @@ func (st *nnSearch) run() {
 // (the "standard NN-search" of Fig. 7).
 func (st *nnSearch) processSingle(entry int) {
 	t := st.t
-	pos := int(t.entries[entry].QPos)
+	pos := int(st.sn.entries[entry].QPos)
 	buf, err := st.s.Read(t.qFile, pos*t.opt.QPageBlocks, t.opt.QPageBlocks)
 	if err != nil {
 		st.err = err
@@ -204,11 +210,12 @@ func (st *nnSearch) processSingle(entry int) {
 // balance is favorable, then processes every still-pending page in it.
 func (st *nnSearch) processBatch(entry int) {
 	t := st.t
-	pivot := int(t.entries[entry].QPos)
+	sn := st.sn
+	pivot := int(sn.entries[entry].QPos)
 	sched := &pagesched.Scheduler{
 		Cfg:        t.sto.Config(),
 		PageBlocks: t.opt.QPageBlocks,
-		NumPages:   t.qFile.Blocks() / t.opt.QPageBlocks,
+		NumPages:   len(sn.entryAt),
 		Prob:       st.accessProb,
 		Trace:      st.tr,
 	}
@@ -222,8 +229,8 @@ func (st *nnSearch) processBatch(entry int) {
 	pageBytes := t.qPageBytes()
 	pending := 0
 	for pos := first; pos <= last; pos++ {
-		e := pos // entry index == quantized page position (build invariant)
-		if e >= len(t.entries) || st.processed[e] || t.free[e] {
+		e := sn.entryIndex(pos)
+		if e < 0 || st.processed[e] || sn.free[e] {
 			st.tr.AddPruned(1)
 			continue
 		}
@@ -237,11 +244,12 @@ func (st *nnSearch) processBatch(entry int) {
 // position pos must be loaded (Sec. 2.2): the probability that no
 // higher-priority page contains a point inside the page's b-sphere.
 func (st *nnSearch) accessProb(pos int) float64 {
-	t := st.t
-	if pos >= len(t.entries) || st.processed[pos] || t.free[pos] {
+	sn := st.sn
+	entry := sn.entryIndex(pos)
+	if entry < 0 || st.processed[entry] || sn.free[entry] {
 		return 0
 	}
-	r := st.minD[pos]
+	r := st.minD[entry]
 	if r >= st.prune() {
 		return 0 // page is already pruned
 	}
@@ -250,16 +258,16 @@ func (st *nnSearch) accessProb(pos int) float64 {
 		if st.minD[e] >= r {
 			break
 		}
-		if st.processed[e] || int(e) == pos {
+		if st.processed[e] || int(e) == entry {
 			continue
 		}
 		st.regionBuf = append(st.regionBuf, pagesched.Region{
-			MBR:     t.entries[e].MBR,
-			Count:   int(t.entries[e].Count),
+			MBR:     sn.entries[e].MBR,
+			Count:   int(sn.entries[e].Count),
 			MinDist: st.minD[e],
 		})
 	}
-	return pagesched.AccessProbability(st.q, t.opt.Metric, r, st.regionBuf)
+	return pagesched.AccessProbability(st.q, st.t.opt.Metric, r, st.regionBuf)
 }
 
 // processPage decodes one quantized page: exact (32-bit) pages yield final
@@ -284,7 +292,7 @@ func (st *nnSearch) processPage(entry int, buf []byte) {
 		}
 		return
 	}
-	grid := t.grids[entry]
+	grid := st.sn.grids[entry]
 	cells := qp.Cells(grid)
 	st.s.ChargeApproxCPU(t.qFile, t.dim, qp.Count)
 	cand := 0
@@ -309,7 +317,7 @@ func (st *nnSearch) refine(it pqItem) {
 	t := st.t
 	ep, ok := st.exactCache[it.entry]
 	if !ok {
-		e := t.entries[it.entry]
+		e := st.sn.entries[it.entry]
 		entrySize := page.ExactEntrySize(t.dim)
 		raw, rel, err := st.s.ReadRange(t.eFile, int(e.EPos)*t.sto.Config().BlockSize, int(e.Count)*entrySize)
 		if err != nil {

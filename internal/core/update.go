@@ -11,6 +11,14 @@ import (
 	"repro/internal/vec"
 )
 
+// Updates are copy-on-write: a writer clones the current snapshot,
+// mutates the clone, appends new page versions to the data files (old
+// positions are never overwritten, so concurrently pinned snapshots keep
+// reading consistent bytes), and publishes the clone as the next epoch
+// only when everything succeeded. A failed update publishes nothing; the
+// blocks it appended become unreferenced garbage, reclaimed by the next
+// Reoptimize like any other stale page version.
+
 // Insert adds one point to the tree (paper Section 6 / end of 3.6): the
 // point goes to the page needing least MBR enlargement; on page overflow
 // the cost model decides between splitting the page and re-quantizing it
@@ -20,35 +28,42 @@ func (t *Tree) Insert(s *store.Session, p vec.Point, id uint32) error {
 	if len(p) != t.dim {
 		return fmt.Errorf("core: insert dimension %d, want %d", len(p), t.dim)
 	}
+	t.world.RLock()
+	defer t.world.RUnlock()
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	sn := t.load().clone()
 
-	target := t.chooseEntry(p)
+	target := sn.chooseEntry(p)
 	if target < 0 {
 		// Every page is free (the tree was emptied by deletes): revive a
 		// slot instead of failing the insert.
-		target = t.reviveFreeEntry()
+		target = sn.reviveFreeEntry()
 	}
 	if target < 0 {
 		return fmt.Errorf("core: no page available for insert")
 	}
-	pts, ids, err := t.readPagePoints(s, target)
+	pts, ids, err := t.readPagePoints(s, sn, target)
 	if err != nil {
 		return err
 	}
 	pts = append(pts, p.Clone())
 	ids = append(ids, id)
 
-	t.n++
-	t.model.N = t.n
-	t.dataSpace.Extend(p)
-	t.model.DataSpace = t.dataSpace
+	sn.n++
+	sn.model.N = sn.n
+	sn.dataSpace.Extend(p)
+	sn.model.DataSpace = sn.dataSpace
 
-	t.storeGroup(s, target, pts, ids, int(t.entries[target].Bits))
-	if err := t.rewriteDirectory(); err != nil {
+	t.storeGroup(s, sn, target, pts, ids, int(sn.entries[target].Bits))
+	if err := t.rewriteDirectory(sn); err != nil {
 		return err
 	}
-	return t.sto.Err()
+	if err := t.sto.Err(); err != nil {
+		return err
+	}
+	t.publish(sn)
+	return nil
 }
 
 // InsertBatch adds many points at once, grouping them by target page so
@@ -63,24 +78,27 @@ func (t *Tree) InsertBatch(s *store.Session, pts []vec.Point, ids []uint32) erro
 			return fmt.Errorf("core: point %d has dimension %d, want %d", i, len(p), t.dim)
 		}
 	}
+	t.world.RLock()
+	defer t.world.RUnlock()
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	sn := t.load().clone()
 
 	groups := make(map[int][]int)
 	for i, p := range pts {
-		target := t.chooseEntry(p)
+		target := sn.chooseEntry(p)
 		if target < 0 {
-			target = t.reviveFreeEntry()
+			target = sn.reviveFreeEntry()
 		}
 		if target < 0 {
 			return fmt.Errorf("core: no page available for insert")
 		}
 		groups[target] = append(groups[target], i)
-		t.dataSpace.Extend(p)
+		sn.dataSpace.Extend(p)
 	}
-	t.n += len(pts)
-	t.model.N = t.n
-	t.model.DataSpace = t.dataSpace
+	sn.n += len(pts)
+	sn.model.N = sn.n
+	sn.model.DataSpace = sn.dataSpace
 
 	// Deterministic processing order (map iteration is randomized, and the
 	// order determines the disk layout of appended pages).
@@ -91,8 +109,8 @@ func (t *Tree) InsertBatch(s *store.Session, pts []vec.Point, ids []uint32) erro
 	sort.Ints(targets)
 	for _, target := range targets {
 		members := groups[target]
-		oldBits := int(t.entries[target].Bits)
-		pagePts, pageIDs, err := t.readPagePoints(s, target)
+		oldBits := int(sn.entries[target].Bits)
+		pagePts, pageIDs, err := t.readPagePoints(s, sn, target)
 		if err != nil {
 			return err
 		}
@@ -100,57 +118,51 @@ func (t *Tree) InsertBatch(s *store.Session, pts []vec.Point, ids []uint32) erro
 			pagePts = append(pagePts, pts[i].Clone())
 			pageIDs = append(pageIDs, ids[i])
 		}
-		t.storeGroup(s, target, pagePts, pageIDs, oldBits)
+		t.storeGroup(s, sn, target, pagePts, pageIDs, oldBits)
 	}
-	if err := t.rewriteDirectory(); err != nil {
+	if err := t.rewriteDirectory(sn); err != nil {
 		return err
 	}
-	return t.sto.Err()
+	if err := t.sto.Err(); err != nil {
+		return err
+	}
+	t.publish(sn)
+	return nil
 }
 
 // storeGroup writes a grown point group back to the page at `entry`: keep
 // the page (possibly at a coarser level) or split it — recursively if the
 // batch overflowed more than one level — with the cost model arbitrating
 // between coarsening and splitting (Section 6).
-func (t *Tree) storeGroup(s *store.Session, entry int, pts []vec.Point, ids []uint32, oldBits int) {
+func (t *Tree) storeGroup(s *store.Session, sn *snapshot, entry int, pts []vec.Point, ids []uint32, oldBits int) {
 	newBits := t.fitBits(len(pts))
 	if newBits > 0 {
-		if newBits < oldBits && len(pts) >= 2 && t.splitIsCheaper(entry, pts, newBits) {
-			t.splitGroup(s, entry, pts, ids)
+		if newBits < oldBits && len(pts) >= 2 && t.splitIsCheaper(sn, entry, pts, newBits) {
+			t.splitGroup(s, sn, entry, pts, ids)
 		} else {
-			t.rewritePage(s, entry, pts, ids, newBits)
+			t.rewritePage(s, sn, entry, pts, ids, newBits)
 		}
 		return
 	}
-	t.splitGroup(s, entry, pts, ids)
+	t.splitGroup(s, sn, entry, pts, ids)
 }
 
 // splitGroup median-splits a point group: the left half replaces the page
-// at `entry`, the right half goes to a freshly appended page; halves that
-// still do not fit any level split further.
-func (t *Tree) splitGroup(s *store.Session, entry int, pts []vec.Point, ids []uint32) {
+// at `entry`, the right half goes to a freshly appended entry; halves
+// that still do not fit any level split further.
+func (t *Tree) splitGroup(s *store.Session, sn *snapshot, entry int, pts []vec.Point, ids []uint32) {
 	left, right := splitPoints(pts, ids)
 	if bits := t.fitBits(len(left.pts)); bits > 0 {
-		t.rewritePage(s, entry, left.pts, left.ids, bits)
+		t.rewritePage(s, sn, entry, left.pts, left.ids, bits)
 	} else {
-		t.splitGroup(s, entry, left.pts, left.ids)
+		t.splitGroup(s, sn, entry, left.pts, left.ids)
 	}
-	sibling := t.appendEmptyPage()
+	sibling := sn.appendEntry()
 	if bits := t.fitBits(len(right.pts)); bits > 0 {
-		t.rewritePage(s, sibling, right.pts, right.ids, bits)
+		t.rewritePage(s, sn, sibling, right.pts, right.ids, bits)
 	} else {
-		t.splitGroup(s, sibling, right.pts, right.ids)
+		t.splitGroup(s, sn, sibling, right.pts, right.ids)
 	}
-}
-
-// appendEmptyPage reserves a new quantized page slot and directory entry,
-// preserving the entry-index == page-position invariant.
-func (t *Tree) appendEmptyPage() int {
-	t.entries = append(t.entries, page.DirEntry{QPos: uint32(len(t.entries))})
-	t.grids = append(t.grids, quantize.Grid{})
-	t.free = append(t.free, false)
-	t.qFile.Append(make([]byte, t.qPageBytes()))
-	return len(t.entries) - 1
 }
 
 // Delete removes the point with the given coordinates and id. It returns
@@ -159,13 +171,16 @@ func (t *Tree) Delete(s *store.Session, p vec.Point, id uint32) (found bool, err
 	if len(p) != t.dim {
 		return false, nil
 	}
+	t.world.RLock()
+	defer t.world.RUnlock()
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	for i, e := range t.entries {
-		if t.free[i] || !e.MBR.Contains(p) {
+	sn := t.load().clone()
+	for i, e := range sn.entries {
+		if sn.free[i] || !e.MBR.Contains(p) {
 			continue
 		}
-		pts, ids, err := t.readPagePoints(s, i)
+		pts, ids, err := t.readPagePoints(s, sn, i)
 		if err != nil {
 			return false, err
 		}
@@ -173,21 +188,26 @@ func (t *Tree) Delete(s *store.Session, p vec.Point, id uint32) (found bool, err
 			if ids[j] == id && pts[j].Equal(p) {
 				pts = append(pts[:j], pts[j+1:]...)
 				ids = append(ids[:j], ids[j+1:]...)
-				t.n--
-				t.model.N = t.n
+				sn.n--
+				sn.model.N = sn.n
 				if len(pts) == 0 {
-					t.free[i] = true
-					t.entries[i].Count = 0
+					sn.free[i] = true
+					sn.entries[i].Count = 0
+					sn.clearOwner(int(sn.entries[i].QPos), i)
 				} else {
-					t.rewritePage(s, i, pts, ids, t.fitBits(len(pts)))
-					if err := t.tryMerge(s, i); err != nil {
+					t.rewritePage(s, sn, i, pts, ids, t.fitBits(len(pts)))
+					if err := t.tryMerge(s, sn, i); err != nil {
 						return false, err
 					}
 				}
-				if err := t.rewriteDirectory(); err != nil {
+				if err := t.rewriteDirectory(sn); err != nil {
 					return false, err
 				}
-				return true, t.sto.Err()
+				if err := t.sto.Err(); err != nil {
+					return false, err
+				}
+				t.publish(sn)
+				return true, nil
 			}
 		}
 	}
@@ -200,21 +220,21 @@ func (t *Tree) Delete(s *store.Session, p vec.Point, id uint32) (found bool, err
 // is predicted cheaper by the cost model than keeping the two pages (one
 // fewer directory entry and second-level page). The partner with the
 // smallest union volume is considered.
-func (t *Tree) tryMerge(s *store.Session, entry int) error {
-	e := t.entries[entry]
+func (t *Tree) tryMerge(s *store.Session, sn *snapshot, entry int) error {
+	e := sn.entries[entry]
 	if int(e.Count) > t.pageCapacity(quantize.ExactBits)/2 {
 		return nil // not small enough to bother
 	}
 	best, bestVol := -1, math.Inf(1)
-	for j := range t.entries {
-		if j == entry || t.free[j] {
+	for j := range sn.entries {
+		if j == entry || sn.free[j] {
 			continue
 		}
-		if t.fitBits(int(e.Count)+int(t.entries[j].Count)) == 0 {
+		if t.fitBits(int(e.Count)+int(sn.entries[j].Count)) == 0 {
 			continue // combined page would not fit any level
 		}
 		u := e.MBR.Clone()
-		u.ExtendMBR(t.entries[j].MBR)
+		u.ExtendMBR(sn.entries[j].MBR)
 		if v := u.Volume(); v < bestVol {
 			bestVol = v
 			best = j
@@ -223,44 +243,45 @@ func (t *Tree) tryMerge(s *store.Session, entry int) error {
 	if best < 0 {
 		return nil
 	}
-	o := t.entries[best]
+	o := sn.entries[best]
 	union := e.MBR.Clone()
 	union.ExtendMBR(o.MBR)
 	mergedCount := int(e.Count) + int(o.Count)
 	mergedBits := t.fitBits(mergedCount)
-	mergedVar := t.model.RefinementCost(union, mergedCount, mergedBits)
-	separateVar := t.model.RefinementCost(e.MBR, int(e.Count), int(e.Bits)) +
-		t.model.RefinementCost(o.MBR, int(o.Count), int(o.Bits))
-	n := t.livePages()
-	constNow := t.model.DirectoryCost(n) + t.model.SecondLevelCost(n)
-	constMerged := t.model.DirectoryCost(n-1) + t.model.SecondLevelCost(n-1)
+	mergedVar := sn.model.RefinementCost(union, mergedCount, mergedBits)
+	separateVar := sn.model.RefinementCost(e.MBR, int(e.Count), int(e.Bits)) +
+		sn.model.RefinementCost(o.MBR, int(o.Count), int(o.Bits))
+	n := sn.livePages()
+	constNow := sn.model.DirectoryCost(n) + sn.model.SecondLevelCost(n)
+	constMerged := sn.model.DirectoryCost(n-1) + sn.model.SecondLevelCost(n-1)
 	if constMerged+mergedVar >= constNow+separateVar {
 		return nil // keeping the split is predicted cheaper
 	}
-	pts, ids, err := t.readPagePoints(s, entry)
+	pts, ids, err := t.readPagePoints(s, sn, entry)
 	if err != nil {
 		return err
 	}
-	pts2, ids2, err := t.readPagePoints(s, best)
+	pts2, ids2, err := t.readPagePoints(s, sn, best)
 	if err != nil {
 		return err
 	}
 	pts = append(pts, pts2...)
 	ids = append(ids, ids2...)
-	t.rewritePage(s, entry, pts, ids, mergedBits)
-	t.free[best] = true
-	t.entries[best].Count = 0
+	t.rewritePage(s, sn, entry, pts, ids, mergedBits)
+	sn.free[best] = true
+	sn.entries[best].Count = 0
+	sn.clearOwner(int(sn.entries[best].QPos), best)
 	return nil
 }
 
 // chooseEntry picks the page for an insert: the containing page with the
 // smallest volume, else the page with the least volume enlargement
 // (the classic R-tree ChooseLeaf on a flat directory).
-func (t *Tree) chooseEntry(p vec.Point) int {
+func (sn *snapshot) chooseEntry(p vec.Point) int {
 	best := -1
 	bestVol := math.Inf(1)
-	for i, e := range t.entries {
-		if t.free[i] {
+	for i, e := range sn.entries {
+		if sn.free[i] {
 			continue
 		}
 		if e.MBR.Contains(p) {
@@ -274,8 +295,8 @@ func (t *Tree) chooseEntry(p vec.Point) int {
 		return best
 	}
 	bestEnl := math.Inf(1)
-	for i, e := range t.entries {
-		if t.free[i] {
+	for i, e := range sn.entries {
+		if sn.free[i] {
 			continue
 		}
 		ext := e.MBR.Clone()
@@ -290,26 +311,11 @@ func (t *Tree) chooseEntry(p vec.Point) int {
 	return best
 }
 
-// reviveFreeEntry returns a free page slot to service, empty, to be
-// filled by the caller's rewrite — used when an insert finds no live
-// page because deletes emptied the whole tree. Returns -1 when no free
-// slot exists either.
-func (t *Tree) reviveFreeEntry() int {
-	for i := range t.free {
-		if t.free[i] {
-			t.free[i] = false
-			t.entries[i].Count = 0
-			return i
-		}
-	}
-	return -1
-}
-
 // readPagePoints loads the exact points and ids of a page, charging s.
-func (t *Tree) readPagePoints(s *store.Session, entry int) ([]vec.Point, []uint32, error) {
-	e := t.entries[entry]
+func (t *Tree) readPagePoints(s *store.Session, sn *snapshot, entry int) ([]vec.Point, []uint32, error) {
+	e := sn.entries[entry]
 	if e.Count == 0 {
-		return nil, nil, nil // empty (e.g. just-revived) page: nothing to read
+		return nil, nil, nil // empty (e.g. just-revived or appended) page: nothing to read
 	}
 	if e.Bits == quantize.ExactBits {
 		buf, err := s.Read(t.qFile, int(e.QPos)*t.opt.QPageBlocks, t.opt.QPageBlocks)
@@ -336,29 +342,19 @@ func (t *Tree) readPagePoints(s *store.Session, entry int) ([]vec.Point, []uint3
 // splitIsCheaper compares, under the cost model, coarsening the page to
 // newBits against splitting it into two pages (each at its own affordable
 // level). It returns true when the split is predicted cheaper.
-func (t *Tree) splitIsCheaper(entry int, pts []vec.Point, newBits int) bool {
+func (t *Tree) splitIsCheaper(sn *snapshot, entry int, pts []vec.Point, newBits int) bool {
 	mbr := vec.MBROf(pts)
-	coarsenVar := t.model.RefinementCost(mbr, len(pts), newBits)
+	coarsenVar := sn.model.RefinementCost(mbr, len(pts), newBits)
 
 	lpts, rpts := splitPoints(pts, nil)
 	lm, rm := vec.MBROf(lpts.pts), vec.MBROf(rpts.pts)
-	splitVar := t.model.RefinementCost(lm, len(lpts.pts), t.fitBits(len(lpts.pts))) +
-		t.model.RefinementCost(rm, len(rpts.pts), t.fitBits(len(rpts.pts)))
+	splitVar := sn.model.RefinementCost(lm, len(lpts.pts), t.fitBits(len(lpts.pts))) +
+		sn.model.RefinementCost(rm, len(rpts.pts), t.fitBits(len(rpts.pts)))
 
-	nLive := t.livePages()
-	constNow := t.model.DirectoryCost(nLive) + t.model.SecondLevelCost(nLive)
-	constSplit := t.model.DirectoryCost(nLive+1) + t.model.SecondLevelCost(nLive+1)
+	nLive := sn.livePages()
+	constNow := sn.model.DirectoryCost(nLive) + sn.model.SecondLevelCost(nLive)
+	constSplit := sn.model.DirectoryCost(nLive+1) + sn.model.SecondLevelCost(nLive+1)
 	return constSplit+splitVar < constNow+coarsenVar
-}
-
-func (t *Tree) livePages() int {
-	n := 0
-	for i := range t.entries {
-		if !t.free[i] {
-			n++
-		}
-	}
-	return n
 }
 
 // half carries one side of a point split.
@@ -391,75 +387,83 @@ func splitPoints(pts []vec.Point, ids []uint32) (left, right half) {
 	return left, right
 }
 
-// rewritePage re-quantizes a page in place: new MBR, new level, new
-// second-level page, and (for compressed levels) a fresh exact page. The
-// old exact region becomes garbage, as in any out-of-place update scheme.
-func (t *Tree) rewritePage(s *store.Session, entry int, pts []vec.Point, ids []uint32, bits int) {
+// rewritePage re-quantizes a page out of place: new MBR, new level, a
+// freshly appended second-level page version, and (for compressed levels)
+// a fresh exact page. The old regions become garbage — they stay readable
+// for snapshots pinned before this update and are reclaimed by the next
+// Reoptimize.
+func (t *Tree) rewritePage(s *store.Session, sn *snapshot, entry int, pts []vec.Point, ids []uint32, bits int) {
 	if bits <= 0 {
 		panic("core: rewritePage with non-fitting bits")
 	}
 	mbr := vec.MBROf(pts)
 	grid := quantize.NewGrid(mbr, bits)
-	e := &t.entries[entry]
+	e := &sn.entries[entry]
+	sn.clearOwner(int(e.QPos), entry)
 	e.Count = uint32(len(pts))
 	e.Bits = uint8(bits)
 	e.MBR = mbr
 	// Write failures are recorded as the store's sticky error; the public
-	// update entry points return Store.Err after the last write.
+	// update entry points check Store.Err before publishing the epoch.
+	var qbuf []byte
 	if bits < quantize.ExactBits {
-		exact := page.MarshalExact(pts, ids)
-		blocks := t.sto.Config().Blocks(len(exact))
-		if e.EBlocks >= uint32(blocks) && e.EBlocks > 0 {
-			// Fits in the old region: rewrite in place.
-			padded := make([]byte, int(e.EBlocks)*t.sto.Config().BlockSize)
-			copy(padded, exact)
-			t.eFile.WriteBlocks(int(e.EPos), padded)
-		} else {
-			epos, eblocks, err := t.eFile.Append(exact)
-			if err == nil {
-				e.EPos = uint32(epos)
-				e.EBlocks = uint32(eblocks)
-			}
+		epos, eblocks, err := t.eFile.Append(page.MarshalExact(pts, ids))
+		if err == nil {
+			e.EPos = uint32(epos)
+			e.EBlocks = uint32(eblocks)
 		}
-		t.qFile.WriteBlocks(int(e.QPos)*t.opt.QPageBlocks, page.MarshalQPage(grid, pts, nil, t.qPageBytes()))
+		qbuf = page.MarshalQPage(grid, pts, nil, t.qPageBytes())
 	} else {
 		e.EPos, e.EBlocks = 0, 0
-		t.qFile.WriteBlocks(int(e.QPos)*t.opt.QPageBlocks, page.MarshalQPage(grid, pts, ids, t.qPageBytes()))
+		qbuf = page.MarshalQPage(grid, pts, ids, t.qPageBytes())
 	}
-	t.grids[entry] = grid
+	if bpos, _, err := t.qFile.Append(qbuf); err == nil {
+		e.QPos = uint32(bpos / t.opt.QPageBlocks)
+		sn.setOwner(int(e.QPos), entry)
+	}
+	sn.grids[entry] = grid
 	// Write cost: one seek plus the page transfer(s), attributed to the
 	// quantized file (the exact-page rewrite rides on the same pass).
 	s.ChargeWrite(t.qFile, 1, t.opt.QPageBlocks)
 }
 
 // rewriteDirectory re-serializes the whole first-level directory (it is
-// small and scanned linearly anyway).
-func (t *Tree) rewriteDirectory() error {
-	dirBuf := make([]byte, 0, len(t.entries)*page.DirEntrySize(t.dim))
+// small and scanned linearly anyway). The directory file only grows
+// between compactions, so snapshots pinned with a shorter extent keep
+// reading valid blocks.
+func (t *Tree) rewriteDirectory(sn *snapshot) error {
+	dirBuf := make([]byte, 0, len(sn.entries)*page.DirEntrySize(t.dim))
 	entryBuf := make([]byte, page.DirEntrySize(t.dim))
-	for i := range t.entries {
-		t.entries[i].Marshal(entryBuf, t.dim)
+	for i := range sn.entries {
+		sn.entries[i].Marshal(entryBuf, t.dim)
 		dirBuf = append(dirBuf, entryBuf...)
 	}
 	if err := t.dirFile.SetContents(dirBuf); err != nil {
 		return err
 	}
-	return t.writeMeta()
+	sn.dirBlocks = t.dirFile.Blocks()
+	return t.writeMeta(sn)
 }
 
 // Reoptimize rebuilds the tree's physical structure from scratch over its
 // current contents: fresh packed partitions, a fresh optimal quantization,
-// and compacted files (garbage exact regions from past updates are
+// and compacted files (garbage page versions from past updates are
 // dropped). The paper notes that updates require "careful book-keeping"
 // to maintain optimality; this is the batch variant — run it after heavy
 // update traffic, guided by CostEstimate.
+//
+// Reoptimize is the only stop-the-world operation: it truncates the data
+// files in place, so it excludes every query and update for its duration
+// and invalidates outstanding NNIterators (their next Next reports
+// ErrStaleIterator).
 func (t *Tree) Reoptimize() error {
-	pts, ids, err := t.AllPoints()
+	t.world.Lock()
+	defer t.world.Unlock()
+	old := t.load()
+	pts, ids, err := t.allPoints(old)
 	if err != nil {
 		return err
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
 	if len(pts) == 0 {
 		return fmt.Errorf("core: cannot reoptimize an empty tree")
 	}
@@ -469,36 +473,46 @@ func (t *Tree) Reoptimize() error {
 	if err := t.eFile.SetContents(nil); err != nil {
 		return err
 	}
-	t.entries = t.entries[:0]
-	t.grids = t.grids[:0]
-	t.free = t.free[:0]
-	t.n = len(pts)
-	t.model.N = t.n
-	t.dataSpace = vec.MBROf(pts)
-	t.model.DataSpace = t.dataSpace
+	sn := &snapshot{
+		epoch:     old.epoch + 1,
+		n:         len(pts),
+		dataSpace: vec.MBROf(pts),
+		model:     old.model,
+	}
+	sn.model.N = sn.n
+	sn.model.DataSpace = sn.dataSpace
 
-	b := newBuilder(t, pts)
+	b := newBuilder(t, sn, pts)
 	b.ids = ids
 	b.run()
-	if err := t.writeMeta(); err != nil {
+	if err := t.writeMeta(sn); err != nil {
 		return err
 	}
-	return t.sto.Err()
+	if err := t.sto.Err(); err != nil {
+		return err
+	}
+	t.publish(sn)
+	t.reoptGen.Add(1)
+	return nil
 }
 
 // AllPoints returns every live (point, id) pair by reading the data files
 // without charging any session (a maintenance/verification helper).
 func (t *Tree) AllPoints() ([]vec.Point, []uint32, error) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
+	t.world.RLock()
+	defer t.world.RUnlock()
+	return t.allPoints(t.load())
+}
+
+func (t *Tree) allPoints(sn *snapshot) ([]vec.Point, []uint32, error) {
 	free := t.sto.NewSession()
 	var pts []vec.Point
 	var ids []uint32
-	for i := range t.entries {
-		if t.free[i] {
+	for i := range sn.entries {
+		if sn.free[i] {
 			continue
 		}
-		p, id, err := t.readPagePoints(free, i)
+		p, id, err := t.readPagePoints(free, sn, i)
 		if err != nil {
 			return nil, nil, err
 		}

@@ -1,0 +1,284 @@
+// Package engine is the parallel serving layer: a fixed pool of workers
+// drains a query queue against one index.Index, each worker reusing a
+// pooled store.Session (Reset between queries) so steady-state serving
+// allocates no per-query session state.
+//
+// Concurrency contract: the access methods publish copy-on-write
+// snapshots (see internal/core), so workers never block updaters and
+// every query observes one consistent snapshot. The engine measures both
+// wall-clock and simulated time per query; on the simulated disk the
+// interesting throughput number is simulated QPS — queries divided by
+// the makespan, the largest per-worker sum of simulated busy seconds —
+// which models N independent disks serving the shared queue.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/index"
+	"repro/internal/obs"
+	"repro/internal/store"
+	"repro/internal/vec"
+)
+
+// ErrClosed is returned for queries submitted after Close.
+var ErrClosed = errors.New("engine: closed")
+
+// Kind selects the query type of a Query.
+type Kind int
+
+const (
+	KNN Kind = iota
+	Range
+	Window
+)
+
+// Query is one unit of work for the engine.
+type Query struct {
+	Kind   Kind
+	Point  vec.Point // KNN and Range center
+	K      int       // KNN result count
+	Eps    float64   // Range radius
+	Window vec.MBR   // Window bounds
+	Trace  bool      // collect a per-query plan trace (costs extra allocation)
+}
+
+// Result is the outcome of one Query.
+type Result struct {
+	Neighbors []vec.Neighbor
+	Err       error
+	Stats     store.Stats     // the query's simulated charges
+	SimTime   float64         // simulated seconds (Stats under the store config)
+	Wall      time.Duration   // wall-clock execution time on the worker
+	Trace     *obs.QueryTrace // non-nil iff Query.Trace was set
+}
+
+// Engine is a worker-pool query executor over one index. Submit and
+// SubmitBatch are safe for concurrent use from any number of goroutines;
+// Close drains in-flight queries and stops the workers.
+type Engine struct {
+	sto     *store.Store
+	idx     index.Index
+	workers int
+
+	queue    chan job
+	sessions sync.Pool
+	wg       sync.WaitGroup
+
+	closeMu sync.RWMutex
+	closed  bool
+
+	busyMu sync.Mutex
+	busy   []float64 // per-worker summed simulated busy seconds
+
+	reg        *obs.Registry
+	queueDepth *obs.Gauge
+	queries    *obs.Counter
+	failures   *obs.Counter
+	simLat     *obs.Histogram
+	wallLat    *obs.Histogram
+}
+
+type job struct {
+	q    Query
+	res  *Result
+	done *sync.WaitGroup
+}
+
+// Option customizes engine construction.
+type Option func(*Engine)
+
+// WithRegistry points the engine's metrics (engine.* names) at reg
+// instead of a private registry — inject the process registry to fold
+// serving metrics into one snapshot.
+func WithRegistry(reg *obs.Registry) Option {
+	return func(e *Engine) { e.reg = reg }
+}
+
+// New starts an engine with the given number of workers serving queries
+// against idx, charging simulated costs to sessions of sto.
+func New(sto *store.Store, idx index.Index, workers int, opts ...Option) *Engine {
+	if workers <= 0 {
+		panic(fmt.Sprintf("engine: workers must be positive, got %d", workers))
+	}
+	e := &Engine{
+		sto:     sto,
+		idx:     idx,
+		workers: workers,
+		queue:   make(chan job, 4*workers),
+		busy:    make([]float64, workers),
+	}
+	for _, o := range opts {
+		o(e)
+	}
+	if e.reg == nil {
+		e.reg = &obs.Registry{}
+	}
+	e.queueDepth = e.reg.Gauge("engine.queue_depth")
+	e.queries = e.reg.Counter("engine.queries")
+	e.failures = e.reg.Counter("engine.failures")
+	e.simLat = e.reg.Histogram("engine.sim_latency_seconds")
+	e.wallLat = e.reg.Histogram("engine.wall_latency_seconds")
+	e.sessions.New = func() any { return sto.NewSession() }
+	e.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go e.worker(i)
+	}
+	return e
+}
+
+// Workers returns the size of the worker pool.
+func (e *Engine) Workers() int { return e.workers }
+
+// Registry returns the registry carrying the engine's metrics.
+func (e *Engine) Registry() *obs.Registry { return e.reg }
+
+// Submit executes one query and blocks until its result is ready.
+func (e *Engine) Submit(q Query) Result {
+	var res Result
+	var done sync.WaitGroup
+	if !e.enqueue(job{q: q, res: &res, done: &done}) {
+		return Result{Err: ErrClosed}
+	}
+	done.Wait()
+	return res
+}
+
+// SubmitBatch executes all queries on the worker pool and blocks until
+// every result is ready. Results are returned in query order regardless
+// of completion order, so downstream aggregation is deterministic.
+func (e *Engine) SubmitBatch(qs []Query) []Result {
+	results := make([]Result, len(qs))
+	var done sync.WaitGroup
+	for i := range qs {
+		if !e.enqueue(job{q: qs[i], res: &results[i], done: &done}) {
+			results[i].Err = ErrClosed
+		}
+	}
+	done.Wait()
+	return results
+}
+
+// enqueue reserves a done slot and queues the job; it reports false (and
+// reserves nothing) if the engine is closed.
+func (e *Engine) enqueue(j job) bool {
+	e.closeMu.RLock()
+	defer e.closeMu.RUnlock()
+	if e.closed {
+		return false
+	}
+	j.done.Add(1)
+	e.queueDepth.Add(1)
+	e.queue <- j
+	return true
+}
+
+// Close drains the queue, waits for in-flight queries, and stops the
+// workers. Queries submitted after Close fail with ErrClosed; Close is
+// idempotent.
+func (e *Engine) Close() {
+	e.closeMu.Lock()
+	if e.closed {
+		e.closeMu.Unlock()
+		return
+	}
+	e.closed = true
+	e.closeMu.Unlock()
+	close(e.queue)
+	e.wg.Wait()
+}
+
+// worker drains the queue until Close.
+func (e *Engine) worker(id int) {
+	defer e.wg.Done()
+	for j := range e.queue {
+		e.queueDepth.Add(-1)
+		s := e.sessions.Get().(*store.Session)
+		s.Reset()
+		e.run(s, j.q, j.res)
+		e.account(id, j.res)
+		e.sessions.Put(s)
+		j.done.Done()
+	}
+}
+
+// run executes one query on the given (freshly reset) session.
+func (e *Engine) run(s *store.Session, q Query, res *Result) {
+	if q.Trace {
+		res.Trace = obs.NewQueryTrace(q.Kind.String())
+		cfg := e.sto.Config()
+		res.Trace.SetCosts(cfg.Seek, cfg.Xfer)
+		s.SetObserver(res.Trace)
+	}
+	start := time.Now()
+	switch q.Kind {
+	case KNN:
+		res.Neighbors, res.Err = e.idx.KNN(s, q.Point, q.K)
+	case Range:
+		res.Neighbors, res.Err = e.idx.RangeSearch(s, q.Point, q.Eps)
+	case Window:
+		res.Neighbors, res.Err = e.idx.WindowQuery(s, q.Window)
+	default:
+		res.Err = fmt.Errorf("engine: unknown query kind %d", q.Kind)
+	}
+	if res.Err == nil {
+		// A query can swallow individual read errors; the sticky session
+		// error is the boundary check that keeps a poisoned result from
+		// looking successful.
+		res.Err = s.Err()
+	}
+	res.Wall = time.Since(start)
+	res.Stats = s.Stats
+	res.SimTime = s.Time()
+}
+
+// account records one finished query in the metrics and the per-worker
+// busy ledger.
+func (e *Engine) account(worker int, res *Result) {
+	e.queries.Inc()
+	if res.Err != nil {
+		e.failures.Inc()
+	}
+	e.simLat.Observe(res.SimTime)
+	e.wallLat.Observe(res.Wall.Seconds())
+	e.busyMu.Lock()
+	e.busy[worker] += res.SimTime
+	e.busyMu.Unlock()
+}
+
+// WorkerBusy returns each worker's summed simulated busy seconds.
+func (e *Engine) WorkerBusy() []float64 {
+	e.busyMu.Lock()
+	defer e.busyMu.Unlock()
+	return append([]float64(nil), e.busy...)
+}
+
+// Makespan returns the simulated wall-clock of the run so far under the
+// model of one disk per worker: the largest per-worker busy sum. With
+// queue-balanced work it approaches total busy / workers, which is what
+// makes simulated QPS scale with the pool.
+func (e *Engine) Makespan() float64 {
+	var m float64
+	for _, b := range e.WorkerBusy() {
+		if b > m {
+			m = b
+		}
+	}
+	return m
+}
+
+// String names a query kind.
+func (k Kind) String() string {
+	switch k {
+	case KNN:
+		return "knn"
+	case Range:
+		return "range"
+	case Window:
+		return "window"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}

@@ -1,0 +1,246 @@
+package engine
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/store"
+	"repro/internal/vec"
+	"repro/internal/xtree"
+)
+
+func randPoints(r *rand.Rand, n, dim int) []vec.Point {
+	pts := make([]vec.Point, n)
+	for i := range pts {
+		p := make(vec.Point, dim)
+		for j := range p {
+			p[j] = r.Float32()
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+func buildTree(t *testing.T, seed int64, n, dim int) (*store.Store, *core.Tree, []vec.Point) {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	pts := randPoints(r, n, dim)
+	sto := store.NewSim(store.DefaultConfig())
+	tr, err := core.Build(sto, pts, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sto, tr, pts
+}
+
+// TestEngineMatchesDirectQueries checks that every query kind routed
+// through the pool returns exactly what a direct single-session call
+// returns, including the simulated cost.
+func TestEngineMatchesDirectQueries(t *testing.T) {
+	sto, tr, pts := buildTree(t, 1, 3000, 8)
+	e := New(sto, tr, 4)
+	defer e.Close()
+
+	r := rand.New(rand.NewSource(2))
+	queries := randPoints(r, 30, 8)
+	batch := make([]Query, 0, len(queries)*2+1)
+	for _, q := range queries {
+		batch = append(batch, Query{Kind: KNN, Point: q, K: 5})
+		batch = append(batch, Query{Kind: Range, Point: q, Eps: 0.4})
+	}
+	w := vec.MBR{
+		Lo: vec.Point{0.2, 0.2, 0.2, 0.2, 0.2, 0.2, 0.2, 0.2},
+		Hi: vec.Point{0.7, 0.7, 0.7, 0.7, 0.7, 0.7, 0.7, 0.7},
+	}
+	batch = append(batch, Query{Kind: Window, Window: w})
+
+	results := e.SubmitBatch(batch)
+	for i, res := range results {
+		if res.Err != nil {
+			t.Fatalf("query %d: %v", i, res.Err)
+		}
+		s := sto.NewSession()
+		var want []vec.Neighbor
+		var err error
+		switch batch[i].Kind {
+		case KNN:
+			want, err = tr.KNN(s, batch[i].Point, batch[i].K)
+		case Range:
+			want, err = tr.RangeSearch(s, batch[i].Point, batch[i].Eps)
+		case Window:
+			want, err = tr.WindowQuery(s, batch[i].Window)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(want) != len(res.Neighbors) {
+			t.Fatalf("query %d (%v): engine %d results, direct %d",
+				i, batch[i].Kind, len(res.Neighbors), len(want))
+		}
+		for j := range want {
+			if want[j].ID != res.Neighbors[j].ID || want[j].Dist != res.Neighbors[j].Dist {
+				t.Fatalf("query %d result %d: engine %+v, direct %+v",
+					i, j, res.Neighbors[j], want[j])
+			}
+		}
+		if res.SimTime != s.Time() {
+			t.Fatalf("query %d: engine sim time %v, direct %v", i, res.SimTime, s.Time())
+		}
+	}
+	_ = pts
+}
+
+// TestEngineSessionReuseIsClean verifies that a failed query does not
+// poison the pooled session of a later query on the same worker.
+func TestEngineSessionReuseIsClean(t *testing.T) {
+	sto, tr, _ := buildTree(t, 3, 800, 4)
+	e := New(sto, tr, 1) // one worker: the queries share one session
+	defer e.Close()
+
+	bad := e.Submit(Query{Kind: Kind(99)})
+	if bad.Err == nil {
+		t.Fatal("unknown kind should fail")
+	}
+	good := e.Submit(Query{Kind: KNN, Point: vec.Point{0.5, 0.5, 0.5, 0.5}, K: 3})
+	if good.Err != nil {
+		t.Fatalf("pooled session leaked failure: %v", good.Err)
+	}
+	if len(good.Neighbors) != 3 {
+		t.Fatalf("got %d neighbors", len(good.Neighbors))
+	}
+}
+
+// TestEngineTraceAndMetrics checks the observability integration: traces
+// on demand, and registry counters/histograms reflecting the run.
+func TestEngineTraceAndMetrics(t *testing.T) {
+	sto, tr, _ := buildTree(t, 4, 2000, 6)
+	reg := &obs.Registry{}
+	e := New(sto, tr, 2, WithRegistry(reg))
+	defer e.Close()
+
+	res := e.Submit(Query{Kind: KNN, Point: vec.Point{0.5, 0.5, 0.5, 0.5, 0.5, 0.5}, K: 4, Trace: true})
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if res.Trace == nil || res.Trace.PagesRead == 0 {
+		t.Fatalf("expected a populated trace, got %+v", res.Trace)
+	}
+	plain := e.Submit(Query{Kind: KNN, Point: vec.Point{0.1, 0.1, 0.1, 0.1, 0.1, 0.1}, K: 4})
+	if plain.Trace != nil {
+		t.Fatal("trace returned without being requested")
+	}
+
+	if got := reg.Counter("engine.queries").Value(); got != 2 {
+		t.Fatalf("queries counter = %d, want 2", got)
+	}
+	if got := reg.Gauge("engine.queue_depth").Value(); got != 0 {
+		t.Fatalf("queue depth = %d after drain, want 0", got)
+	}
+	if snap := reg.Histogram("engine.sim_latency_seconds").Snapshot(); snap.Count != 2 || snap.Max <= 0 {
+		t.Fatalf("latency histogram %+v", snap)
+	}
+}
+
+// TestEngineMakespanAccounting checks the per-worker busy ledger: total
+// busy equals the summed per-query sim time, and the makespan lies
+// between total/workers and total.
+func TestEngineMakespanAccounting(t *testing.T) {
+	sto, tr, _ := buildTree(t, 5, 2500, 8)
+	e := New(sto, tr, 4)
+	defer e.Close()
+
+	r := rand.New(rand.NewSource(6))
+	queries := randPoints(r, 64, 8)
+	batch := make([]Query, len(queries))
+	for i, q := range queries {
+		batch[i] = Query{Kind: KNN, Point: q, K: 3}
+	}
+	results := e.SubmitBatch(batch)
+	var total float64
+	for _, res := range results {
+		if res.Err != nil {
+			t.Fatal(res.Err)
+		}
+		total += res.SimTime
+	}
+	var ledger float64
+	for _, b := range e.WorkerBusy() {
+		ledger += b
+	}
+	if diff := ledger - total; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("busy ledger %v != summed sim time %v", ledger, total)
+	}
+	m := e.Makespan()
+	if m < total/4-1e-9 || m > total+1e-9 {
+		t.Fatalf("makespan %v outside [total/4=%v, total=%v]", m, total/4, total)
+	}
+}
+
+// TestEngineOverXTree drives the X-tree's read path from many workers
+// at once (its RWMutex audit under -race) and checks the results against
+// direct single-session queries.
+func TestEngineOverXTree(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	pts := randPoints(r, 2000, 6)
+	sto := store.NewSim(store.DefaultConfig())
+	xt, err := xtree.Build(sto, pts, xtree.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(sto, xt, 8)
+	defer e.Close()
+
+	queries := randPoints(r, 40, 6)
+	batch := make([]Query, len(queries))
+	for i, q := range queries {
+		batch[i] = Query{Kind: KNN, Point: q, K: 4}
+	}
+	for i, res := range e.SubmitBatch(batch) {
+		if res.Err != nil {
+			t.Fatal(res.Err)
+		}
+		want, err := xt.KNN(sto.NewSession(), queries[i], 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(want) != len(res.Neighbors) {
+			t.Fatalf("query %d: engine %d results, direct %d", i, len(res.Neighbors), len(want))
+		}
+		for j := range want {
+			if want[j].ID != res.Neighbors[j].ID {
+				t.Fatalf("query %d result %d: engine ID %d, direct %d",
+					i, j, res.Neighbors[j].ID, want[j].ID)
+			}
+		}
+	}
+}
+
+// TestEngineCloseSemantics checks graceful drain and post-close errors.
+func TestEngineCloseSemantics(t *testing.T) {
+	sto, tr, _ := buildTree(t, 7, 600, 4)
+	e := New(sto, tr, 2)
+
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res := e.Submit(Query{Kind: KNN, Point: vec.Point{0.3, 0.3, 0.3, 0.3}, K: 2})
+			if res.Err != nil && res.Err != ErrClosed {
+				t.Errorf("unexpected error: %v", res.Err)
+			}
+		}()
+	}
+	wg.Wait()
+	e.Close()
+	e.Close() // idempotent
+	if res := e.Submit(Query{Kind: KNN, Point: vec.Point{0.3, 0.3, 0.3, 0.3}, K: 2}); res.Err != ErrClosed {
+		t.Fatalf("post-close submit: %v, want ErrClosed", res.Err)
+	}
+	if res := e.SubmitBatch([]Query{{Kind: KNN, Point: vec.Point{0.1, 0.1, 0.1, 0.1}, K: 1}}); res[0].Err != ErrClosed {
+		t.Fatalf("post-close batch: %v, want ErrClosed", res[0].Err)
+	}
+}

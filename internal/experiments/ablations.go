@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/index"
 	"repro/internal/store"
 	"repro/internal/vafile"
 	"repro/internal/vec"
@@ -247,7 +248,7 @@ func ModelValidation(o RunOpts) (Figure, error) {
 }
 
 // measureK is measure with an explicit k.
-func measureK(sto *store.Store, idx searcher, queries []vec.Point, k int) (float64, store.Stats, error) {
+func measureK(sto *store.Store, idx index.Index, queries []vec.Point, k int) (float64, store.Stats, error) {
 	var agg store.Stats
 	for _, q := range queries {
 		s := sto.NewSession()

@@ -9,11 +9,11 @@ import (
 	"fmt"
 	"math"
 	"runtime"
-	"sync"
-	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/engine"
+	"repro/internal/index"
 	"repro/internal/obs"
 	"repro/internal/scan"
 	"repro/internal/store"
@@ -108,15 +108,10 @@ func Run(cfg Config, methods []Method) ([]Result, error) {
 	return results, nil
 }
 
-// searcher is the common query interface of all access methods.
-type searcher interface {
-	KNN(s *store.Session, q vec.Point, k int) ([]vec.Neighbor, error)
-}
-
 func runMethod(cfg Config, m Method, db, queries []vec.Point) (Result, error) {
 	sto := store.NewSim(cfg.Disk)
 	var (
-		idx    searcher
+		idx    index.Index
 		detail string
 	)
 	switch m {
@@ -176,51 +171,35 @@ func runMethod(cfg Config, m Method, db, queries []vec.Point) (Result, error) {
 	return Result{Method: m, Seconds: secs, Stats: stats, Detail: detail}, nil
 }
 
-// measure runs the query batch and returns the per-query average simulated
-// time plus aggregate stats. Queries run on parallel workers to cut the
-// harness's wall-clock time; each query gets its own session, and the
-// per-query stats are merged in query order, so the result is
-// deterministic regardless of scheduling.
-func measure(sto *store.Store, idx searcher, queries []vec.Point, k int) (float64, store.Stats, error) {
-	perQuery := make([]store.Stats, len(queries))
-	errs := make([]error, len(queries))
+// measure runs the query batch through a worker-pool engine and returns
+// the per-query average simulated time plus aggregate stats. Each query
+// gets its own (pooled, reset) session, and SubmitBatch returns results
+// in query order, so the figures are deterministic regardless of
+// scheduling.
+func measure(sto *store.Store, idx index.Index, queries []vec.Point, k int) (float64, store.Stats, error) {
 	workers := runtime.GOMAXPROCS(0)
 	if workers > len(queries) {
 		workers = len(queries)
 	}
-	var wg sync.WaitGroup
-	next := int64(-1)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(atomic.AddInt64(&next, 1))
-				if i >= len(queries) {
-					return
-				}
-				s := sto.NewSession()
-				_, errs[i] = idx.KNN(s, queries[i], k)
-				if errs[i] == nil {
-					// A query can swallow individual read errors; the
-					// sticky session error is the boundary check that
-					// keeps a poisoned session out of the figures.
-					errs[i] = s.Err()
-				}
-				perQuery[i] = s.Stats
-			}
-		}()
+	if workers < 1 {
+		workers = 1
 	}
-	wg.Wait()
+	e := engine.New(sto, idx, workers, engine.WithRegistry(obs.Default()))
+	defer e.Close()
+	batch := make([]engine.Query, len(queries))
+	for i, q := range queries {
+		batch[i] = engine.Query{Kind: engine.KNN, Point: q, K: k}
+	}
+	results := e.SubmitBatch(batch)
 	reg := obs.Default()
 	lat := reg.Histogram("experiments.query_seconds")
 	var agg store.Stats
-	for i, st := range perQuery {
-		if errs[i] != nil {
-			return 0, store.Stats{}, errs[i]
+	for _, res := range results {
+		if res.Err != nil {
+			return 0, store.Stats{}, res.Err
 		}
-		agg.Add(st)
-		lat.Observe(st.Time(sto.Config()))
+		agg.Add(res.Stats)
+		lat.Observe(res.SimTime)
 	}
 	reg.Counter("experiments.queries").Add(int64(len(queries)))
 	reg.Counter("experiments.seeks").Add(int64(agg.Seeks))

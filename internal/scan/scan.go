@@ -7,6 +7,7 @@ package scan
 import (
 	"errors"
 
+	"repro/internal/index"
 	"repro/internal/obs"
 	"repro/internal/page"
 	"repro/internal/store"
@@ -53,6 +54,18 @@ func (sc *Scan) Len() int { return sc.n }
 
 // Dim returns the dimensionality.
 func (sc *Scan) Dim() int { return sc.dim }
+
+// IndexStats implements index.Index with the common cross-method shape
+// summary.
+func (sc *Scan) IndexStats() index.Stats {
+	return index.Stats{
+		Method: "Scan",
+		Points: sc.n,
+		Dim:    sc.dim,
+		Pages:  sc.file.Blocks(),
+		Bytes:  sc.file.Bytes(),
+	}
+}
 
 // KNN returns the k nearest neighbors of q by scanning the whole file.
 func (sc *Scan) KNN(s *store.Session, q vec.Point, k int) ([]vec.Neighbor, error) {

@@ -43,6 +43,24 @@ func (s *Session) Observer() obs.Observer { return s.obs }
 // trusting the (possibly partial) results.
 func (s *Session) Err() error { return s.err }
 
+// Reset returns the session to its freshly created state so it can be
+// reused for another query: the sticky error, aggregate and per-file
+// stats, head position, and observer are all cleared, and the store's
+// current buffer pool is re-captured (a pool attached after the session
+// was created becomes visible). Pooled reuse (e.g. by the query engine's
+// workers) must Reset between queries or one query's failure and charges
+// leak into the next.
+func (s *Session) Reset() {
+	s.pool = s.st.Pool()
+	s.cur = nil
+	s.head = 0
+	s.started = false
+	s.Stats = Stats{}
+	s.perFile = nil
+	s.obs = nil
+	s.err = nil
+}
+
 // fail records err as the session's sticky error (first one wins) and
 // returns it.
 func (s *Session) fail(err error) error {

@@ -37,7 +37,9 @@ func (d *SimStore) Create(name string) (BlockFile, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if f, ok := d.files[name]; ok {
-		f.data = f.data[:0]
+		f.mu.Lock()
+		f.data = nil // fresh backing array; stale readers keep their view
+		f.mu.Unlock()
 		return f, nil
 	}
 	f := &SimFile{d: d, name: name}
@@ -71,13 +73,16 @@ func (d *SimStore) Sync() error { return nil }
 // Close is a no-op for the simulator.
 func (d *SimStore) Close() error { return nil }
 
-// SimFile is an append-only, block-aligned in-memory file. Reads are safe
-// for concurrent use; mutations must not race with reads (index layers
-// serialize them behind their tree locks, exactly as with the original
-// simulator).
+// SimFile is an append-only, block-aligned in-memory file, safe for
+// concurrent readers and writers: a per-file RWMutex guards the slice
+// header, and SetContents installs a fresh backing array instead of
+// truncating in place, so slices handed out to concurrent readers before
+// a rewrite keep their (stale but consistent) bytes — the property the
+// copy-on-write index layers rely on.
 type SimFile struct {
 	d    *SimStore
 	name string
+	mu   sync.RWMutex
 	data []byte
 }
 
@@ -85,38 +90,57 @@ type SimFile struct {
 func (f *SimFile) Name() string { return f.name }
 
 // Blocks returns the current length of the file in blocks.
-func (f *SimFile) Blocks() int { return len(f.data) / f.d.cfg.BlockSize }
+func (f *SimFile) Blocks() int {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return len(f.data) / f.d.cfg.BlockSize
+}
 
 // Bytes returns the size of the file in bytes (always block-aligned).
-func (f *SimFile) Bytes() int { return len(f.data) }
+func (f *SimFile) Bytes() int {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return len(f.data)
+}
 
 // ReadBlocks returns the raw content of nblocks blocks at pos, aliasing
-// the internal storage (zero copy).
+// the internal storage (zero copy). Appends never move published bytes
+// out from under the alias (append copies into a new array when it
+// grows), and rewrites install fresh arrays, so the returned slice stays
+// consistent even if the file is mutated after the call.
 func (f *SimFile) ReadBlocks(pos, nblocks int) ([]byte, error) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
 	bs := f.d.cfg.BlockSize
 	if pos < 0 || nblocks <= 0 || (pos+nblocks)*bs > len(f.data) {
-		return nil, fmt.Errorf("sim: read past end of %s: pos=%d n=%d blocks=%d", f.name, pos, nblocks, f.Blocks())
+		return nil, fmt.Errorf("sim: read past end of %s: pos=%d n=%d blocks=%d", f.name, pos, nblocks, len(f.data)/bs)
 	}
 	return f.data[pos*bs : (pos+nblocks)*bs], nil
 }
 
 // Append writes p at the end of the file, padded to a block boundary.
 func (f *SimFile) Append(p []byte) (pos, nblocks int, err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	bs := f.d.cfg.BlockSize
 	pos = len(f.data) / bs
 	nblocks = (len(p) + bs - 1) / bs
 	if nblocks == 0 {
 		nblocks = 1 // even an empty page occupies one block
 	}
-	f.data = append(f.data, p...)
-	if pad := nblocks*bs - len(p); pad > 0 {
-		f.data = append(f.data, make([]byte, pad)...)
-	}
+	// Grow into a fresh array so previously returned aliases are never
+	// overwritten (cap growth could otherwise reuse the old array's tail).
+	grown := make([]byte, len(f.data)+nblocks*bs)
+	copy(grown, f.data)
+	copy(grown[len(f.data):], p)
+	f.data = grown
 	return pos, nblocks, nil
 }
 
 // WriteBlocks overwrites existing blocks starting at pos with data.
 func (f *SimFile) WriteBlocks(pos int, data []byte) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	bs := f.d.cfg.BlockSize
 	if len(data)%bs != 0 {
 		return fmt.Errorf("sim: WriteBlocks data not block-aligned (%d bytes)", len(data))
@@ -124,16 +148,26 @@ func (f *SimFile) WriteBlocks(pos int, data []byte) error {
 	if pos < 0 || pos*bs+len(data) > len(f.data) {
 		return fmt.Errorf("sim: WriteBlocks past end of %s", f.name)
 	}
-	copy(f.data[pos*bs:], data)
+	// Copy-on-write: readers holding aliases into the old array keep
+	// seeing the pre-write bytes.
+	fresh := append([]byte(nil), f.data...)
+	copy(fresh[pos*bs:], data)
+	f.data = fresh
 	return nil
 }
 
 // SetContents replaces the whole file with p, padded to a block boundary.
 func (f *SimFile) SetContents(p []byte) error {
-	f.data = f.data[:0]
-	if len(p) > 0 {
-		_, _, err := f.Append(p)
-		return err
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	bs := f.d.cfg.BlockSize
+	if len(p) == 0 {
+		f.data = nil
+		return nil
 	}
+	nblocks := (len(p) + bs - 1) / bs
+	fresh := make([]byte, nblocks*bs)
+	copy(fresh, p)
+	f.data = fresh
 	return nil
 }

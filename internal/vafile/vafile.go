@@ -16,6 +16,7 @@ import (
 	"math"
 	"sort"
 
+	"repro/internal/index"
 	"repro/internal/obs"
 	"repro/internal/page"
 	"repro/internal/quantize"
@@ -107,6 +108,18 @@ func (v *VAFile) Bits() int { return v.opt.Bits }
 
 // ApproxBytes returns the size of the approximation file.
 func (v *VAFile) ApproxBytes() int { return v.aFile.Bytes() }
+
+// IndexStats implements index.Index with the common cross-method shape
+// summary.
+func (v *VAFile) IndexStats() index.Stats {
+	return index.Stats{
+		Method: "VA-file",
+		Points: v.n,
+		Dim:    v.dim,
+		Pages:  v.aFile.Blocks(),
+		Bytes:  v.aFile.Bytes() + v.eFile.Bytes(),
+	}
+}
 
 // computeBounds derives the per-dimension cell boundaries.
 func (v *VAFile) computeBounds(pts []vec.Point) {

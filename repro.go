@@ -40,7 +40,9 @@ package repro
 import (
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/engine"
 	"repro/internal/fractal"
+	"repro/internal/index"
 	"repro/internal/obs"
 	"repro/internal/scan"
 	"repro/internal/store"
@@ -234,3 +236,42 @@ func FractalDimension(pts []Point, met Metric) float64 {
 // NNIterator enumerates neighbors in increasing distance order on demand
 // (incremental ranking, Hjaltason & Samet — the paper's reference [13]).
 type NNIterator = core.NNIterator
+
+// Index is the common query contract of all four access methods: the
+// IQ-tree, X-tree, VA-file and Scan all implement it, so serving code
+// can be written once against the interface.
+type Index = index.Index
+
+// IndexStats is the cross-method physical summary every Index reports.
+type IndexStats = index.Stats
+
+// Engine is the parallel serving layer: a worker pool draining a query
+// queue against one Index, one pooled session per worker. Queries
+// observe consistent copy-on-write snapshots and never block updates.
+type Engine = engine.Engine
+
+// EngineQuery is one unit of work for an Engine (KNN, range or window).
+type EngineQuery = engine.Query
+
+// EngineResult is the outcome of one EngineQuery: neighbors, the query's
+// simulated cost, wall time, and an optional plan trace.
+type EngineResult = engine.Result
+
+// Engine query kinds.
+const (
+	QueryKNN    = engine.KNN
+	QueryRange  = engine.Range
+	QueryWindow = engine.Window
+)
+
+// NewEngine starts a query engine with the given worker count over idx.
+// Close it to drain and stop the workers.
+func NewEngine(sto *Store, idx Index, workers int) *Engine {
+	return engine.New(sto, idx, workers)
+}
+
+// NewEngineWithMetrics is NewEngine with the engine's queue/latency
+// metrics registered in reg instead of a private registry.
+func NewEngineWithMetrics(sto *Store, idx Index, workers int, reg *MetricsRegistry) *Engine {
+	return engine.New(sto, idx, workers, engine.WithRegistry(reg))
+}

@@ -22,9 +22,12 @@ go build ./...
 echo "== go test =="
 go test ./...
 
-echo "== go test -race (short set) =="
-go test -race -short -run 'Concurrent|Session|Pool|Cache|Facade|Registry|Trace|Histogram|Observer' \
-	. ./internal/store/ ./internal/core/ ./internal/obs/
+echo "== go test -race =="
+go test -race ./...
+
+echo "== engine scaling gate =="
+go run ./cmd/iqbench -parallel 1,4 -scale 0.05 -queries 40 \
+	-bench-out /tmp/iqbench_scaling_gate.json -gate
 
 echo "== observer overhead gate =="
 go test -run '^$' -bench 'BenchmarkObserverOverhead' -benchtime 300x -count 3 . |
