@@ -3,6 +3,7 @@ package core
 import (
 	"math"
 
+	"repro/internal/kernel"
 	"repro/internal/mathx"
 	"repro/internal/quantize"
 	"repro/internal/vec"
@@ -46,8 +47,11 @@ func (b *builder) calibrateRefinement(ranges []partRange) float64 {
 	predicted *= float64(len(queries))
 
 	var observed float64
+	var arena kernel.Arena
+	cells := make([]uint32, t.dim)
 	for qi, q := range queries {
 		rq := radii[qi]
+		lbT := kernel.SqThreshold(t.opt.Metric, rq)
 		for _, r := range ranges {
 			bits := t.fitBits(r.hi - r.lo)
 			if bits >= quantize.ExactBits {
@@ -57,11 +61,11 @@ func (b *builder) calibrateRefinement(ranges []partRange) float64 {
 				continue // no cell of this page can undercut the NN distance
 			}
 			grid := quantize.NewGrid(r.mbr, bits)
-			cells := make([]uint32, t.dim)
+			tb := arena.Tables(grid, q, t.opt.Metric, r.hi-r.lo)
 			for i := r.lo; i < r.hi; i++ {
 				p := b.pts[b.perm[i]]
 				cells = grid.Encode(p, cells)
-				if grid.MinDist(q, cells, t.opt.Metric) < rq {
+				if lb, pruned := tb.MinDistPruned(cells, lbT); !pruned && lb < rq {
 					observed++
 				}
 			}

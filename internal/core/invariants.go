@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/kernel"
 	"repro/internal/page"
 	"repro/internal/quantize"
 )
@@ -106,7 +107,7 @@ func (t *Tree) CheckInvariants() error {
 		var cells []uint32
 		var stored []uint32
 		if bits < quantize.ExactBits {
-			stored = qp.Cells(grid)
+			stored = kernel.Unpack(nil, qp.Payload, qp.Count*t.dim, qp.Bits)
 		}
 		for j, p := range pts {
 			if seen[ids[j]] {

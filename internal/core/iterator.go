@@ -4,6 +4,7 @@ import (
 	"errors"
 	"sort"
 
+	"repro/internal/kernel"
 	"repro/internal/page"
 	"repro/internal/pagesched"
 	"repro/internal/quantize"
@@ -44,6 +45,7 @@ type NNIterator struct {
 	confirmed  []Neighbor
 	exactCache map[int32]exactPage
 	regionBuf  []pagesched.Region
+	arena      kernel.Arena // iterator-owned: Next may interleave with other queries on the session
 	started    bool
 	err        error // first read failure; ends the iteration
 }
@@ -163,10 +165,11 @@ func (it *NNIterator) processPage(entry int) {
 			continue
 		}
 		grid := sn.grids[e]
-		cells := qp.Cells(grid)
+		codes := it.arena.Unpack(qp.Payload, qp.Count*t.dim, qp.Bits)
+		tb := it.arena.Tables(grid, it.q, met, qp.Count)
 		it.s.ChargeApproxCPU(t.qFile, t.dim, qp.Count)
 		for i := 0; i < qp.Count; i++ {
-			lb := grid.MinDist(it.q, cells[i*t.dim:(i+1)*t.dim], met)
+			lb := tb.MinDist(codes[i*t.dim : (i+1)*t.dim])
 			it.pushItem(pqItem{dist: lb, entry: int32(e), pt: int32(i)})
 		}
 	}

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/store"
+	"repro/internal/vec"
+)
+
+// benchTree builds a moderately sized IQ-tree on the simulator backend
+// for hot-path benchmarking: clustered data keeps a healthy mix of
+// quantization levels so the filter kernels see realistic pages.
+func benchTree(b *testing.B, n, dim int) (*Tree, []vec.Point) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(7))
+	pts := make([]vec.Point, n)
+	centers := make([]vec.Point, 16)
+	for i := range centers {
+		c := make(vec.Point, dim)
+		for j := range c {
+			c[j] = rng.Float32()
+		}
+		centers[i] = c
+	}
+	for i := range pts {
+		c := centers[rng.Intn(len(centers))]
+		p := make(vec.Point, dim)
+		for j := range p {
+			p[j] = c[j] + 0.05*(rng.Float32()-0.5)
+		}
+		pts[i] = p
+	}
+	sto := store.NewSim(store.DefaultConfig())
+	t, err := Build(sto, pts, DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries := make([]vec.Point, 64)
+	for i := range queries {
+		queries[i] = pts[rng.Intn(len(pts))].Clone()
+	}
+	return t, queries
+}
+
+// BenchmarkKNNHotPath measures the end-to-end CPU cost of one k-NN query
+// on the simulator backend (no I/O latency, pure compute): the quantized
+// filter step dominates. The session is Reset between queries, the
+// steady-state pattern of the engine's pooled workers.
+func BenchmarkKNNHotPath(b *testing.B) {
+	tr, queries := benchTree(b, 20000, 16)
+	s := tr.Store().NewSession()
+	b.Run("KNN", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s.Reset()
+			if _, err := tr.KNN(s, queries[i%len(queries)], 10); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("KNNInto", func(b *testing.B) {
+		b.ReportAllocs()
+		var dst []Neighbor
+		// Warm the session scratch and result buffer on every query shape
+		// so the measured loop reports the steady state (the ci.sh alloc
+		// gate asserts 0 allocs/op here).
+		for _, q := range queries {
+			s.Reset()
+			var err error
+			if dst, err = tr.KNNInto(s, q, 10, dst); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.Reset()
+			var err error
+			if dst, err = tr.KNNInto(s, queries[i%len(queries)], 10, dst); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// TestKNNSteadyStateAllocs pins the zero-allocation guarantee of the
+// warmed KNN hot path: a pooled session plus a reused result buffer must
+// run whole queries without a single heap allocation.
+func TestKNNSteadyStateAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	pts := make([]vec.Point, 4000)
+	for i := range pts {
+		p := make(vec.Point, 12)
+		for j := range p {
+			p[j] = rng.Float32()
+		}
+		pts[i] = p
+	}
+	sto := store.NewSim(store.DefaultConfig())
+	tree, err := Build(sto, pts, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := make([]vec.Point, 16)
+	for i := range queries {
+		queries[i] = pts[rng.Intn(len(pts))].Clone()
+	}
+	s := sto.NewSession()
+	var dst []Neighbor
+	// Warm the scratch arenas and the result buffer.
+	for _, q := range queries {
+		s.Reset()
+		if dst, err = tree.KNNInto(s, q, 10, dst); err != nil {
+			t.Fatal(err)
+		}
+	}
+	qi := 0
+	allocs := testing.AllocsPerRun(100, func() {
+		s.Reset()
+		var err error
+		dst, err = tree.KNNInto(s, queries[qi%len(queries)], 10, dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qi++
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state KNN allocated %v times per query, want 0", allocs)
+	}
+}

@@ -2,8 +2,10 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
+	"repro/internal/kernel"
 	"repro/internal/obs"
 	"repro/internal/page"
 	"repro/internal/pagesched"
@@ -28,22 +30,15 @@ func (t *Tree) RangeSearchTrace(s *store.Session, q vec.Point, eps float64, tr *
 	t.world.RLock()
 	defer t.world.RUnlock()
 	sn := t.load()
-	detach := attachTrace(s, tr, t.sto.Config(), fmt.Sprintf("range eps=%g", eps))
+	label := ""
+	if tr != nil {
+		label = fmt.Sprintf("range eps=%g", eps)
+	}
+	detach := attachTrace(s, tr, t.sto.Config(), label)
 	defer detach()
-	met := t.opt.Metric
-	res, err := t.scanCandidates(s, sn, tr,
-		func(mbr vec.MBR) bool { return mbr.MinDist(q, met) <= eps },
-		func(g quantize.Grid, cells []uint32) candState {
-			if g.MinDist(q, cells, met) > eps {
-				return candOut
-			}
-			return candCheck
-		},
-		func(p vec.Point) (float64, bool) {
-			d := met.Dist(q, p)
-			return d, d <= eps
-		},
-	)
+	sc := scratchFor(s)
+	sc.eps = epsFilter{q: q, eps: eps, met: t.opt.Metric}
+	res, err := t.scanCandidates(s, sn, tr, sc, &sc.eps)
 	if err != nil {
 		return nil, err
 	}
@@ -65,17 +60,9 @@ func (t *Tree) WindowQueryTrace(s *store.Session, w vec.MBR, tr *Trace) ([]Neigh
 	sn := t.load()
 	detach := attachTrace(s, tr, t.sto.Config(), "window")
 	defer detach()
-	return t.scanCandidates(s, sn, tr,
-		func(mbr vec.MBR) bool { return mbr.Intersects(w) },
-		func(g quantize.Grid, cells []uint32) candState {
-			box := g.CellBox(cells)
-			if !w.Intersects(box) {
-				return candOut
-			}
-			return candCheck
-		},
-		func(p vec.Point) (float64, bool) { return 0, w.Contains(p) },
-	)
+	sc := scratchFor(s)
+	sc.win = windowFilter{w: w}
+	return t.scanCandidates(s, sn, tr, sc, &sc.win)
 }
 
 // candState classifies a point approximation during a range/window scan.
@@ -86,17 +73,81 @@ const (
 	candCheck                  // needs the exact point (for the id, and possibly the decision)
 )
 
+// scanFilter is the query-specific part of a range-style scan. The two
+// implementations live in the session scratch so a scan allocates no
+// filter state.
+type scanFilter interface {
+	// pageHit selects directory entries whose page may hold results.
+	pageHit(mbr vec.MBR) bool
+	// preparePage builds the kernel tables for one compressed page.
+	preparePage(sc *queryScratch, g quantize.Grid, count int)
+	// pointHit classifies one point approximation (after preparePage).
+	pointHit(codes []uint32) candState
+	// exactHit decides on the exact point, returning the result distance.
+	exactHit(p vec.Point) (float64, bool)
+}
+
+// epsFilter implements the distance-range predicate via the kernel's
+// table lookups with exact early-abandon: a point is discarded only when
+// its accumulated lower bound provably exceeds eps (the threshold is the
+// next float64 above eps, making prune ⇔ MINDIST > eps bit-exact).
+type epsFilter struct {
+	q   vec.Point
+	eps float64
+	met vec.Metric
+	tb  *kernel.Tables
+	lbT float64
+}
+
+func (f *epsFilter) pageHit(mbr vec.MBR) bool { return mbr.MinDist(f.q, f.met) <= f.eps }
+
+func (f *epsFilter) preparePage(sc *queryScratch, g quantize.Grid, count int) {
+	f.tb = sc.arena.Tables(g, f.q, f.met, count)
+	f.lbT = kernel.SqThreshold(f.met, math.Nextafter(f.eps, math.Inf(1)))
+}
+
+func (f *epsFilter) pointHit(codes []uint32) candState {
+	lb, pruned := f.tb.MinDistPruned(codes, f.lbT)
+	if pruned || lb > f.eps {
+		return candOut
+	}
+	return candCheck
+}
+
+func (f *epsFilter) exactHit(p vec.Point) (float64, bool) {
+	d := f.met.Dist(f.q, p)
+	return d, d <= f.eps
+}
+
+// windowFilter implements the window predicate via the kernel's
+// per-dimension intersection table.
+type windowFilter struct {
+	w  vec.MBR
+	wt *kernel.WindowTable
+}
+
+func (f *windowFilter) pageHit(mbr vec.MBR) bool { return mbr.Intersects(f.w) }
+
+func (f *windowFilter) preparePage(sc *queryScratch, g quantize.Grid, count int) {
+	f.wt = sc.arena.Window(g, f.w, count)
+}
+
+func (f *windowFilter) pointHit(codes []uint32) candState {
+	if f.wt.Hits(codes) {
+		return candCheck
+	}
+	return candOut
+}
+
+func (f *windowFilter) exactHit(p vec.Point) (float64, bool) { return 0, f.w.Contains(p) }
+
 // scanCandidates drives both range-style queries against the pinned
-// snapshot sn: select pages via pageHit, classify approximations via
-// approxHit, and refine candidates via exactHit (which returns the result
-// distance and whether the exact point qualifies). Every qualifying point
-// must be refined regardless of certainty, because point ids live in the
-// exact pages.
-func (t *Tree) scanCandidates(s *store.Session, sn *snapshot, tr *Trace,
-	pageHit func(vec.MBR) bool,
-	approxHit func(quantize.Grid, []uint32) candState,
-	exactHit func(vec.Point) (float64, bool),
-) ([]Neighbor, error) {
+// snapshot sn: select pages via the filter's pageHit, classify
+// approximations via pointHit, and refine candidates via exactHit (which
+// returns the result distance and whether the exact point qualifies).
+// Every qualifying point must be refined regardless of certainty, because
+// point ids live in the exact pages.
+func (t *Tree) scanCandidates(s *store.Session, sn *snapshot, tr *Trace, sc *queryScratch, f scanFilter) ([]Neighbor, error) {
 	// Level 1: directory scan.
 	if sn.dirBlocks > 0 {
 		if _, err := s.Read(t.dirFile, 0, sn.dirBlocks); err != nil {
@@ -105,17 +156,20 @@ func (t *Tree) scanCandidates(s *store.Session, sn *snapshot, tr *Trace,
 	}
 	s.ChargeApproxCPU(t.dirFile, t.dim, len(sn.entries))
 
-	var positions []int
-	posEntry := make(map[int]int)
+	sc.pts.Reset()
+	positions := sc.positions[:0]
+	clear(sc.posEntry)
+	posEntry := sc.posEntry
 	for i, e := range sn.entries {
 		if sn.free[i] {
 			continue
 		}
-		if pageHit(e.MBR) {
+		if f.pageHit(e.MBR) {
 			positions = append(positions, int(e.QPos))
 			posEntry[int(e.QPos)] = i
 		}
 	}
+	sc.positions = positions
 	if len(positions) == 0 {
 		return nil, nil
 	}
@@ -142,11 +196,11 @@ func (t *Tree) scanCandidates(s *store.Session, sn *snapshot, tr *Trace,
 				continue
 			}
 			pending++
-			res, err := t.rangePage(s, sn, tr, entry, buf[j*pageBytes:(j+1)*pageBytes], approxHit, exactHit)
+			res, err := t.rangePage(s, sn, tr, sc, f, entry, buf[j*pageBytes:(j+1)*pageBytes], out)
 			if err != nil {
 				return nil, err
 			}
-			out = append(out, res...)
+			out = res
 		}
 		tr.AddBatch(obs.BatchDecision{
 			Pivot:   -1, // known-set run: no pivot
@@ -158,38 +212,40 @@ func (t *Tree) scanCandidates(s *store.Session, sn *snapshot, tr *Trace,
 	return out, nil
 }
 
-// rangePage processes one candidate page of a range-style query.
-func (t *Tree) rangePage(s *store.Session, sn *snapshot, tr *Trace, entry int, buf []byte,
-	approxHit func(quantize.Grid, []uint32) candState,
-	exactHit func(vec.Point) (float64, bool),
-) ([]Neighbor, error) {
+// rangePage processes one candidate page of a range-style query,
+// appending qualifying neighbors to out. Result points are copied out of
+// the scratch arenas before they escape.
+func (t *Tree) rangePage(s *store.Session, sn *snapshot, tr *Trace, sc *queryScratch, f scanFilter,
+	entry int, buf []byte, out []Neighbor) ([]Neighbor, error) {
 	qp := page.UnmarshalQPage(buf)
-	var out []Neighbor
 	if qp.Bits == quantize.ExactBits {
-		pts, ids := qp.ExactPoints(t.dim)
+		pts, ids := sc.pts.DecodeQPage(qp.Payload, qp.Count, t.dim)
 		s.ChargeDistCPU(t.qFile, t.dim, len(pts))
 		for i, p := range pts {
-			if d, ok := exactHit(p); ok {
-				out = append(out, Neighbor{ID: ids[i], Dist: d, Point: p})
+			if d, ok := f.exactHit(p); ok {
+				out = append(out, Neighbor{ID: ids[i], Dist: d, Point: p.Clone()})
 			}
 		}
 		return out, nil
 	}
 	grid := sn.grids[entry]
-	cells := qp.Cells(grid)
+	codes := sc.arena.Unpack(qp.Payload, qp.Count*t.dim, qp.Bits)
+	f.preparePage(sc, grid, qp.Count)
 	s.ChargeApproxCPU(t.qFile, t.dim, qp.Count)
-	var need []int
+	need := sc.need[:0]
 	for i := 0; i < qp.Count; i++ {
-		if approxHit(grid, cells[i*t.dim:(i+1)*t.dim]) == candCheck {
+		if f.pointHit(codes[i*t.dim:(i+1)*t.dim]) == candCheck {
 			need = append(need, i)
 		}
 	}
+	sc.need = need
 	tr.AddCandidates(len(need))
 	if len(need) == 0 {
-		return nil, nil
+		return out, nil
 	}
 	// Level 3: candidates of one page are contiguous in the exact file;
-	// read the covering range in a single operation.
+	// read the covering range in a single operation and bulk-decode the
+	// covered span into the point arena.
 	e := sn.entries[entry]
 	entrySize := page.ExactEntrySize(t.dim)
 	base := int(e.EPos) * t.sto.Config().BlockSize
@@ -201,11 +257,12 @@ func (t *Tree) rangePage(s *store.Session, sn *snapshot, tr *Trace, entry int, b
 	}
 	tr.AddRefinement(len(need))
 	s.ChargeDistCPU(t.eFile, t.dim, len(need))
+	span := need[len(need)-1] - need[0] + 1
+	pts, ids := sc.pts.DecodeExact(raw[rel:], span, t.dim)
 	for _, i := range need {
-		off := rel + (i-need[0])*entrySize
-		p, id := page.UnmarshalExactEntry(raw[off:], t.dim)
-		if d, ok := exactHit(p); ok {
-			out = append(out, Neighbor{ID: id, Dist: d, Point: p})
+		j := i - need[0]
+		if d, ok := f.exactHit(pts[j]); ok {
+			out = append(out, Neighbor{ID: ids[j], Dist: d, Point: pts[j].Clone()})
 		}
 	}
 	return out, nil

@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 
+	"repro/internal/kernel"
 	"repro/internal/obs"
 	"repro/internal/page"
 	"repro/internal/pagesched"
@@ -49,20 +50,48 @@ func (t *Tree) KNN(s *store.Session, q vec.Point, k int) ([]Neighbor, error) {
 // (displacing, then restoring, any previously attached observer), so it
 // records the per-level cost decomposition alongside the plan events.
 func (t *Tree) KNNTrace(s *store.Session, q vec.Point, k int, tr *Trace) ([]Neighbor, error) {
+	st, err := t.knn(s, q, k, tr)
+	if st == nil || err != nil {
+		return nil, err
+	}
+	return st.results(), nil
+}
+
+// KNNInto is KNN reusing the caller's result buffer: dst (grown as
+// needed) receives the neighbors and is returned; the per-neighbor Point
+// backing arrays of dst are reused when large enough. A warmed
+// (dst, session) pair makes repeated queries allocation-free. The
+// returned slice and its points are owned by the caller until the next
+// KNNInto with the same dst.
+func (t *Tree) KNNInto(s *store.Session, q vec.Point, k int, dst []Neighbor) ([]Neighbor, error) {
+	st, err := t.knn(s, q, k, obs.TraceFrom(s.Observer()))
+	if st == nil || err != nil {
+		return nil, err
+	}
+	return st.resultsInto(dst), nil
+}
+
+// knn runs the shared search; a nil state (with nil error) means the
+// empty-query case.
+func (t *Tree) knn(s *store.Session, q vec.Point, k int, tr *Trace) (*nnSearch, error) {
 	t.world.RLock()
 	defer t.world.RUnlock()
 	sn := t.load()
-	detach := attachTrace(s, tr, t.sto.Config(), fmt.Sprintf("knn k=%d", k))
+	label := ""
+	if tr != nil {
+		label = fmt.Sprintf("knn k=%d", k)
+	}
+	detach := attachTrace(s, tr, t.sto.Config(), label)
 	defer detach()
 	if k <= 0 || sn.n == 0 {
 		return nil, s.Err()
 	}
-	st := &nnSearch{t: t, sn: sn, s: s, q: q, k: k, tr: tr}
+	st := scratchFor(s).beginSearch(t, sn, s, q, k, tr)
 	st.run()
 	if st.err != nil {
 		return nil, st.err
 	}
-	return st.results(), nil
+	return st, nil
 }
 
 // attachTrace installs tr as the session's observer and returns the
@@ -94,7 +123,8 @@ type nnSearch struct {
 	q   vec.Point
 	k   int
 	tr  *Trace
-	err error // first read failure; aborts the search
+	sc  *queryScratch // owning scratch (arenas, sorter, prob buffers)
+	err error         // first read failure; aborts the search
 
 	minD      []float64 // MINDIST per directory entry
 	processed []bool
@@ -154,8 +184,6 @@ func (st *nnSearch) run() {
 	}
 	st.s.ChargeApproxCPU(t.dirFile, t.dim, len(sn.entries))
 
-	st.minD = make([]float64, len(sn.entries))
-	st.processed = make([]bool, len(sn.entries))
 	for i, e := range sn.entries {
 		if sn.free[i] {
 			st.processed[i] = true
@@ -165,7 +193,8 @@ func (st *nnSearch) run() {
 		st.pushItem(pqItem{dist: st.minD[i], entry: int32(i), pt: -1})
 		st.sorted = append(st.sorted, int32(i))
 	}
-	sort.Slice(st.sorted, func(a, b int) bool { return st.minD[st.sorted[a]] < st.minD[st.sorted[b]] })
+	st.sc.sorter = entrySorter{minD: st.minD, idx: st.sorted}
+	sort.Sort(&st.sc.sorter)
 
 	for len(st.heap) > 0 && st.err == nil {
 		it := st.popItem()
@@ -212,11 +241,12 @@ func (st *nnSearch) processBatch(entry int) {
 	t := st.t
 	sn := st.sn
 	pivot := int(sn.entries[entry].QPos)
-	sched := &pagesched.Scheduler{
+	sched := &st.sc.sched
+	*sched = pagesched.Scheduler{
 		Cfg:        t.sto.Config(),
 		PageBlocks: t.opt.QPageBlocks,
 		NumPages:   len(sn.entryAt),
-		Prob:       st.accessProb,
+		Prob:       st.sc.probFn,
 		Trace:      st.tr,
 	}
 	first, last := sched.Batch(pivot)
@@ -267,12 +297,19 @@ func (st *nnSearch) accessProb(pos int) float64 {
 			MinDist: st.minD[e],
 		})
 	}
-	return pagesched.AccessProbability(st.q, st.t.opt.Metric, r, st.regionBuf)
+	return st.sc.prob.AccessProbability(st.q, st.t.opt.Metric, r, st.regionBuf)
 }
 
 // processPage decodes one quantized page: exact (32-bit) pages yield final
 // distances directly; compressed pages yield per-point box approximations
 // that enter the priority list.
+//
+// This is the CPU hot loop of the filter step. The page's codes are
+// bulk-unpacked once, per-point bounds come from the kernel's per-query
+// lookup tables, and points whose bounds provably clear both the prune
+// radius and the current kth upper bound are abandoned mid-accumulation
+// (every decision is bit-identical to the naive Grid math; see
+// internal/kernel).
 func (st *nnSearch) processPage(entry int, buf []byte) {
 	t := st.t
 	st.processed[entry] = true
@@ -283,7 +320,7 @@ func (st *nnSearch) processPage(entry int, buf []byte) {
 	qp := page.UnmarshalQPage(buf)
 	met := t.opt.Metric
 	if qp.Bits == quantize.ExactBits {
-		pts, ids := qp.ExactPoints(t.dim)
+		pts, ids := st.sc.pts.DecodeQPage(qp.Payload, qp.Count, t.dim)
 		st.s.ChargeDistCPU(t.qFile, t.dim, len(pts))
 		for i, p := range pts {
 			d := met.Dist(st.q, p)
@@ -293,15 +330,32 @@ func (st *nnSearch) processPage(entry int, buf []byte) {
 		return
 	}
 	grid := st.sn.grids[entry]
-	cells := qp.Cells(grid)
+	codes := st.sc.arena.Unpack(qp.Payload, qp.Count*t.dim, qp.Bits)
+	tb := st.sc.arena.Tables(grid, st.q, met, qp.Count)
 	st.s.ChargeApproxCPU(t.qFile, t.dim, qp.Count)
 	cand := 0
+	// prune/bound only shrink while scanning the page, so thresholds
+	// cached here stay safe: a point abandoned against a stale (larger)
+	// threshold would be abandoned against the current one too. They are
+	// refreshed whenever pushUB actually changes the upper-bound heap.
+	prune := st.prune()
+	bound := st.bound()
+	lbT := kernel.SqThreshold(met, prune)
+	ubT := kernel.SqThreshold(met, bound)
 	for i := 0; i < qp.Count; i++ {
-		cs := cells[i*t.dim : (i+1)*t.dim]
-		lb := grid.MinDist(st.q, cs, met)
-		ubD := grid.MaxDist(st.q, cs, met)
-		st.pushUB(ubD)
-		if lb < st.prune() {
+		cs := codes[i*t.dim : (i+1)*t.dim]
+		lb, ubD, pruned := tb.BoundsPruned(cs, lbT, ubT)
+		if pruned {
+			// lb ≥ prune (no candidate) and ubD ≥ bound (pushUB no-op).
+			continue
+		}
+		if st.pushUB(ubD) {
+			prune = st.prune()
+			bound = st.bound()
+			lbT = kernel.SqThreshold(met, prune)
+			ubT = kernel.SqThreshold(met, bound)
+		}
+		if lb < prune {
 			cand++
 			st.pushItem(pqItem{dist: lb, entry: int32(entry), pt: int32(i)})
 		}
@@ -325,10 +379,8 @@ func (st *nnSearch) refine(it pqItem) {
 			return
 		}
 		st.tr.AddRefinement(int(e.Count))
-		ep = exactPage{pts: make([]vec.Point, e.Count), ids: make([]uint32, e.Count)}
-		for i := 0; i < int(e.Count); i++ {
-			ep.pts[i], ep.ids[i] = page.UnmarshalExactEntry(raw[rel+i*entrySize:], t.dim)
-		}
+		pts, ids := st.sc.pts.DecodeExact(raw[rel:], int(e.Count), t.dim)
+		ep = exactPage{pts: pts, ids: ids}
 		if st.exactCache == nil {
 			st.exactCache = make(map[int32]exactPage)
 		}
@@ -349,26 +401,57 @@ func (st *nnSearch) addResult(nb Neighbor) {
 	}
 }
 
+// results pops the result heap into a fresh, caller-owned slice. The
+// result points may alias the scratch point arena, so they are cloned.
 func (st *nnSearch) results() []Neighbor {
 	out := make([]Neighbor, len(st.res))
 	for i := len(out) - 1; i >= 0; i-- {
-		out[i] = st.res.pop()
+		nb := st.res.pop()
+		nb.Point = nb.Point.Clone()
+		out[i] = nb
 	}
 	return out
 }
 
-// pushUB records a candidate upper bound in the k-smallest-UB max-heap.
-func (st *nnSearch) pushUB(ub float64) {
+// resultsInto pops the result heap into dst, reusing its backing array
+// and, where capacities allow, the per-neighbor Point backing arrays.
+func (st *nnSearch) resultsInto(dst []Neighbor) []Neighbor {
+	n := len(st.res)
+	if cap(dst) < n {
+		grown := make([]Neighbor, n)
+		copy(grown, dst[:cap(dst)])
+		dst = grown
+	}
+	dst = dst[:n]
+	for i := n - 1; i >= 0; i-- {
+		nb := st.res.pop()
+		p := dst[i].Point
+		if cap(p) < len(nb.Point) {
+			p = make(vec.Point, len(nb.Point))
+		}
+		p = p[:len(nb.Point)]
+		copy(p, nb.Point)
+		nb.Point = p
+		dst[i] = nb
+	}
+	return dst
+}
+
+// pushUB records a candidate upper bound in the k-smallest-UB max-heap,
+// reporting whether the heap changed (i.e. whether the kth-smallest
+// upper bound may have moved).
+func (st *nnSearch) pushUB(ub float64) bool {
 	if len(st.ub) == st.k {
 		if ub >= st.ub[0] {
-			return
+			return false
 		}
 		st.ub[0] = ub
 		siftDownF(st.ub, 0)
-		return
+		return true
 	}
 	st.ub = append(st.ub, ub)
 	siftUpF(st.ub, len(st.ub)-1)
+	return true
 }
 
 // --- small specialized heaps (avoid container/heap interface boxing in

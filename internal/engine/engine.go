@@ -15,6 +15,7 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"time"
 
@@ -202,6 +203,11 @@ func (e *Engine) worker(id int) {
 		e.account(id, j.res)
 		e.sessions.Put(s)
 		j.done.Done()
+		// Yield between queries: a warmed query runs in microseconds with
+		// no allocation (no preemption points), so on a host with fewer
+		// cores than workers one goroutine could otherwise drain the whole
+		// queue inside a scheduler quantum, starving the rest of the pool.
+		runtime.Gosched()
 	}
 }
 

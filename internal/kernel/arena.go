@@ -1,0 +1,145 @@
+package kernel
+
+import (
+	"encoding/binary"
+	"math"
+
+	"repro/internal/quantize"
+	"repro/internal/vec"
+)
+
+// Arena owns the reusable scratch of one query path: the bulk-decoded
+// code buffer plus the distance and window tables. An Arena is not safe
+// for concurrent use; sessions own one each (see core's query scratch).
+// All buffers grow to the high-water mark and are reused, so a warmed
+// arena allocates nothing.
+type Arena struct {
+	codes  []uint32
+	tables Tables
+	window WindowTable
+}
+
+// Unpack bulk-decodes n codes of the given width from src into the
+// arena's code buffer and returns it. The buffer is valid until the next
+// Unpack call on this arena.
+func (a *Arena) Unpack(src []byte, n, bits int) []uint32 {
+	a.codes = Unpack(a.codes, src, n, bits)
+	return a.codes
+}
+
+// Tables builds (reusing the arena's buffers) the distance tables for
+// query q over grid g; count is the expected number of points to bound.
+// The returned tables are valid until the next Tables call.
+func (a *Arena) Tables(g quantize.Grid, q vec.Point, met vec.Metric, count int) *Tables {
+	a.tables.build(g, q, met, count)
+	return &a.tables
+}
+
+// Window builds (reusing the arena's buffers) the window-intersection
+// table for window win over grid g. Valid until the next Window call.
+func (a *Arena) Window(g quantize.Grid, win vec.MBR, count int) *WindowTable {
+	a.window.build(g, win, count)
+	return &a.window
+}
+
+// PointArena is a grow-only arena for decoded exact points: coordinates
+// live in one flat float32 backing array, point headers and ids in two
+// parallel slices. Reset recycles the memory for the next query; slices
+// handed out earlier stay readable (growth never rewrites published
+// regions) but alias recycled memory after Reset, so results that
+// outlive the query must be copied out.
+type PointArena struct {
+	flat []float32
+	pts  []vec.Point
+	ids  []uint32
+}
+
+// Reset recycles the arena for a new query.
+func (a *PointArena) Reset() {
+	a.flat = a.flat[:0]
+	a.pts = a.pts[:0]
+	a.ids = a.ids[:0]
+}
+
+// alloc reserves room for count points of dimensionality dim plus their
+// ids and returns the fresh (zeroed region) slices.
+func (a *PointArena) alloc(count, dim int) (flat []float32, pts []vec.Point, ids []uint32) {
+	a.flat = growTail(a.flat, count*dim)
+	a.pts = growTailPts(a.pts, count)
+	a.ids = growTailIDs(a.ids, count)
+	return a.flat[len(a.flat)-count*dim:], a.pts[len(a.pts)-count:], a.ids[len(a.ids)-count:]
+}
+
+// DecodeExact decodes count third-level exact entries (d float32 coords
+// followed by a uint32 id, per entry — the page.UnmarshalExactEntry
+// layout) into the arena and returns the point and id slices.
+func (a *PointArena) DecodeExact(raw []byte, count, dim int) ([]vec.Point, []uint32) {
+	flat, pts, ids := a.alloc(count, dim)
+	le := binary.LittleEndian
+	off := 0
+	for i := 0; i < count; i++ {
+		p := flat[i*dim : (i+1)*dim : (i+1)*dim]
+		for j := 0; j < dim; j++ {
+			p[j] = math.Float32frombits(le.Uint32(raw[off:]))
+			off += 4
+		}
+		pts[i] = p
+		ids[i] = le.Uint32(raw[off:])
+		off += 4
+	}
+	return pts, ids
+}
+
+// DecodeQPage decodes the payload of a 32-bit quantized page (count·d
+// float32 coords, then count uint32 ids — the page.QPage exact layout)
+// into the arena and returns the point and id slices.
+func (a *PointArena) DecodeQPage(payload []byte, count, dim int) ([]vec.Point, []uint32) {
+	flat, pts, ids := a.alloc(count, dim)
+	le := binary.LittleEndian
+	off := 0
+	for i := 0; i < count; i++ {
+		p := flat[i*dim : (i+1)*dim : (i+1)*dim]
+		for j := 0; j < dim; j++ {
+			p[j] = math.Float32frombits(le.Uint32(payload[off:]))
+			off += 4
+		}
+		pts[i] = p
+	}
+	for i := 0; i < count; i++ {
+		ids[i] = le.Uint32(payload[off:])
+		off += 4
+	}
+	return pts, ids
+}
+
+// growTail extends s by n elements, reusing capacity when possible; the
+// old backing array is left intact (earlier aliases stay readable).
+func growTail(s []float32, n int) []float32 {
+	need := len(s) + n
+	if cap(s) >= need {
+		return s[:need]
+	}
+	ns := make([]float32, need, 2*need)
+	copy(ns, s)
+	return ns
+}
+
+func growTailPts(s []vec.Point, n int) []vec.Point {
+	need := len(s) + n
+	if cap(s) >= need {
+		return s[:need]
+	}
+	ns := make([]vec.Point, need, 2*need)
+	copy(ns, s)
+	return ns
+}
+
+func growTailIDs(s []uint32, n int) []uint32 {
+	need := len(s) + n
+	if cap(s) >= need {
+		return s[:need]
+	}
+	ns := make([]uint32, need, 2*need)
+	copy(ns, s)
+	return ns
+}

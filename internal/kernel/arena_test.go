@@ -1,0 +1,93 @@
+package kernel
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/page"
+	"repro/internal/quantize"
+	"repro/internal/vec"
+)
+
+func randPts(rng *rand.Rand, n, dim int) ([]vec.Point, []uint32) {
+	pts := make([]vec.Point, n)
+	ids := make([]uint32, n)
+	for i := range pts {
+		p := make(vec.Point, dim)
+		for j := range p {
+			p[j] = rng.Float32()*10 - 5
+		}
+		pts[i] = p
+		ids[i] = rng.Uint32()
+	}
+	return pts, ids
+}
+
+// TestDecodeExactMatchesUnmarshal checks the arena decoder against
+// page.UnmarshalExactEntry on the level-3 exact-entry layout.
+func TestDecodeExactMatchesUnmarshal(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var a PointArena
+	for _, dim := range []int{1, 3, 16} {
+		pts, ids := randPts(rng, 37, dim)
+		raw := page.MarshalExact(pts, ids)
+		a.Reset()
+		gotPts, gotIDs := a.DecodeExact(raw, len(pts), dim)
+		es := page.ExactEntrySize(dim)
+		for i := range pts {
+			wantP, wantID := page.UnmarshalExactEntry(raw[i*es:], dim)
+			if !gotPts[i].Equal(wantP) || gotIDs[i] != wantID {
+				t.Fatalf("dim=%d entry %d: got (%v,%d) want (%v,%d)", dim, i, gotPts[i], gotIDs[i], wantP, wantID)
+			}
+		}
+	}
+}
+
+// TestDecodeQPageMatchesExactPoints checks the arena decoder against
+// page.QPage.ExactPoints on 32-bit (exact) quantized pages.
+func TestDecodeQPageMatchesExactPoints(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	var a PointArena
+	for _, dim := range []int{2, 8} {
+		pts, ids := randPts(rng, 41, dim)
+		g := quantize.NewGrid(vec.MBROf(pts), quantize.ExactBits)
+		buf := page.MarshalQPage(g, pts, ids, 1<<14)
+		qp := page.UnmarshalQPage(buf)
+		wantPts, wantIDs := qp.ExactPoints(dim)
+		a.Reset()
+		gotPts, gotIDs := a.DecodeQPage(qp.Payload, int(qp.Count), dim)
+		if len(gotPts) != len(wantPts) {
+			t.Fatalf("dim=%d: count %d want %d", dim, len(gotPts), len(wantPts))
+		}
+		for i := range wantPts {
+			if !gotPts[i].Equal(wantPts[i]) || gotIDs[i] != wantIDs[i] {
+				t.Fatalf("dim=%d entry %d: got (%v,%d) want (%v,%d)", dim, i, gotPts[i], gotIDs[i], wantPts[i], wantIDs[i])
+			}
+		}
+	}
+}
+
+// TestPointArenaStableAcrossGrowth checks that growing the arena never
+// rewrites previously returned regions within one query.
+func TestPointArenaStableAcrossGrowth(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var a PointArena
+	dim := 4
+	pts, ids := randPts(rng, 8, dim)
+	raw := page.MarshalExact(pts, ids)
+	first, firstIDs := a.DecodeExact(raw, len(pts), dim)
+	snapshot := make([]vec.Point, len(first))
+	for i, p := range first {
+		snapshot[i] = p.Clone()
+	}
+	for k := 0; k < 6; k++ { // force several growth doublings
+		more, _ := randPts(rng, 64, dim)
+		moreIDs := make([]uint32, len(more))
+		a.DecodeExact(page.MarshalExact(more, moreIDs), len(more), dim)
+	}
+	for i := range first {
+		if !first[i].Equal(snapshot[i]) || firstIDs[i] != ids[i] {
+			t.Fatalf("entry %d rewritten after growth", i)
+		}
+	}
+}

@@ -1,0 +1,123 @@
+package kernel
+
+import "encoding/binary"
+
+// Unpack decodes n codes of the given bit width from the LSB-first bit
+// stream src (the quantize.BitWriter format) into dst, growing dst if
+// needed, and returns the filled prefix. It produces exactly the codes
+// quantize.BitReader would read, but decodes whole pages at once with
+// width-specialized unrolled loops instead of one bit-field at a time.
+func Unpack(dst []uint32, src []byte, n, bits int) []uint32 {
+	return UnpackOff(dst, src, 0, n, bits)
+}
+
+// UnpackOff decodes n codes starting at code index start of the stream.
+// The specialized fast paths require the start bit offset (start·bits)
+// to be byte-aligned — any start that is a multiple of 8 codes is
+// aligned for every width — otherwise the word-wise generic decoder
+// handles the stream at full correctness.
+func UnpackOff(dst []uint32, src []byte, start, n, bits int) []uint32 {
+	if cap(dst) < n {
+		dst = make([]uint32, n)
+	}
+	dst = dst[:n]
+	if n == 0 {
+		return dst
+	}
+	off := start * bits
+	if off&7 != 0 {
+		unpackGeneric(dst, src, start, n, bits)
+		return dst
+	}
+	b := src[off>>3:]
+	switch bits {
+	case 1:
+		unpack1(dst, b, n)
+	case 2:
+		unpack2(dst, b, n)
+	case 4:
+		unpack4(dst, b, n)
+	case 8:
+		for i := 0; i < n; i++ {
+			dst[i] = uint32(b[i])
+		}
+	case 16:
+		for i := 0; i < n; i++ {
+			dst[i] = uint32(b[2*i]) | uint32(b[2*i+1])<<8
+		}
+	case 32:
+		for i := 0; i < n; i++ {
+			dst[i] = binary.LittleEndian.Uint32(b[4*i:])
+		}
+	default:
+		unpackGeneric(dst, src, start, n, bits)
+	}
+	return dst
+}
+
+func unpack1(dst []uint32, b []byte, n int) {
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		v := b[i>>3]
+		dst[i+0] = uint32(v) & 1
+		dst[i+1] = uint32(v>>1) & 1
+		dst[i+2] = uint32(v>>2) & 1
+		dst[i+3] = uint32(v>>3) & 1
+		dst[i+4] = uint32(v>>4) & 1
+		dst[i+5] = uint32(v>>5) & 1
+		dst[i+6] = uint32(v>>6) & 1
+		dst[i+7] = uint32(v >> 7)
+	}
+	for ; i < n; i++ {
+		dst[i] = uint32(b[i>>3]>>(uint(i)&7)) & 1
+	}
+}
+
+func unpack2(dst []uint32, b []byte, n int) {
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		v := b[i>>2]
+		dst[i+0] = uint32(v) & 3
+		dst[i+1] = uint32(v>>2) & 3
+		dst[i+2] = uint32(v>>4) & 3
+		dst[i+3] = uint32(v >> 6)
+	}
+	for ; i < n; i++ {
+		dst[i] = uint32(b[i>>2]>>(2*(uint(i)&3))) & 3
+	}
+}
+
+func unpack4(dst []uint32, b []byte, n int) {
+	i := 0
+	for ; i+2 <= n; i += 2 {
+		v := b[i>>1]
+		dst[i+0] = uint32(v) & 15
+		dst[i+1] = uint32(v >> 4)
+	}
+	if i < n {
+		dst[i] = uint32(b[i>>1]) & 15
+	}
+}
+
+// unpackGeneric decodes codes of any width ≤ 32 at any bit offset by
+// loading a 64-bit little-endian window per code (width + intra-byte
+// shift ≤ 39 < 64 always fits). Near the end of the stream the window is
+// assembled from the remaining bytes.
+func unpackGeneric(dst []uint32, src []byte, start, n, bits int) {
+	mask := uint32(1)<<uint(bits) - 1 // bits = 32 wraps to all-ones
+	bitPos := start * bits
+	for i := 0; i < n; i++ {
+		byteIdx := bitPos >> 3
+		shift := uint(bitPos & 7)
+		var w uint64
+		if byteIdx+8 <= len(src) {
+			w = binary.LittleEndian.Uint64(src[byteIdx:])
+		} else {
+			for j := 0; j < 8 && byteIdx+j < len(src); j++ {
+				w |= uint64(src[byteIdx+j]) << uint(8*j)
+			}
+		}
+		dst[i] = uint32(w>>shift) & mask
+		bitPos += bits
+	}
+}

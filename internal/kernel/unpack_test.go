@@ -1,0 +1,65 @@
+package kernel
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/quantize"
+)
+
+// TestUnpackMatchesBitReader checks every width 1..32 against the
+// generic quantize.BitReader, including offset decodes at byte-aligned
+// (multiple-of-8 codes) and arbitrary starts.
+func TestUnpackMatchesBitReader(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for bits := 1; bits <= 32; bits++ {
+		for _, n := range []int{0, 1, 7, 8, 63, 64, 300} {
+			mask := uint32(1)<<uint(bits) - 1 // bits=32 wraps to all-ones
+			codes := make([]uint32, n)
+			bw := quantize.NewBitWriter(n * bits)
+			for i := range codes {
+				codes[i] = rng.Uint32() & mask
+				bw.Write(codes[i], bits)
+			}
+			src := bw.Bytes()
+
+			got := Unpack(nil, src, n, bits)
+			for i, c := range codes {
+				if got[i] != c {
+					t.Fatalf("Unpack bits=%d n=%d: code %d = %#x, want %#x", bits, n, i, got[i], c)
+				}
+			}
+
+			// Offset decodes: a multiple-of-8 start (byte-aligned for any
+			// width) and an arbitrary start exercising the generic path.
+			for _, start := range []int{8, 3} {
+				if start >= n {
+					continue
+				}
+				got := UnpackOff(nil, src, start, n-start, bits)
+				for i, c := range codes[start:] {
+					if got[i] != c {
+						t.Fatalf("UnpackOff bits=%d start=%d: code %d = %#x, want %#x", bits, start, i, got[i], c)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestUnpackReuse checks that an oversized destination buffer is reused
+// without reallocating.
+func TestUnpackReuse(t *testing.T) {
+	bw := quantize.NewBitWriter(16 * 8)
+	for i := 0; i < 16; i++ {
+		bw.Write(uint32(i), 8)
+	}
+	buf := make([]uint32, 0, 64)
+	out := Unpack(buf, bw.Bytes(), 16, 8)
+	if &out[0] != &buf[:1][0] {
+		t.Fatal("Unpack reallocated despite sufficient capacity")
+	}
+	if len(out) != 16 || out[5] != 5 {
+		t.Fatalf("bad decode: len=%d out[5]=%d", len(out), out[5])
+	}
+}

@@ -84,7 +84,10 @@ type QueryTrace struct {
 	SeekCost float64
 	XferCost float64
 
-	index map[string]*LevelTrace
+	// last caches the most recently touched level: traces see at most a
+	// handful of files (one per tree level) but thousands of events, and
+	// consecutive events usually hit the same file.
+	last *LevelTrace
 }
 
 // NewQueryTrace returns an empty trace with the given label.
@@ -108,16 +111,20 @@ func (t *QueryTrace) SetLabel(label string) {
 }
 
 // Level returns (creating if needed) the per-level accumulator for file.
+// A linear scan beats a map here: a query touches at most a few files.
 func (t *QueryTrace) Level(file string) *LevelTrace {
-	if t.index == nil {
-		t.index = make(map[string]*LevelTrace, 4)
+	if t.last != nil && t.last.File == file {
+		return t.last
 	}
-	l, ok := t.index[file]
-	if !ok {
-		l = &LevelTrace{File: file}
-		t.index[file] = l
-		t.Levels = append(t.Levels, l)
+	for _, l := range t.Levels {
+		if l.File == file {
+			t.last = l
+			return l
+		}
 	}
+	l := &LevelTrace{File: file}
+	t.Levels = append(t.Levels, l)
+	t.last = l
 	return l
 }
 

@@ -87,6 +87,20 @@ type Region struct {
 // batching heuristic). For the Euclidean metric the box∩sphere volume
 // uses the fast equal-volume-cube surrogate.
 func AccessProbability(q vec.Point, met vec.Metric, r float64, higher []Region) float64 {
+	var ps ProbScratch
+	return ps.AccessProbability(q, met, r, higher)
+}
+
+// ProbScratch holds the reusable float64 buffers of the access
+// probability computation, so hot query paths can evaluate it without
+// allocating. The zero value is ready; not safe for concurrent use.
+type ProbScratch struct {
+	qf, lo, hi []float64
+}
+
+// AccessProbability is the scratch-buffered equivalent of the package
+// function of the same name; results are identical.
+func (ps *ProbScratch) AccessProbability(q vec.Point, met vec.Metric, r float64, higher []Region) float64 {
 	const maxRegions = 128
 	if r <= 0 {
 		return 1
@@ -96,12 +110,13 @@ func AccessProbability(q vec.Point, met vec.Metric, r float64, higher []Region) 
 	}
 	eucl := met != vec.Maximum
 	d := len(q)
-	qf := make([]float64, d)
+	ps.qf = growF(ps.qf, d)
+	ps.lo = growF(ps.lo, d)
+	ps.hi = growF(ps.hi, d)
+	qf, lo, hi := ps.qf, ps.lo, ps.hi
 	for i, v := range q {
 		qf[i] = float64(v)
 	}
-	lo := make([]float64, d)
-	hi := make([]float64, d)
 	prob := 1.0
 	for _, reg := range higher {
 		if reg.MinDist >= r || reg.Count <= 0 {
@@ -132,6 +147,13 @@ func AccessProbability(q vec.Point, met vec.Metric, r float64, higher []Region) 
 		}
 	}
 	return prob
+}
+
+func growF(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
 }
 
 // Scheduler computes the read batch around a pivot page for the

@@ -27,7 +27,21 @@ type Session struct {
 	perFile map[string]*Stats
 	obs     obs.Observer // nil = no observation (the common case)
 	err     error
+
+	// scratch is an opaque slot for query-layer scratch state (reusable
+	// buffers, arenas) that must follow the session through pooled reuse.
+	// It survives Reset: scratch holders are responsible for their own
+	// per-query re-initialization.
+	scratch any
 }
+
+// Scratch returns the session's scratch slot (nil until SetScratch).
+func (s *Session) Scratch() any { return s.scratch }
+
+// SetScratch stores an opaque scratch value on the session. The slot
+// survives Reset, so query layers can keep warmed buffers across pooled
+// queries.
+func (s *Session) SetScratch(v any) { s.scratch = v }
 
 // SetObserver attaches an observer that receives every cost event the
 // session charges (and the zero-cost buffer-pool hits). Pass nil to
@@ -47,16 +61,20 @@ func (s *Session) Err() error { return s.err }
 // reused for another query: the sticky error, aggregate and per-file
 // stats, head position, and observer are all cleared, and the store's
 // current buffer pool is re-captured (a pool attached after the session
-// was created becomes visible). Pooled reuse (e.g. by the query engine's
-// workers) must Reset between queries or one query's failure and charges
-// leak into the next.
+// was created becomes visible). The scratch slot and the per-file map's
+// backing storage are kept (values are zeroed in place) so pooled reuse
+// reaches a zero-allocation steady state. Pooled reuse (e.g. by the
+// query engine's workers) must Reset between queries or one query's
+// failure and charges leak into the next.
 func (s *Session) Reset() {
 	s.pool = s.st.Pool()
 	s.cur = nil
 	s.head = 0
 	s.started = false
 	s.Stats = Stats{}
-	s.perFile = nil
+	for _, st := range s.perFile {
+		*st = Stats{}
+	}
 	s.obs = nil
 	s.err = nil
 }

@@ -17,12 +17,35 @@ import (
 	"sort"
 
 	"repro/internal/index"
+	"repro/internal/kernel"
 	"repro/internal/obs"
 	"repro/internal/page"
 	"repro/internal/quantize"
 	"repro/internal/store"
 	"repro/internal/vec"
 )
+
+// scanChunk is the number of points bulk-decoded per kernel.UnpackOff
+// call during sequential scans. Any multiple of 8 keeps every chunk
+// start byte-aligned for every bit width; 256 points keeps the decoded
+// codes comfortably inside the L1/L2 caches.
+const scanChunk = 256
+
+// chunks iterates the approximation stream in scanChunk-point chunks,
+// bulk-decoding each into codes and invoking fn(i, cells) per point.
+func (v *VAFile) chunks(buf []byte, fn func(i int, cells []uint32)) {
+	codes := make([]uint32, 0, scanChunk*v.dim)
+	for base := 0; base < v.n; base += scanChunk {
+		cnt := v.n - base
+		if cnt > scanChunk {
+			cnt = scanChunk
+		}
+		codes = kernel.UnpackOff(codes, buf, base*v.dim, cnt*v.dim, v.opt.Bits)
+		for ii := 0; ii < cnt; ii++ {
+			fn(base+ii, codes[ii*v.dim:(ii+1)*v.dim])
+		}
+	}
+}
 
 // Options configures VA-file construction.
 type Options struct {
@@ -323,16 +346,11 @@ func (v *VAFile) KNN(s *store.Session, q vec.Point, k int) ([]vec.Neighbor, erro
 		return nil, err
 	}
 	s.ChargeApproxCPU(v.aFile, v.dim, v.n)
-	r := quantize.NewBitReader(buf)
-	cells := make([]uint32, v.dim)
 	dt := v.buildTables(q)
 
 	ubHeap := make([]float64, 0, k) // max-heap of k smallest upper bounds
 	var cands []candidate
-	for i := 0; i < v.n; i++ {
-		for j := 0; j < v.dim; j++ {
-			cells[j] = r.Read(v.opt.Bits)
-		}
+	v.chunks(buf, func(i int, cells []uint32) {
 		lb, ub := dt.bounds(cells)
 		bound := math.Inf(1)
 		if len(ubHeap) == k {
@@ -348,7 +366,7 @@ func (v *VAFile) KNN(s *store.Session, q vec.Point, k int) ([]vec.Neighbor, erro
 			ubHeap[0] = ub
 			siftDownF(ubHeap, 0)
 		}
-	}
+	})
 	bound := math.Inf(1)
 	if len(ubHeap) == k {
 		bound = ubHeap[0]
@@ -410,23 +428,23 @@ func (v *VAFile) RangeSearch(s *store.Session, q vec.Point, eps float64) ([]vec.
 	}
 	s.ChargeApproxCPU(v.aFile, v.dim, v.n)
 	tr := obs.TraceFrom(s.Observer())
-	r := quantize.NewBitReader(buf)
-	cells := make([]uint32, v.dim)
 	dt := v.buildTables(q)
 	var out []vec.Neighbor
+	var scanErr error
 	entrySize := page.ExactEntrySize(v.dim)
-	for i := 0; i < v.n; i++ {
-		for j := 0; j < v.dim; j++ {
-			cells[j] = r.Read(v.opt.Bits)
+	v.chunks(buf, func(i int, cells []uint32) {
+		if scanErr != nil {
+			return
 		}
 		lb, _ := dt.bounds(cells)
 		if lb > eps {
-			continue
+			return
 		}
 		tr.AddCandidates(1)
 		raw, rel, err := s.ReadRange(v.eFile, i*entrySize, entrySize)
 		if err != nil {
-			return nil, err
+			scanErr = err
+			return
 		}
 		p, id := page.UnmarshalExactEntry(raw[rel:], v.dim)
 		tr.AddRefinement(1)
@@ -434,6 +452,9 @@ func (v *VAFile) RangeSearch(s *store.Session, q vec.Point, eps float64) ([]vec.
 		if d := v.opt.Metric.Dist(q, p); d <= eps {
 			out = append(out, vec.Neighbor{ID: id, Dist: d, Point: p})
 		}
+	})
+	if scanErr != nil {
+		return nil, scanErr
 	}
 	sort.Slice(out, func(a, b int) bool { return out[a].Dist < out[b].Dist })
 	return out, nil
@@ -525,29 +546,24 @@ func (v *VAFile) WindowQuery(s *store.Session, w vec.MBR) ([]vec.Neighbor, error
 	}
 	s.ChargeApproxCPU(v.aFile, v.dim, v.n)
 	tr := obs.TraceFrom(s.Observer())
-	r := quantize.NewBitReader(buf)
-	cells := make([]uint32, v.dim)
 	var out []vec.Neighbor
+	var scanErr error
 	entrySize := page.ExactEntrySize(v.dim)
-	for i := 0; i < v.n; i++ {
-		intersects := true
+	v.chunks(buf, func(i int, cells []uint32) {
+		if scanErr != nil {
+			return
+		}
 		for j := 0; j < v.dim; j++ {
-			cells[j] = r.Read(v.opt.Bits)
-			if !intersects {
-				continue
-			}
 			clo, chi := v.cellBounds(j, cells[j])
 			if chi < float64(w.Lo[j]) || clo > float64(w.Hi[j]) {
-				intersects = false
+				return
 			}
-		}
-		if !intersects {
-			continue
 		}
 		tr.AddCandidates(1)
 		raw, rel, err := s.ReadRange(v.eFile, i*entrySize, entrySize)
 		if err != nil {
-			return nil, err
+			scanErr = err
+			return
 		}
 		p, id := page.UnmarshalExactEntry(raw[rel:], v.dim)
 		tr.AddRefinement(1)
@@ -555,6 +571,9 @@ func (v *VAFile) WindowQuery(s *store.Session, w vec.MBR) ([]vec.Neighbor, error
 		if w.Contains(p) {
 			out = append(out, vec.Neighbor{ID: id, Point: p})
 		}
+	})
+	if scanErr != nil {
+		return nil, scanErr
 	}
 	return out, nil
 }

@@ -23,14 +23,20 @@ echo "== go test =="
 go test ./...
 
 echo "== go test -race =="
-go test -race ./...
+# internal/core alone needs ~10 min under race on a single-core host,
+# right at the default 10m per-binary timeout; give it headroom.
+go test -race -timeout 1800s ./...
 
 echo "== engine scaling gate =="
 go run ./cmd/iqbench -parallel 1,4 -scale 0.05 -queries 40 \
 	-bench-out /tmp/iqbench_scaling_gate.json -gate
 
 echo "== observer overhead gate =="
-go test -run '^$' -bench 'BenchmarkObserverOverhead' -benchtime 300x -count 3 . |
+# The bound is 5% of one query. The filter kernels made the untraced
+# query ~10x faster, so this is a tighter absolute budget (~55us) than
+# the original 2%-of-11.6ms gate; 2% of the current ~1.1ms op is below
+# single-core host noise, hence the relative bound moved.
+go test -run '^$' -bench 'BenchmarkObserverOverhead' -benchtime 1000x -count 5 . |
 	awk '
 		/BenchmarkObserverOverhead\/off/ { if (!moff || $3 < moff) moff = $3 }
 		/BenchmarkObserverOverhead\/on/  { if (!mon  || $3 < mon)  mon  = $3 }
@@ -38,8 +44,39 @@ go test -run '^$' -bench 'BenchmarkObserverOverhead' -benchtime 300x -count 3 . 
 			if (!moff || !mon) { print "gate: missing benchmark output" > "/dev/stderr"; exit 1 }
 			ratio = mon / moff
 			printf "observer on/off ns per op ratio: %.4f\n", ratio
-			if (ratio > 1.02) {
-				printf "observer overhead gate FAILED: %.1f%% > 2%%\n", (ratio - 1) * 100 > "/dev/stderr"
+			if (ratio > 1.05) {
+				printf "observer overhead gate FAILED: %.1f%% > 5%%\n", (ratio - 1) * 100 > "/dev/stderr"
+				exit 1
+			}
+		}'
+
+echo "== kernel filter gate =="
+go test -run '^$' -bench 'BenchmarkQuantizedFilter' -benchtime 200x -count 3 ./internal/kernel |
+	awk '
+		/BenchmarkQuantizedFilter\/naive/  { if (!mn || $3 < mn) mn = $3 }
+		/BenchmarkQuantizedFilter\/kernel/ { if (!mk || $3 < mk) mk = $3 }
+		END {
+			if (!mn || !mk) { print "gate: missing benchmark output" > "/dev/stderr"; exit 1 }
+			ratio = mn / mk
+			printf "kernel vs naive filter speedup: %.2fx\n", ratio
+			if (ratio < 2) {
+				printf "kernel filter gate FAILED: %.2fx < 2x\n", ratio > "/dev/stderr"
+				exit 1
+			}
+		}'
+
+echo "== KNN steady-state alloc gate =="
+go test -run '^$' -bench 'BenchmarkKNNHotPath/KNNInto' -benchtime 50x ./internal/core |
+	awk '
+		/BenchmarkKNNHotPath\/KNNInto/ {
+			found = 1
+			for (i = 1; i <= NF; i++) if ($i == "allocs/op") allocs = $(i - 1)
+		}
+		END {
+			if (!found) { print "gate: missing benchmark output" > "/dev/stderr"; exit 1 }
+			printf "steady-state KNNInto allocs/op: %s\n", allocs
+			if (allocs + 0 != 0) {
+				print "alloc gate FAILED: want 0 allocs/op" > "/dev/stderr"
 				exit 1
 			}
 		}'
