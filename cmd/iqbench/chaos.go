@@ -1,0 +1,459 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/engine"
+	"repro/internal/obs"
+	"repro/internal/quantize"
+	"repro/internal/store"
+	"repro/internal/vec"
+)
+
+// chaosReport is the schema of the -faults JSON report
+// (BENCH_faulttol.json): clean-path overhead of checksums, then one
+// section per fault-injection phase.
+type chaosReport struct {
+	Date    string         `json:"date"`
+	N       int            `json:"n"`
+	Dim     int            `json:"dim"`
+	Queries int            `json:"queries"`
+	Spec    string         `json:"spec"`
+	Over    chaosOverhead  `json:"overhead"`
+	Trans   chaosTransient `json:"transient"`
+	Corrupt chaosCorrupt   `json:"corruption"`
+	Serve   chaosServing   `json:"serving"`
+	Metrics obs.Snapshot   `json:"metrics"`
+}
+
+// chaosOverhead compares the clean path with and without checksum
+// verification: wall-clock microseconds per direct KNN query and
+// engine throughput over the same batch. Ratios are checked/plain.
+type chaosOverhead struct {
+	PlainUsPerQuery   float64 `json:"plain_us_per_query"`
+	CheckedUsPerQuery float64 `json:"checked_us_per_query"`
+	QueryRatio        float64 `json:"query_ratio"`
+	PlainQPS          float64 `json:"plain_qps"`
+	CheckedQPS        float64 `json:"checked_qps"`
+	QPSRatio          float64 `json:"qps_ratio"`
+}
+
+// chaosTransient: seeded transient read/write faults under the retry
+// policy. Every query must return the clean answer.
+type chaosTransient struct {
+	Queries     int            `json:"queries"`
+	Mismatches  int            `json:"mismatches"`
+	ReadRetries int64          `json:"read_retries"`
+	Injected    map[string]int `json:"injected"`
+}
+
+// chaosCorrupt: at-rest bit flips on live quantized pages. Every query
+// must still return the clean answer via the quarantine fallback, and
+// Repair must heal the tree.
+type chaosCorrupt struct {
+	PagesCorrupted   int   `json:"pages_corrupted"`
+	Mismatches       int   `json:"mismatches"`
+	ChecksumFailures int64 `json:"checksum_failures"`
+	Quarantined      int   `json:"quarantined"`
+	DegradedReads    int64 `json:"degraded_reads"`
+	Repaired         int   `json:"repaired"`
+	DegradedAfter    int64 `json:"degraded_reads_after_repair"`
+}
+
+// chaosServing: overload and cancellation behavior of the engine under
+// injected latency.
+type chaosServing struct {
+	Burst         int   `json:"burst"`
+	Sheds         int64 `json:"sheds"`
+	Cancellations int64 `json:"cancellations"`
+	Panics        int64 `json:"panics"`
+}
+
+type chaosAnswer struct {
+	ids   []uint32
+	dists []float64
+}
+
+// runChaos is iqbench's -faults mode: a deterministic fault-injection
+// campaign over one tree, asserting that faults are retried, corruption
+// is quarantined (results stay identical to the clean run), and the
+// engine sheds/cancels instead of hanging — then reports the clean-path
+// cost of the protection.
+func runChaos(spec string, scale float64, queries int, seed int64, out string, gate bool) error {
+	userCfg, err := store.ParseFaultSpec(spec)
+	if err != nil {
+		return err
+	}
+	n := int(30000 * scale)
+	if n < 3000 {
+		n = 3000
+	}
+	const dim, k = 8, 5
+	if queries > n/10 {
+		queries = n / 10
+	}
+	pts, err := dataset.Generate(dataset.Uniform, seed, n+queries, dim)
+	if err != nil {
+		return err
+	}
+	db, qs := dataset.Split(pts, queries)
+	opt := core.DefaultOptions()
+	opt.FixedBits = 8 // compressed pages + exact shadows: the fallback is reachable
+
+	report := chaosReport{
+		Date:    time.Now().UTC().Format(time.RFC3339),
+		N:       n,
+		Dim:     dim,
+		Queries: queries,
+		Spec:    spec,
+	}
+
+	// ---- Overhead: identical trees, with and without checksums. Both
+	// get the shared buffer pool (the production configuration):
+	// blocks verify once on pool ingest, hits are pre-verified.
+	plainSto := store.NewSim(store.DefaultConfig())
+	plainSto.SetCache(64 << 20)
+	plainTree, err := core.Build(plainSto, db, opt)
+	if err != nil {
+		return err
+	}
+	checkedSto := store.NewSim(store.DefaultConfig())
+	if err := checkedSto.EnableChecksums(); err != nil {
+		return err
+	}
+	checkedSto.SetCache(64 << 20)
+	checkedTree, err := core.Build(checkedSto, db, opt)
+	if err != nil {
+		return err
+	}
+	plainUs, checkedUs, plainQPS, checkedQPS, err := measureCleanPaths(
+		plainSto, plainTree, checkedSto, checkedTree, qs, k)
+	if err != nil {
+		return err
+	}
+	report.Over = chaosOverhead{
+		PlainUsPerQuery:   plainUs,
+		CheckedUsPerQuery: checkedUs,
+		QueryRatio:        checkedUs / plainUs,
+		PlainQPS:          plainQPS,
+		CheckedQPS:        checkedQPS,
+		QPSRatio:          plainQPS / checkedQPS,
+	}
+	fmt.Printf("overhead: plain %.1f us/query, checked %.1f us/query (%.3fx); QPS %.0f vs %.0f (%.3fx)\n",
+		plainUs, checkedUs, report.Over.QueryRatio, plainQPS, checkedQPS, report.Over.QPSRatio)
+
+	// ---- Build the chaos tree: checksums above a fault injector. ----
+	faults := store.NewFaultStore(store.NewSimStore(store.DefaultConfig()), store.FaultConfig{})
+	sto := store.Wrap(faults)
+	if err := sto.EnableChecksums(); err != nil {
+		return err
+	}
+	tr, err := core.Build(sto, db, opt)
+	if err != nil {
+		return err
+	}
+	clean := make([]chaosAnswer, len(qs))
+	for i, q := range qs {
+		res, err := tr.KNN(sto.NewSession(), q, k)
+		if err != nil {
+			return fmt.Errorf("clean baseline query %d: %w", i, err)
+		}
+		for _, nb := range res {
+			clean[i].ids = append(clean[i].ids, nb.ID)
+			clean[i].dists = append(clean[i].dists, nb.Dist)
+		}
+	}
+
+	// ---- Phase A: transient faults are retried away. ----
+	trCfg := store.FaultConfig{Seed: userCfg.Seed, ReadErr: userCfg.ReadErr, WriteErr: userCfg.WriteErr}
+	if trCfg.Seed == 0 {
+		trCfg.Seed = seed
+	}
+	if trCfg.ReadErr == 0 {
+		trCfg.ReadErr = 0.02
+	}
+	retriesBefore := obs.Default().Counter("store.read_retries").Value()
+	faults.SetConfig(trCfg)
+	mismatches := 0
+	for i, q := range qs {
+		res, err := tr.KNN(sto.NewSession(), q, k)
+		if err != nil {
+			return fmt.Errorf("transient phase query %d: %w", i, err)
+		}
+		if !sameAnswer(res, clean[i]) {
+			mismatches++
+		}
+	}
+	injected := map[string]int{}
+	for kind, c := range faults.Injected() {
+		injected[kind.String()] = c
+	}
+	faults.SetConfig(store.FaultConfig{})
+	report.Trans = chaosTransient{
+		Queries:     len(qs),
+		Mismatches:  mismatches,
+		ReadRetries: obs.Default().Counter("store.read_retries").Value() - retriesBefore,
+		Injected:    injected,
+	}
+	fmt.Printf("transient: %d queries, %d mismatches, %d reads retried, injected %v\n",
+		len(qs), mismatches, report.Trans.ReadRetries, injected)
+
+	// ---- Phase B: at-rest corruption is quarantined, then repaired. ----
+	failsBefore := obs.Default().Counter("store.checksum_failures").Value()
+	degradedBefore := obs.Default().Counter("core.degraded_reads").Value()
+	corrupted := 0
+	bf := sto.Backend().Lookup(core.QFileName)
+	for _, row := range tr.DescribePages() {
+		if row.Bits == quantize.ExactBits || corrupted >= 3 {
+			continue
+		}
+		pos := row.QPos * tr.Options().QPageBlocks
+		data, err := bf.ReadBlocks(pos, 1)
+		if err != nil {
+			return err
+		}
+		mut := append([]byte(nil), data...)
+		mut[len(mut)/3] ^= 0x40
+		if err := bf.WriteBlocks(pos, mut); err != nil {
+			return err
+		}
+		corrupted++
+	}
+	if corrupted == 0 {
+		return fmt.Errorf("chaos: no compressed pages to corrupt")
+	}
+	mismatches = 0
+	for i, q := range qs {
+		res, err := tr.KNN(sto.NewSession(), q, k)
+		if err != nil {
+			return fmt.Errorf("corruption phase query %d: %w", i, err)
+		}
+		if !sameAnswer(res, clean[i]) {
+			mismatches++
+		}
+	}
+	quarantined := len(tr.QuarantinedPages())
+	repaired, err := tr.Repair(sto.NewSession())
+	if err != nil {
+		return fmt.Errorf("repair: %w", err)
+	}
+	degradedMid := obs.Default().Counter("core.degraded_reads").Value()
+	for i, q := range qs {
+		res, err := tr.KNN(sto.NewSession(), q, k)
+		if err != nil {
+			return fmt.Errorf("post-repair query %d: %w", i, err)
+		}
+		if !sameAnswer(res, clean[i]) {
+			mismatches++
+		}
+	}
+	report.Corrupt = chaosCorrupt{
+		PagesCorrupted:   corrupted,
+		Mismatches:       mismatches,
+		ChecksumFailures: obs.Default().Counter("store.checksum_failures").Value() - failsBefore,
+		Quarantined:      quarantined,
+		DegradedReads:    degradedMid - degradedBefore,
+		Repaired:         repaired,
+		DegradedAfter:    obs.Default().Counter("core.degraded_reads").Value() - degradedMid,
+	}
+	fmt.Printf("corruption: %d pages flipped, %d quarantined, %d degraded reads, %d repaired, %d mismatches\n",
+		corrupted, quarantined, report.Corrupt.DegradedReads, repaired, mismatches)
+
+	// ---- Phase C: overload sheds, cancellation is honored. ----
+	latCfg := store.FaultConfig{Latency: 1, LatencyDur: 2 * time.Millisecond}
+	if userCfg.Latency > 0 {
+		latCfg.Latency, latCfg.LatencyDur = userCfg.Latency, userCfg.LatencyDur
+	}
+	faults.SetConfig(latCfg)
+	reg := &obs.Registry{}
+	e := engine.New(sto, tr, 1, engine.WithRegistry(reg), engine.WithQueueWait(time.Millisecond))
+	const burst = 32
+	var wg sync.WaitGroup
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func(q vec.Point) {
+			defer wg.Done()
+			e.Submit(engine.Query{Kind: engine.KNN, Point: q, K: k})
+		}(qs[i%len(qs)])
+	}
+	wg.Wait()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if res := e.Submit(engine.Query{Kind: engine.KNN, Point: qs[0], K: k, Ctx: ctx}); !errors.Is(res.Err, engine.ErrCanceled) {
+		e.Close()
+		return fmt.Errorf("canceled query returned %v, want ErrCanceled", res.Err)
+	}
+	e.Close()
+	faults.SetConfig(store.FaultConfig{})
+	report.Serve = chaosServing{
+		Burst:         burst,
+		Sheds:         reg.Counter("engine.sheds").Value(),
+		Cancellations: reg.Counter("engine.cancellations").Value(),
+		Panics:        reg.Counter("engine.panics").Value(),
+	}
+	fmt.Printf("serving: burst %d -> %d shed, %d canceled, %d panics\n",
+		burst, report.Serve.Sheds, report.Serve.Cancellations, report.Serve.Panics)
+
+	report.Metrics = obs.Default().Snapshot()
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("write %s: %w", out, err)
+	}
+	fmt.Printf("report written to %s\n", out)
+
+	if gate {
+		var fails []string
+		if report.Trans.Mismatches != 0 {
+			fails = append(fails, fmt.Sprintf("%d transient-phase mismatches", report.Trans.Mismatches))
+		}
+		if report.Trans.ReadRetries == 0 {
+			fails = append(fails, "no reads were retried")
+		}
+		if report.Corrupt.Mismatches != 0 {
+			fails = append(fails, fmt.Sprintf("%d corruption-phase mismatches", report.Corrupt.Mismatches))
+		}
+		if report.Corrupt.ChecksumFailures == 0 {
+			fails = append(fails, "checksums caught nothing")
+		}
+		if report.Corrupt.Quarantined == 0 {
+			fails = append(fails, "nothing quarantined")
+		}
+		if report.Corrupt.Repaired == 0 {
+			fails = append(fails, "nothing repaired")
+		}
+		if report.Corrupt.DegradedAfter != 0 {
+			fails = append(fails, "degraded reads after repair")
+		}
+		if report.Serve.Sheds == 0 {
+			fails = append(fails, "overload shed nothing")
+		}
+		if report.Serve.Cancellations == 0 {
+			fails = append(fails, "cancellation not counted")
+		}
+		const maxOverhead = 1.05
+		if report.Over.QueryRatio > maxOverhead {
+			fails = append(fails, fmt.Sprintf("checksum query overhead %.3fx > %.2fx", report.Over.QueryRatio, maxOverhead))
+		}
+		if report.Over.QPSRatio > maxOverhead {
+			fails = append(fails, fmt.Sprintf("checksum QPS overhead %.3fx > %.2fx", report.Over.QPSRatio, maxOverhead))
+		}
+		if len(fails) > 0 {
+			return fmt.Errorf("chaos gate FAILED: %v", fails)
+		}
+		fmt.Println("chaos gate OK: faults retried, corruption quarantined and repaired, overload shed, overhead within 5%")
+	}
+	return nil
+}
+
+// measureCleanPath times direct KNN queries and engine batch throughput
+// on an undamaged tree. Three rounds each, best round kept: the fault
+// gate should not fail on scheduler noise.
+// measureCleanPaths times direct KNN queries and engine batch
+// throughput on the plain and checksummed trees with the rounds
+// interleaved, so clock drift, turbo states and GC land on both
+// stores alike — the 5% gate must compare CRC cost, not machine noise.
+// Best round is kept per store.
+func measureCleanPaths(plainSto *store.Store, plainTree *core.Tree,
+	checkedSto *store.Store, checkedTree *core.Tree,
+	qs []vec.Point, k int) (plainUs, checkedUs, plainQPS, checkedQPS float64, err error) {
+
+	// Repeat the query set until a round is long enough (~3000 queries)
+	// that scheduler noise cannot swamp a 5% signal.
+	reps := (3000 + len(qs) - 1) / len(qs)
+	direct := func(sto *store.Store, tr *core.Tree) (time.Duration, error) {
+		start := time.Now()
+		for r := 0; r < reps; r++ {
+			for _, q := range qs {
+				if _, err := tr.KNN(sto.NewSession(), q, k); err != nil {
+					return 0, err
+				}
+			}
+		}
+		return time.Since(start), nil
+	}
+	bestPlain, bestChecked := time.Duration(1<<62), time.Duration(1<<62)
+	for round := 0; round < 5; round++ {
+		dp, err := direct(plainSto, plainTree)
+		if err != nil {
+			return 0, 0, 0, 0, err
+		}
+		dc, err := direct(checkedSto, checkedTree)
+		if err != nil {
+			return 0, 0, 0, 0, err
+		}
+		if dp < bestPlain {
+			bestPlain = dp
+		}
+		if dc < bestChecked {
+			bestChecked = dc
+		}
+	}
+	nq := float64(reps * len(qs))
+	plainUs = float64(bestPlain.Microseconds()) / nq
+	checkedUs = float64(bestChecked.Microseconds()) / nq
+
+	batch := make([]engine.Query, 0, reps*len(qs))
+	for r := 0; r < reps; r++ {
+		for _, q := range qs {
+			batch = append(batch, engine.Query{Kind: engine.KNN, Point: q, K: k})
+		}
+	}
+	throughput := func(sto *store.Store, tr *core.Tree) (float64, error) {
+		e := engine.New(sto, tr, 4, engine.WithRegistry(&obs.Registry{}))
+		start := time.Now()
+		results := e.SubmitBatch(batch)
+		wall := time.Since(start).Seconds()
+		e.Close()
+		for _, res := range results {
+			if res.Err != nil {
+				return 0, res.Err
+			}
+		}
+		return wall, nil
+	}
+	// The engine path is noisier than direct queries (goroutine
+	// scheduling); more rounds keep the best-of stable.
+	bestPlainWall, bestCheckedWall := 1e18, 1e18
+	for round := 0; round < 7; round++ {
+		wp, err := throughput(plainSto, plainTree)
+		if err != nil {
+			return 0, 0, 0, 0, err
+		}
+		wc, err := throughput(checkedSto, checkedTree)
+		if err != nil {
+			return 0, 0, 0, 0, err
+		}
+		if wp < bestPlainWall {
+			bestPlainWall = wp
+		}
+		if wc < bestCheckedWall {
+			bestCheckedWall = wc
+		}
+	}
+	plainQPS = float64(len(batch)) / bestPlainWall
+	checkedQPS = float64(len(batch)) / bestCheckedWall
+	return plainUs, checkedUs, plainQPS, checkedQPS, nil
+}
+
+func sameAnswer(res []core.Neighbor, want chaosAnswer) bool {
+	if len(res) != len(want.ids) {
+		return false
+	}
+	for i, nb := range res {
+		if nb.ID != want.ids[i] || nb.Dist != want.dists[i] {
+			return false
+		}
+	}
+	return true
+}

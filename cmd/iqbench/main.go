@@ -6,6 +6,7 @@
 //	iqbench -fig all            # every figure at paper scale (slow)
 //	iqbench -fig 8 -scale 0.05  # figure 8 at 5% of the paper's N
 //	iqbench -fig 9 -csv out.csv # also dump CSV rows
+//	iqbench -faults default -gate  # seeded fault-injection campaign
 //
 // -metrics <file.json> writes a machine-readable report after the run:
 // every figure's series plus a snapshot of the process-wide metrics
@@ -61,12 +62,21 @@ func run() error {
 		debugAddr = flag.String("debug-addr", "", "serve expvar + pprof on this address while running (e.g. 127.0.0.1:6060)")
 		parallel  = flag.String("parallel", "", "throughput mode instead of figures: comma-separated worker counts (e.g. 1,2,4,8)")
 		benchOut  = flag.String("bench-out", "BENCH_engine.json", "where -parallel writes its JSON scaling report")
-		gate      = flag.Bool("gate", false, "with -parallel: fail unless 4-worker simulated QPS is >= 2x the 1-worker rate")
+		gate      = flag.Bool("gate", false, "with -parallel or -faults: fail unless the mode's acceptance thresholds hold")
+		faultsFlg = flag.String("faults", "", "chaos mode instead of figures: fault spec (e.g. seed=42,read=0.02) or 'default'")
+		chaosOut  = flag.String("chaos-out", "BENCH_faulttol.json", "where -faults writes its JSON fault-tolerance report")
 	)
 	flag.Parse()
 	if *quickFlag {
 		*scale = 0.04
 		*queries = 20
+	}
+	if *faultsFlg != "" {
+		spec := *faultsFlg
+		if spec == "default" {
+			spec = ""
+		}
+		return runChaos(spec, *scale, *queries, *seed, *chaosOut, *gate)
 	}
 	if *parallel != "" {
 		return runParallel(*parallel, *scale, *queries, *seed, *benchOut, *gate)

@@ -15,6 +15,13 @@
 //	iqtool -store file -dir /tmp/iq -dataset color -n 50000 -stats
 //	iqtool -store file -dir /tmp/iq -open -queries 5 -knn 3
 //
+// -checksum guards every block with a CRC32C sidecar, verified on every
+// uncached read; with -verify it also scrubs the whole store and fails
+// on any corrupt block:
+//
+//	iqtool -store file -dir /tmp/iq -checksum -dataset color -n 50000 -stats
+//	iqtool -store file -dir /tmp/iq -open -checksum -verify -stats
+//
 // -cache attaches a shared LRU buffer pool (in bytes); cached blocks
 // cost no simulated I/O, and -explain reports the pool's hit rate.
 // -trace prints the full per-query plan: a per-level cost table
@@ -67,6 +74,7 @@ func run() (err error) {
 		dir      = flag.String("dir", "", "directory for -store file")
 		open     = flag.Bool("open", false, "open the existing tree in -dir instead of building (implies -store file)")
 		cache    = flag.Int64("cache", 0, "buffer-pool cache budget in bytes (0 = no cache)")
+		checksum = flag.Bool("checksum", false, "guard every block with a CRC32C checksum (with -verify: also scrub)")
 	)
 	flag.Parse()
 
@@ -96,6 +104,11 @@ func run() (err error) {
 		}()
 	default:
 		return fmt.Errorf("unknown -store %q (want sim or file)", *backend)
+	}
+	if *checksum {
+		if err := sto.EnableChecksums(); err != nil {
+			return fmt.Errorf("enable checksums: %w", err)
+		}
 	}
 	if *cache > 0 {
 		sto.SetCache(*cache)
@@ -149,6 +162,19 @@ func run() (err error) {
 			return fmt.Errorf("invariant check FAILED: %w", err)
 		}
 		fmt.Println("  structural invariants: OK")
+		if *checksum {
+			rep, err := sto.Scrub()
+			if err != nil {
+				return fmt.Errorf("checksum scrub: %w", err)
+			}
+			if len(rep.Corrupt) > 0 {
+				for _, c := range rep.Corrupt {
+					fmt.Printf("  CORRUPT: %s block %d\n", c.File, c.Block)
+				}
+				return fmt.Errorf("checksum scrub FAILED: %d of %d blocks corrupt", len(rep.Corrupt), rep.BlocksChecked)
+			}
+			fmt.Printf("  checksum scrub: OK (%d blocks verified)\n", rep.BlocksChecked)
+		}
 	}
 	if *statsFlg {
 		if *pagesFlg {

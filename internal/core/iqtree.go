@@ -108,6 +108,12 @@ type Tree struct {
 	// snapshot would point into rewritten file regions).
 	reoptGen atomic.Uint64
 
+	// quar tracks quarantined physical positions of the quantized file:
+	// pages whose blocks failed checksum verification and are being
+	// answered from their exact (level-3) shadow (see quarantine.go).
+	quarMu sync.Mutex
+	quar   map[int]struct{}
+
 	opt Options
 	sto *store.Store
 

@@ -160,17 +160,23 @@ func (t *Tree) scanCandidates(s *store.Session, sn *snapshot, tr *Trace, sc *que
 	positions := sc.positions[:0]
 	clear(sc.posEntry)
 	posEntry := sc.posEntry
+	var degraded []int // entries served from their exact shadow
 	for i, e := range sn.entries {
 		if sn.free[i] {
 			continue
 		}
-		if f.pageHit(e.MBR) {
-			positions = append(positions, int(e.QPos))
-			posEntry[int(e.QPos)] = i
+		if !f.pageHit(e.MBR) {
+			continue
 		}
+		if t.isQuarantined(int(e.QPos)) {
+			degraded = append(degraded, i)
+			continue
+		}
+		positions = append(positions, int(e.QPos))
+		posEntry[int(e.QPos)] = i
 	}
 	sc.positions = positions
-	if len(positions) == 0 {
+	if len(positions) == 0 && len(degraded) == 0 {
 		return nil, nil
 	}
 	sort.Ints(positions)
@@ -180,12 +186,22 @@ func (t *Tree) scanCandidates(s *store.Session, sn *snapshot, tr *Trace, sc *que
 	pageBytes := t.qPageBytes()
 	var out []Neighbor
 	for _, run := range runs {
-		buf, err := s.Read(t.qFile, run.Pos*t.opt.QPageBlocks, run.Blocks)
-		if err != nil {
-			return nil, err
-		}
 		firstPage := run.Pos
 		nPages := run.Blocks / t.opt.QPageBlocks
+		buf, err := s.Read(t.qFile, run.Pos*t.opt.QPageBlocks, run.Blocks)
+		if err != nil {
+			if !corruptQPage(err) {
+				return nil, err
+			}
+			// Fresh corruption somewhere in the run: retry page by page
+			// so only the damaged pages pay the degraded path.
+			s.Recover()
+			out, err = t.rangeRunDegraded(s, sn, tr, sc, f, firstPage, nPages, out)
+			if err != nil {
+				return nil, err
+			}
+			continue
+		}
 		tr.AddPages(nPages)
 		pending := 0
 		for j := 0; j < nPages; j++ {
@@ -208,6 +224,79 @@ func (t *Tree) scanCandidates(s *store.Session, sn *snapshot, tr *Trace, sc *que
 			Last:    firstPage + nPages - 1,
 			Pending: pending,
 		})
+	}
+	for _, entry := range degraded {
+		var err error
+		out, err = t.rangeDegraded(s, sn, tr, sc, f, entry, out)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// rangeRunDegraded replays one known-set run page by page after a bulk
+// read hit corruption: undamaged pages take the normal path, freshly
+// corrupt compressed pages are quarantined and answered from their
+// exact shadow, and a corrupt exact-mode page fails typed.
+func (t *Tree) rangeRunDegraded(s *store.Session, sn *snapshot, tr *Trace, sc *queryScratch, f scanFilter,
+	firstPage, nPages int, out []Neighbor) ([]Neighbor, error) {
+	pageBytes := t.qPageBytes()
+	for j := 0; j < nPages; j++ {
+		pos := firstPage + j
+		entry, wanted := sc.posEntry[pos]
+		if !wanted {
+			continue
+		}
+		buf, err := s.Read(t.qFile, pos*t.opt.QPageBlocks, t.opt.QPageBlocks)
+		if err != nil {
+			if !corruptQPage(err) {
+				return nil, err
+			}
+			s.Recover()
+			if int(sn.entries[entry].Bits) != quantize.ExactBits {
+				t.quarantinePage(pos)
+			}
+			out, err = t.rangeDegraded(s, sn, tr, sc, f, entry, out)
+			if err != nil {
+				return nil, err
+			}
+			continue
+		}
+		tr.AddPages(1)
+		out, err = t.rangePage(s, sn, tr, sc, f, entry, buf[:pageBytes], out)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// rangeDegraded answers one page of a range-style query entirely from
+// its exact (level-3) shadow — every point of the page is decided on
+// exact geometry, so results match a clean run bit for bit; only the
+// cost degrades. A quarantined exact-mode page has no shadow and fails
+// with ErrUnrecoverable.
+func (t *Tree) rangeDegraded(s *store.Session, sn *snapshot, tr *Trace, sc *queryScratch, f scanFilter,
+	entry int, out []Neighbor) ([]Neighbor, error) {
+	e := sn.entries[entry]
+	if int(e.Bits) == quantize.ExactBits {
+		return nil, unrecoverablePage(int(e.QPos), entry, nil)
+	}
+	entrySize := page.ExactEntrySize(t.dim)
+	raw, rel, err := s.ReadRange(t.eFile, int(e.EPos)*t.sto.Config().BlockSize, int(e.Count)*entrySize)
+	if err != nil {
+		return nil, err
+	}
+	metricDegradedReads.Inc()
+	tr.AddDegraded(1)
+	tr.AddRefinement(int(e.Count))
+	s.ChargeDistCPU(t.eFile, t.dim, int(e.Count))
+	pts, ids := sc.pts.DecodeExact(raw[rel:], int(e.Count), t.dim)
+	for i, p := range pts {
+		if d, ok := f.exactHit(p); ok {
+			out = append(out, Neighbor{ID: ids[i], Dist: d, Point: p.Clone()})
+		}
 	}
 	return out, nil
 }

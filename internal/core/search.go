@@ -220,13 +220,26 @@ func (st *nnSearch) run() {
 }
 
 // processSingle loads exactly one quantized page with a random access
-// (the "standard NN-search" of Fig. 7).
+// (the "standard NN-search" of Fig. 7). A quarantined or
+// corrupt-on-read page is answered from its exact shadow instead.
 func (st *nnSearch) processSingle(entry int) {
 	t := st.t
 	pos := int(st.sn.entries[entry].QPos)
+	if t.isQuarantined(pos) {
+		st.degradedExact(entry, nil)
+		return
+	}
 	buf, err := st.s.Read(t.qFile, pos*t.opt.QPageBlocks, t.opt.QPageBlocks)
 	if err != nil {
-		st.err = err
+		if !corruptQPage(err) {
+			st.err = err
+			return
+		}
+		st.s.Recover()
+		if int(st.sn.entries[entry].Bits) != quantize.ExactBits {
+			t.quarantinePage(pos)
+		}
+		st.degradedExact(entry, err)
 		return
 	}
 	st.tr.AddPages(1)
@@ -250,9 +263,23 @@ func (st *nnSearch) processBatch(entry int) {
 		Trace:      st.tr,
 	}
 	first, last := sched.Batch(pivot)
+	if t.anyQuarantinedIn(first, last) {
+		// Known damage inside the batch extent: a contiguous read would
+		// fail verification wholesale. Fetch the pending pages one by one
+		// instead; processSingle routes damaged ones to the exact level.
+		st.processRunDegraded(first, last)
+		return
+	}
 	buf, err := st.s.Read(t.qFile, first*t.opt.QPageBlocks, (last-first+1)*t.opt.QPageBlocks)
 	if err != nil {
-		st.err = err
+		if !corruptQPage(err) {
+			st.err = err
+			return
+		}
+		// Fresh corruption somewhere in the run: localize it by retrying
+		// each pending page individually.
+		st.s.Recover()
+		st.processRunDegraded(first, last)
 		return
 	}
 	st.tr.AddPages(last - first + 1)
@@ -268,6 +295,56 @@ func (st *nnSearch) processBatch(entry int) {
 		st.processPage(e, buf[(pos-first)*pageBytes:(pos-first+1)*pageBytes])
 	}
 	st.tr.NotePending(pending)
+}
+
+// processRunDegraded replaces one corrupt (or damage-spanning) batch
+// read with per-page random accesses — honest degraded cost — letting
+// processSingle quarantine the damaged pages and serve them exactly
+// from the third level.
+func (st *nnSearch) processRunDegraded(first, last int) {
+	sn := st.sn
+	for pos := first; pos <= last && st.err == nil; pos++ {
+		e := sn.entryIndex(pos)
+		if e < 0 || st.processed[e] || sn.free[e] {
+			continue
+		}
+		st.processSingle(e)
+	}
+}
+
+// degradedExact answers one page whose quantized representation is
+// unreadable from its exact (level-3) page: every point of the page is
+// resolved with an exact distance, which is strictly more information
+// than the filter step would have produced, so the k-NN result stays
+// bit-identical to a clean run — only the cost degrades. Exact-mode
+// (32-bit) pages have no level-3 shadow; their corruption is a typed,
+// unrecoverable error.
+func (st *nnSearch) degradedExact(entry int, cause error) {
+	t := st.t
+	e := st.sn.entries[entry]
+	st.processed[entry] = true
+	if int(e.Bits) == quantize.ExactBits {
+		st.err = unrecoverablePage(int(e.QPos), entry, cause)
+		return
+	}
+	if st.minD[entry] >= st.prune() {
+		st.tr.AddPruned(1)
+		return // the page cannot contribute; no need to touch level 3
+	}
+	ep, err := st.loadExact(int32(entry))
+	if err != nil {
+		st.err = err
+		return
+	}
+	metricDegradedReads.Inc()
+	st.tr.AddDegraded(1)
+	st.s.ChargeDistCPU(t.eFile, t.dim, len(ep.pts))
+	met := t.opt.Metric
+	for i, p := range ep.pts {
+		d := met.Dist(st.q, p)
+		st.pushUB(d)
+		st.addResult(Neighbor{ID: ep.ids[i], Dist: d, Point: p})
+	}
 }
 
 // accessProb estimates the probability that the pending page at file
@@ -369,26 +446,37 @@ func (st *nnSearch) processPage(entry int, buf []byte) {
 // partition are served from the per-query cache.
 func (st *nnSearch) refine(it pqItem) {
 	t := st.t
-	ep, ok := st.exactCache[it.entry]
-	if !ok {
-		e := st.sn.entries[it.entry]
-		entrySize := page.ExactEntrySize(t.dim)
-		raw, rel, err := st.s.ReadRange(t.eFile, int(e.EPos)*t.sto.Config().BlockSize, int(e.Count)*entrySize)
-		if err != nil {
-			st.err = err
-			return
-		}
-		st.tr.AddRefinement(int(e.Count))
-		pts, ids := st.sc.pts.DecodeExact(raw[rel:], int(e.Count), t.dim)
-		ep = exactPage{pts: pts, ids: ids}
-		if st.exactCache == nil {
-			st.exactCache = make(map[int32]exactPage)
-		}
-		st.exactCache[it.entry] = ep
+	ep, err := st.loadExact(it.entry)
+	if err != nil {
+		st.err = err
+		return
 	}
 	p, id := ep.pts[it.pt], ep.ids[it.pt]
 	st.s.ChargeDistCPU(t.eFile, t.dim, 1)
 	st.addResult(Neighbor{ID: id, Dist: t.opt.Metric.Dist(st.q, p), Point: p})
+}
+
+// loadExact returns (loading and caching on first use) the decoded
+// exact page of a directory entry.
+func (st *nnSearch) loadExact(entry int32) (exactPage, error) {
+	if ep, ok := st.exactCache[entry]; ok {
+		return ep, nil
+	}
+	t := st.t
+	e := st.sn.entries[entry]
+	entrySize := page.ExactEntrySize(t.dim)
+	raw, rel, err := st.s.ReadRange(t.eFile, int(e.EPos)*t.sto.Config().BlockSize, int(e.Count)*entrySize)
+	if err != nil {
+		return exactPage{}, err
+	}
+	st.tr.AddRefinement(int(e.Count))
+	pts, ids := st.sc.pts.DecodeExact(raw[rel:], int(e.Count), t.dim)
+	ep := exactPage{pts: pts, ids: ids}
+	if st.exactCache == nil {
+		st.exactCache = make(map[int32]exactPage)
+	}
+	st.exactCache[entry] = ep
+	return ep, nil
 }
 
 func (st *nnSearch) addResult(nb Neighbor) {

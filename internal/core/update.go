@@ -473,6 +473,9 @@ func (t *Tree) Reoptimize() error {
 	if err := t.eFile.SetContents(nil); err != nil {
 		return err
 	}
+	// The rebuild reuses physical positions from zero; stale quarantine
+	// entries would damn fresh pages.
+	t.clearQuarantine()
 	sn := &snapshot{
 		epoch:     old.epoch + 1,
 		n:         len(pts),

@@ -13,6 +13,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -27,6 +28,17 @@ import (
 
 // ErrClosed is returned for queries submitted after Close.
 var ErrClosed = errors.New("engine: closed")
+
+// ErrOverloaded is returned when the bounded queue stays full past the
+// engine's queue wait: the engine sheds the query instead of letting
+// callers pile up behind a saturated pool (see WithQueueWait).
+var ErrOverloaded = errors.New("engine: overloaded, query shed")
+
+// ErrCanceled marks a query abandoned because its context was done —
+// either while waiting for queue space or at a page-fetch boundary
+// inside the index. It aliases store.ErrCanceled so errors.Is works
+// across the layers.
+var ErrCanceled = store.ErrCanceled
 
 // Kind selects the query type of a Query.
 type Kind int
@@ -45,6 +57,12 @@ type Query struct {
 	Eps    float64   // Range radius
 	Window vec.MBR   // Window bounds
 	Trace  bool      // collect a per-query plan trace (costs extra allocation)
+
+	// Ctx, when non-nil, bounds the query: a done context fails the
+	// query with an error wrapping ErrCanceled — checked while waiting
+	// for queue space and again at every page-fetch boundary inside the
+	// index, so a canceled query stops paying I/O promptly.
+	Ctx context.Context
 }
 
 // Result is the outcome of one Query.
@@ -61,14 +79,20 @@ type Result struct {
 // SubmitBatch are safe for concurrent use from any number of goroutines;
 // Close drains in-flight queries and stops the workers.
 type Engine struct {
-	sto     *store.Store
-	idx     index.Index
-	workers int
+	sto       *store.Store
+	idx       index.Index
+	workers   int
+	queueWait time.Duration // max wait for queue space; negative = forever
 
 	queue    chan job
 	sessions sync.Pool
 	wg       sync.WaitGroup
 
+	// closeMu orders Submit against Close: enqueue holds the read lock
+	// from the closed check through the channel send, and Close flips
+	// closed under the write lock before closing the channel, so a send
+	// on the closed channel is impossible — any enqueue that observed
+	// closed=false finishes its send before Close can proceed.
 	closeMu sync.RWMutex
 	closed  bool
 
@@ -79,6 +103,9 @@ type Engine struct {
 	queueDepth *obs.Gauge
 	queries    *obs.Counter
 	failures   *obs.Counter
+	panics     *obs.Counter
+	sheds      *obs.Counter
+	cancels    *obs.Counter
 	simLat     *obs.Histogram
 	wallLat    *obs.Histogram
 }
@@ -99,6 +126,16 @@ func WithRegistry(reg *obs.Registry) Option {
 	return func(e *Engine) { e.reg = reg }
 }
 
+// WithQueueWait bounds how long a submission waits for space in the
+// full queue before the engine sheds it with ErrOverloaded. Zero sheds
+// immediately when the queue is full; a negative duration restores the
+// historical block-forever behavior. The default is one second —
+// far beyond any healthy queue dwell time for microsecond-scale
+// queries, so only a genuinely wedged or saturated pool sheds.
+func WithQueueWait(d time.Duration) Option {
+	return func(e *Engine) { e.queueWait = d }
+}
+
 // New starts an engine with the given number of workers serving queries
 // against idx, charging simulated costs to sessions of sto.
 func New(sto *store.Store, idx index.Index, workers int, opts ...Option) *Engine {
@@ -106,11 +143,12 @@ func New(sto *store.Store, idx index.Index, workers int, opts ...Option) *Engine
 		panic(fmt.Sprintf("engine: workers must be positive, got %d", workers))
 	}
 	e := &Engine{
-		sto:     sto,
-		idx:     idx,
-		workers: workers,
-		queue:   make(chan job, 4*workers),
-		busy:    make([]float64, workers),
+		sto:       sto,
+		idx:       idx,
+		workers:   workers,
+		queueWait: time.Second,
+		queue:     make(chan job, 4*workers),
+		busy:      make([]float64, workers),
 	}
 	for _, o := range opts {
 		o(e)
@@ -121,6 +159,9 @@ func New(sto *store.Store, idx index.Index, workers int, opts ...Option) *Engine
 	e.queueDepth = e.reg.Gauge("engine.queue_depth")
 	e.queries = e.reg.Counter("engine.queries")
 	e.failures = e.reg.Counter("engine.failures")
+	e.panics = e.reg.Counter("engine.panics")
+	e.sheds = e.reg.Counter("engine.sheds")
+	e.cancels = e.reg.Counter("engine.cancellations")
 	e.simLat = e.reg.Histogram("engine.sim_latency_seconds")
 	e.wallLat = e.reg.Histogram("engine.wall_latency_seconds")
 	e.sessions.New = func() any { return sto.NewSession() }
@@ -137,12 +178,15 @@ func (e *Engine) Workers() int { return e.workers }
 // Registry returns the registry carrying the engine's metrics.
 func (e *Engine) Registry() *obs.Registry { return e.reg }
 
-// Submit executes one query and blocks until its result is ready.
+// Submit executes one query and blocks until its result is ready. A
+// query that never reaches the pool fails typed: ErrClosed after Close,
+// ErrOverloaded when the queue stays full past the queue wait, or an
+// error wrapping ErrCanceled when its context is done.
 func (e *Engine) Submit(q Query) Result {
 	var res Result
 	var done sync.WaitGroup
-	if !e.enqueue(job{q: q, res: &res, done: &done}) {
-		return Result{Err: ErrClosed}
+	if err := e.enqueue(job{q: q, res: &res, done: &done}); err != nil {
+		return Result{Err: err}
 	}
 	done.Wait()
 	return res
@@ -151,30 +195,77 @@ func (e *Engine) Submit(q Query) Result {
 // SubmitBatch executes all queries on the worker pool and blocks until
 // every result is ready. Results are returned in query order regardless
 // of completion order, so downstream aggregation is deterministic.
+// Individual queries that cannot be enqueued carry their typed error
+// (ErrClosed, ErrOverloaded, ErrCanceled) in their Result slot.
 func (e *Engine) SubmitBatch(qs []Query) []Result {
 	results := make([]Result, len(qs))
 	var done sync.WaitGroup
 	for i := range qs {
-		if !e.enqueue(job{q: qs[i], res: &results[i], done: &done}) {
-			results[i].Err = ErrClosed
+		if err := e.enqueue(job{q: qs[i], res: &results[i], done: &done}); err != nil {
+			results[i].Err = err
 		}
 	}
 	done.Wait()
 	return results
 }
 
-// enqueue reserves a done slot and queues the job; it reports false (and
-// reserves nothing) if the engine is closed.
-func (e *Engine) enqueue(j job) bool {
+// enqueue reserves a done slot and queues the job; on a non-nil error
+// nothing was reserved and the job will never run. The read lock is
+// held from the closed check through the channel send (see closeMu),
+// which also bounds how long Close can block behind a full queue: at
+// most the queue wait.
+func (e *Engine) enqueue(j job) error {
 	e.closeMu.RLock()
 	defer e.closeMu.RUnlock()
 	if e.closed {
-		return false
+		return ErrClosed
+	}
+	var ctxDone <-chan struct{}
+	if j.q.Ctx != nil {
+		if cerr := j.q.Ctx.Err(); cerr != nil {
+			e.cancels.Inc()
+			return fmt.Errorf("%w: %w", ErrCanceled, cerr)
+		}
+		ctxDone = j.q.Ctx.Done() // nil channel (blocks forever) when Ctx is nil
 	}
 	j.done.Add(1)
 	e.queueDepth.Add(1)
-	e.queue <- j
-	return true
+	select {
+	case e.queue <- j:
+		return nil
+	default:
+	}
+	if e.queueWait < 0 { // block-forever mode
+		select {
+		case e.queue <- j:
+			return nil
+		case <-ctxDone:
+			return e.abandon(j, true)
+		}
+	}
+	timer := time.NewTimer(e.queueWait)
+	defer timer.Stop()
+	select {
+	case e.queue <- j:
+		return nil
+	case <-ctxDone:
+		return e.abandon(j, true)
+	case <-timer.C:
+		return e.abandon(j, false)
+	}
+}
+
+// abandon rolls back a reserved-but-unqueued job and returns the typed
+// shed/cancel error.
+func (e *Engine) abandon(j job, canceled bool) error {
+	j.done.Done()
+	e.queueDepth.Add(-1)
+	if canceled {
+		e.cancels.Inc()
+		return fmt.Errorf("%w: %w", ErrCanceled, j.q.Ctx.Err())
+	}
+	e.sheds.Inc()
+	return ErrOverloaded
 }
 
 // Close drains the queue, waits for in-flight queries, and stops the
@@ -199,9 +290,13 @@ func (e *Engine) worker(id int) {
 		e.queueDepth.Add(-1)
 		s := e.sessions.Get().(*store.Session)
 		s.Reset()
-		e.run(s, j.q, j.res)
+		panicked := e.run(s, j.q, j.res)
 		e.account(id, j.res)
-		e.sessions.Put(s)
+		if !panicked {
+			// A session that lived through a panic is in an unknown
+			// state; drop it and let the pool mint a fresh one.
+			e.sessions.Put(s)
+		}
 		j.done.Done()
 		// Yield between queries: a warmed query runs in microseconds with
 		// no allocation (no preemption points), so on a host with fewer
@@ -211,15 +306,47 @@ func (e *Engine) worker(id int) {
 	}
 }
 
-// run executes one query on the given (freshly reset) session.
-func (e *Engine) run(s *store.Session, q Query, res *Result) {
+// run executes one query on the given (freshly reset) session. It
+// reports whether the index panicked — the worker then discards the
+// session instead of pooling it — while the result, including the
+// charges accumulated before the panic, is recorded either way.
+func (e *Engine) run(s *store.Session, q Query, res *Result) (panicked bool) {
 	if q.Trace {
 		res.Trace = obs.NewQueryTrace(q.Kind.String())
 		cfg := e.sto.Config()
 		res.Trace.SetCosts(cfg.Seek, cfg.Xfer)
 		s.SetObserver(res.Trace)
 	}
+	if q.Ctx != nil {
+		s.SetContext(q.Ctx)
+	}
 	start := time.Now()
+	panicked = e.execute(s, q, res)
+	if res.Err == nil {
+		// A query can swallow individual read errors; the sticky session
+		// error is the boundary check that keeps a poisoned result from
+		// looking successful.
+		res.Err = s.Err()
+	}
+	res.Wall = time.Since(start)
+	res.Stats = s.Stats
+	res.SimTime = s.Time()
+	return panicked
+}
+
+// execute dispatches the query to the index, converting a panic into
+// Result.Err so one poisoned query can neither kill its worker (which
+// would shrink the pool for the life of the engine) nor leave its
+// batch's WaitGroup forever undone.
+func (e *Engine) execute(s *store.Session, q Query, res *Result) (panicked bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			panicked = true
+			res.Neighbors = nil
+			res.Err = fmt.Errorf("engine: %s query panicked: %v", q.Kind, r)
+			e.panics.Inc()
+		}
+	}()
 	switch q.Kind {
 	case KNN:
 		res.Neighbors, res.Err = e.idx.KNN(s, q.Point, q.K)
@@ -230,15 +357,7 @@ func (e *Engine) run(s *store.Session, q Query, res *Result) {
 	default:
 		res.Err = fmt.Errorf("engine: unknown query kind %d", q.Kind)
 	}
-	if res.Err == nil {
-		// A query can swallow individual read errors; the sticky session
-		// error is the boundary check that keeps a poisoned result from
-		// looking successful.
-		res.Err = s.Err()
-	}
-	res.Wall = time.Since(start)
-	res.Stats = s.Stats
-	res.SimTime = s.Time()
+	return false
 }
 
 // account records one finished query in the metrics and the per-worker
@@ -247,6 +366,9 @@ func (e *Engine) account(worker int, res *Result) {
 	e.queries.Inc()
 	if res.Err != nil {
 		e.failures.Inc()
+		if errors.Is(res.Err, ErrCanceled) {
+			e.cancels.Inc()
+		}
 	}
 	e.simLat.Observe(res.SimTime)
 	e.wallLat.Observe(res.Wall.Seconds())

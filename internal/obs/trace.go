@@ -78,6 +78,10 @@ type QueryTrace struct {
 	// geometry (several per exact-page access when candidates share a
 	// partition).
 	RefinedPoints int
+	// DegradedReads counts pages answered from their exact (level-3)
+	// shadow because the quantized page was quarantined after a checksum
+	// failure. Results stay exact; only the cost degrades.
+	DegradedReads int
 
 	// SeekCost and XferCost are the per-seek and per-block simulated
 	// costs used to render counter sums as seconds (set by SetCosts).
@@ -212,6 +216,18 @@ func (t *QueryTrace) AddCandidates(n int) {
 	t.Candidates += n
 }
 
+// AddDegraded counts n pages served from their exact shadow instead of
+// their (quarantined) quantized representation. Nil-safe.
+func (t *QueryTrace) AddDegraded(n int) {
+	if t == nil {
+		return
+	}
+	t.DegradedReads += n
+}
+
+// Degraded reports whether the traced query paid any degraded reads.
+func (t *QueryTrace) Degraded() bool { return t != nil && t.DegradedReads > 0 }
+
 // AddRefinement counts one exact-page access resolving points exact
 // points. Nil-safe.
 func (t *QueryTrace) AddRefinement(points int) {
@@ -312,6 +328,9 @@ func (t *QueryTrace) Format() string {
 	}
 	fmt.Fprintf(&b, "  pages: %d scheduled, %d pruned; candidates: %d; refinements: %d accesses / %d points\n",
 		t.PagesRead, t.PagesPruned, t.Candidates, t.Refinements, t.RefinedPoints)
+	if t.DegradedReads > 0 {
+		fmt.Fprintf(&b, "  DEGRADED: %d pages answered from their exact shadow (quantized page quarantined)\n", t.DegradedReads)
+	}
 	if tc > 0 {
 		fmt.Fprintf(&b, "  buffer pool: %d blocks served from cache (zero simulated cost)\n", tc)
 	}

@@ -11,8 +11,11 @@ func testConfig() Config {
 }
 
 // forEachBackend runs the same subtest against every backend: the
-// simulator and the os.File-backed store. Both must satisfy the exact
-// same block semantics and cost accounting.
+// simulator, the os.File-backed store, the simulator with checksums
+// enabled (verification must be invisible to correct code), and the
+// simulator under a zero-probability FaultStore wrapper (the fault
+// layer must be a perfect pass-through when idle). All must satisfy
+// the exact same block semantics and cost accounting.
 func forEachBackend(t *testing.T, fn func(t *testing.T, sto *Store)) {
 	t.Helper()
 	t.Run("sim", func(t *testing.T) {
@@ -26,6 +29,28 @@ func forEachBackend(t *testing.T, fn func(t *testing.T, sto *Store)) {
 		defer sto.Close()
 		fn(t, sto)
 	})
+	t.Run("sim-checked", func(t *testing.T) {
+		sto := NewSim(testConfig())
+		if err := sto.EnableChecksums(); err != nil {
+			t.Fatal(err)
+		}
+		fn(t, sto)
+	})
+	t.Run("sim-faultwrap", func(t *testing.T) {
+		fn(t, Wrap(NewFaultStore(NewSimStore(testConfig()), FaultConfig{Seed: 1})))
+	})
+}
+
+// dataNames returns the backend's file names with checksum sidecars
+// filtered out, so name-sensitive tests hold on checked stores too.
+func dataNames(sto *Store) []string {
+	var out []string
+	for _, n := range sto.Backend().Names() {
+		if !IsChecksumFile(n) {
+			out = append(out, n)
+		}
+	}
+	return out
 }
 
 func mustFile(t *testing.T, sto *Store, name string) *File {
@@ -262,7 +287,7 @@ func TestLookupAndNames(t *testing.T) {
 	forEachBackend(t, func(t *testing.T, sto *Store) {
 		mustFile(t, sto, "b")
 		mustFile(t, sto, "a")
-		names := sto.Backend().Names()
+		names := dataNames(sto)
 		if len(names) != 2 || names[0] != "a" || names[1] != "b" {
 			t.Fatalf("names %v", names)
 		}

@@ -1,0 +1,91 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"syscall"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// ErrTransient marks an I/O failure that is worth retrying: the
+// operation failed without applying any state change, so repeating it is
+// safe. Fault-injecting backends (FaultStore) and real backends that can
+// classify their errors wrap it so the session layer's retry loop can
+// recognize them with errors.Is.
+var ErrTransient = errors.New("transient I/O error")
+
+// ErrCanceled is returned by session reads once the session's attached
+// context is done. It wraps the context's own error, so both
+// errors.Is(err, ErrCanceled) and errors.Is(err, context.Canceled) /
+// context.DeadlineExceeded hold.
+var ErrCanceled = errors.New("store: operation canceled")
+
+// CorruptBlockError reports a block whose content failed CRC32C
+// verification against the store's checksum sidecar, or that has no
+// recorded checksum at all (the signature of a torn append). It is
+// never retried — the corruption is at rest — and is the trigger for
+// the index layer's quarantine-and-degrade path.
+type CorruptBlockError struct {
+	File         string
+	Block        int
+	Want         uint32 // recorded CRC32C (zero when Unverifiable)
+	Got          uint32 // CRC32C of the bytes actually read
+	Unverifiable bool   // no recorded checksum covers the block
+}
+
+func (e *CorruptBlockError) Error() string {
+	if e.Unverifiable {
+		return fmt.Sprintf("store: corrupt block %s[%d]: no recorded checksum (torn write?)", e.File, e.Block)
+	}
+	return fmt.Sprintf("store: corrupt block %s[%d]: crc32c %08x, recorded %08x", e.File, e.Block, e.Got, e.Want)
+}
+
+// IsTransient reports whether err is a retryable failure: one marked
+// ErrTransient, or a syscall-level interruption that promises no state
+// change. Checksum failures are deliberately not transient.
+func IsTransient(err error) bool {
+	return errors.Is(err, ErrTransient) ||
+		errors.Is(err, syscall.EINTR) ||
+		errors.Is(err, syscall.EAGAIN)
+}
+
+// RetryPolicy bounds the exponential-backoff retry applied to transient
+// backend failures by sessions (reads) and the File mutation wrappers
+// (writes). The zero value disables retries.
+type RetryPolicy struct {
+	// MaxRetries is the number of additional attempts after the first
+	// failure.
+	MaxRetries int
+	// BaseDelay is the sleep before the first retry; it doubles on each
+	// subsequent retry.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff.
+	MaxDelay time.Duration
+}
+
+// DefaultRetryPolicy returns the store's default bounded backoff: four
+// attempts total, backing off 100µs → 200µs → 400µs.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxRetries: 3, BaseDelay: 100 * time.Microsecond, MaxDelay: 5 * time.Millisecond}
+}
+
+// delay returns the backoff before retry number attempt (0-based).
+func (p RetryPolicy) delay(attempt int) time.Duration {
+	d := p.BaseDelay << uint(attempt)
+	if p.MaxDelay > 0 && d > p.MaxDelay {
+		d = p.MaxDelay
+	}
+	return d
+}
+
+// Process-wide fault-tolerance counters. They live on obs.Default() so
+// a metrics dump shows storage health next to serving metrics without
+// any per-session wiring.
+var (
+	metricChecksumFailures = obs.Default().Counter("store.checksum_failures")
+	metricReadRetries      = obs.Default().Counter("store.read_retries")
+	metricWriteRetries     = obs.Default().Counter("store.write_retries")
+	metricRetriesExhausted = obs.Default().Counter("store.retries_exhausted")
+)

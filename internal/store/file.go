@@ -137,16 +137,35 @@ func (d *FileStore) Names() []string {
 }
 
 // Sync flushes every backing file — and the directory itself, so that
-// newly created files are durable too — to stable storage.
+// newly created files are durable too — to stable storage. Every file
+// is attempted even after a failure, and all failures are reported
+// (joined): a partial sync report must name every file whose
+// durability is in doubt, not just the first.
 func (d *FileStore) Sync() error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	for _, f := range d.files {
+	var errs []error
+	for _, name := range d.sortedNamesLocked() {
+		f := d.files[name]
 		if err := f.h.Sync(); err != nil {
-			return fmt.Errorf("store: sync %s: %w", f.name, err)
+			errs = append(errs, fmt.Errorf("store: sync %s: %w", f.name, err))
 		}
 	}
-	return d.syncDirLocked()
+	if err := d.syncDirLocked(); err != nil {
+		errs = append(errs, err)
+	}
+	return errors.Join(errs...)
+}
+
+// sortedNamesLocked returns the file names in sorted order so error
+// aggregation is deterministic. Callers hold d.mu.
+func (d *FileStore) sortedNamesLocked() []string {
+	out := make([]string, 0, len(d.files))
+	for name := range d.files {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // syncDirLocked fsyncs the store directory, making file creations and
@@ -170,20 +189,21 @@ func (d *FileStore) syncDirLocked() error {
 func (d *FileStore) Close() error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	var first error
-	for _, f := range d.files {
-		if err := f.h.Sync(); err != nil && first == nil {
-			first = err
+	var errs []error
+	for _, name := range d.sortedNamesLocked() {
+		f := d.files[name]
+		if err := f.h.Sync(); err != nil {
+			errs = append(errs, fmt.Errorf("store: sync %s: %w", f.name, err))
 		}
-		if err := f.h.Close(); err != nil && first == nil {
-			first = err
+		if err := f.h.Close(); err != nil {
+			errs = append(errs, fmt.Errorf("store: close %s: %w", f.name, err))
 		}
 	}
-	if err := d.syncDirLocked(); err != nil && first == nil {
-		first = err
+	if err := d.syncDirLocked(); err != nil {
+		errs = append(errs, err)
 	}
 	d.files = make(map[string]*osFile)
-	return first
+	return errors.Join(errs...)
 }
 
 // osFile is one block-aligned file on the host filesystem. The mutex

@@ -2,8 +2,10 @@ package store
 
 import (
 	"bytes"
+	"errors"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -99,6 +101,50 @@ func TestFileStoreIgnoresSubdirs(t *testing.T) {
 	defer sto.Close()
 	if names := sto.Backend().Names(); len(names) != 0 {
 		t.Fatalf("subdirectory adopted as file: %v", names)
+	}
+}
+
+// TestSyncReportsEveryFailure: Sync must attempt every file and join
+// all failures — a partial sync report that names only the first broken
+// file leaves the durability of the rest unknown.
+func TestSyncReportsEveryFailure(t *testing.T) {
+	sto, err := OpenFileStore(t.TempDir(), testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb := sto.Backend().(*FileStore)
+	for _, name := range []string{"a", "b", "c"} {
+		mustAppend(t, mustFile(t, sto, name), []byte{1})
+	}
+	// Sabotage two of the three handles: Sync on a closed *os.File fails.
+	fb.mu.Lock()
+	fb.files["a"].h.Close()
+	fb.files["c"].h.Close()
+	fb.mu.Unlock()
+
+	err = fb.Sync()
+	if err == nil {
+		t.Fatal("sync over closed handles should fail")
+	}
+	msg := err.Error()
+	for _, name := range []string{"sync a", "sync c"} {
+		if !strings.Contains(msg, name) {
+			t.Fatalf("joined sync error should name %q, got: %v", name, err)
+		}
+	}
+	if strings.Contains(msg, "sync b") {
+		t.Fatalf("healthy file reported as failed: %v", err)
+	}
+	if !errors.Is(err, os.ErrClosed) {
+		t.Fatalf("joined error should preserve the causes via errors.Is: %v", err)
+	}
+
+	// Close aggregates too, and still closes/"forgets" every file.
+	if err := fb.Close(); err == nil {
+		t.Fatal("close over sabotaged handles should report the failures")
+	}
+	if len(fb.files) != 0 {
+		t.Fatal("Close must clear the file table even after errors")
 	}
 }
 

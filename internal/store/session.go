@@ -1,8 +1,10 @@
 package store
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/obs"
 )
@@ -25,7 +27,9 @@ type Session struct {
 	started bool
 	Stats   Stats
 	perFile map[string]*Stats
-	obs     obs.Observer // nil = no observation (the common case)
+	obs     obs.Observer    // nil = no observation (the common case)
+	ctx     context.Context // nil = never canceled
+	retry   RetryPolicy     // captured from the store at creation/Reset
 	err     error
 
 	// scratch is an opaque slot for query-layer scratch state (reusable
@@ -52,10 +56,26 @@ func (s *Session) SetObserver(o obs.Observer) { s.obs = o }
 // Observer returns the currently attached observer (nil if none).
 func (s *Session) Observer() obs.Observer { return s.obs }
 
+// SetContext attaches a context to the session: every Read checks it
+// first and fails with an error wrapping both ErrCanceled and the
+// context's cause once it is done. Page fetches are the unit of work of
+// a query, so this bounds how long a canceled query keeps running. Pass
+// nil to detach.
+func (s *Session) SetContext(ctx context.Context) { s.ctx = ctx }
+
+// Context returns the attached context (nil if none).
+func (s *Session) Context() context.Context { return s.ctx }
+
 // Err returns the session's sticky error: the first read that failed, or
 // nil. Query code that ignores per-read errors must check it before
 // trusting the (possibly partial) results.
 func (s *Session) Err() error { return s.err }
+
+// Recover clears the session's sticky error so a caller with its own
+// recovery path (e.g. the index layer quarantining a corrupt page and
+// answering from the exact level) can continue the query. The charges
+// accumulated so far are kept — recovery is degraded cost, not free.
+func (s *Session) Recover() { s.err = nil }
 
 // Reset returns the session to its freshly created state so it can be
 // reused for another query: the sticky error, aggregate and per-file
@@ -76,6 +96,8 @@ func (s *Session) Reset() {
 		*st = Stats{}
 	}
 	s.obs = nil
+	s.ctx = nil
+	s.retry = s.st.retryPolicy()
 	s.err = nil
 }
 
@@ -174,6 +196,11 @@ func (s *Session) Read(f *File, pos, nblocks int) ([]byte, error) {
 	if s.err != nil {
 		return nil, s.err
 	}
+	if s.ctx != nil {
+		if cerr := s.ctx.Err(); cerr != nil {
+			return nil, s.fail(fmt.Errorf("%w: %w", ErrCanceled, cerr))
+		}
+	}
 	if f == nil {
 		return nil, s.fail(errors.New("store: read from nil file"))
 	}
@@ -185,7 +212,7 @@ func (s *Session) Read(f *File, pos, nblocks int) ([]byte, error) {
 			f.Name(), pos, nblocks, f.Blocks()))
 	}
 	if s.pool == nil {
-		data, err := f.bf.ReadBlocks(pos, nblocks)
+		data, err := s.backendRead(f, pos, nblocks)
 		if err != nil {
 			return nil, s.fail(fmt.Errorf("store: read %s [%d,+%d): %w", f.Name(), pos, nblocks, err))
 		}
@@ -193,6 +220,34 @@ func (s *Session) Read(f *File, pos, nblocks int) ([]byte, error) {
 		return data, nil
 	}
 	return s.readPooled(f, pos, nblocks)
+}
+
+// backendRead fetches one contiguous run from the backend, retrying
+// transient failures under the session's retry policy and verifying the
+// result against the checksum sidecar (when enabled) before anyone —
+// including the buffer pool — sees the bytes. Checksum failures are
+// never retried: the corruption is at rest, and re-reading the same
+// damaged block would only mask a latent error as a flaky one.
+func (s *Session) backendRead(f *File, pos, nblocks int) ([]byte, error) {
+	for attempt := 0; ; attempt++ {
+		data, err := f.bf.ReadBlocks(pos, nblocks)
+		if err == nil {
+			if verr := f.verifyBlocks(pos, data, nblocks); verr != nil {
+				return nil, verr
+			}
+			return data, nil
+		}
+		if !IsTransient(err) || attempt >= s.retry.MaxRetries {
+			if IsTransient(err) {
+				metricRetriesExhausted.Inc()
+			}
+			return nil, err
+		}
+		metricReadRetries.Inc()
+		if d := s.retry.delay(attempt); d > 0 {
+			time.Sleep(d)
+		}
+	}
 }
 
 // readPooled assembles the requested range from pool frames plus backend
@@ -205,7 +260,7 @@ func (s *Session) readPooled(f *File, pos, nblocks int) ([]byte, error) {
 	misses := s.pool.gather(f.Name(), pos, nblocks, bs, dst)
 	missed := 0
 	for _, run := range misses {
-		data, err := f.bf.ReadBlocks(run.pos, run.n)
+		data, err := s.backendRead(f, run.pos, run.n)
 		if err != nil {
 			return nil, s.fail(fmt.Errorf("store: read %s [%d,+%d): %w", f.Name(), run.pos, run.n, err))
 		}

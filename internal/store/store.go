@@ -30,6 +30,7 @@ package store
 import (
 	"fmt"
 	"sync"
+	"time"
 )
 
 // Config holds the hardware parameters of the (simulated or modeled)
@@ -170,9 +171,11 @@ type Store struct {
 	backend BlockStore
 	pool    *BufferPool
 
-	mu    sync.Mutex
-	files map[string]*File
-	err   error
+	mu      sync.Mutex
+	files   map[string]*File
+	err     error
+	checked bool        // checksums enabled (see checksum.go)
+	retry   RetryPolicy // bounded backoff for transient backend failures
 }
 
 // Wrap layers Store/Session mediation over any backend.
@@ -180,7 +183,7 @@ func Wrap(backend BlockStore) *Store {
 	if backend.Config().BlockSize <= 0 {
 		panic("store: BlockSize must be positive")
 	}
-	return &Store{backend: backend, files: make(map[string]*File)}
+	return &Store{backend: backend, files: make(map[string]*File), retry: DefaultRetryPolicy()}
 }
 
 // NewSim creates a store over a fresh in-memory simulator backend — the
@@ -247,6 +250,11 @@ func (s *Store) NewFile(name string) (*File, error) {
 	}
 	f := &File{st: s, bf: bf}
 	s.files[name] = f
+	if s.checked {
+		if err := s.attachSumsLocked(f, true); err != nil {
+			return nil, err
+		}
+	}
 	return f, nil
 }
 
@@ -264,13 +272,23 @@ func (s *Store) File(name string) *File {
 	}
 	f := &File{st: s, bf: bf}
 	s.files[name] = f
+	if s.checked {
+		if err := s.attachSumsLocked(f, false); err != nil {
+			return nil
+		}
+	}
 	return f
 }
 
-// TotalBlocks returns the number of blocks across all files.
+// TotalBlocks returns the number of data blocks across all files
+// (checksum sidecars excluded, so enabling checksums does not change
+// the reported index size).
 func (s *Store) TotalBlocks() int {
 	var n int
 	for _, name := range s.backend.Names() {
+		if IsChecksumFile(name) {
+			continue
+		}
 		if bf := s.backend.Lookup(name); bf != nil {
 			n += bf.Blocks()
 		}
@@ -278,10 +296,26 @@ func (s *Store) TotalBlocks() int {
 	return n
 }
 
+// SetRetryPolicy replaces the bounded-backoff policy applied to
+// transient backend failures. Sessions capture the policy at creation
+// (and Reset), so set it before serving.
+func (s *Store) SetRetryPolicy(p RetryPolicy) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.retry = p
+}
+
+// retryPolicy returns the current retry policy.
+func (s *Store) retryPolicy() RetryPolicy {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.retry
+}
+
 // NewSession starts a fresh session with the head in an undefined
 // position (the first read always seeks).
 func (s *Store) NewSession() *Session {
-	return &Session{st: s, pool: s.Pool()}
+	return &Session{st: s, pool: s.Pool(), retry: s.retryPolicy()}
 }
 
 // Err returns the store's sticky write error: the first mutation that
@@ -315,12 +349,47 @@ func (s *Store) Sync() error { return s.backend.Sync() }
 func (s *Store) Close() error { return s.backend.Close() }
 
 // File is the mediated view of one backend file. All mutations pass
-// through it so the shared buffer pool can invalidate stale frames;
-// mutation failures are additionally recorded as the store's sticky
+// through it so the shared buffer pool can invalidate stale frames and
+// the checksum sidecar (when enabled) stays write-through consistent;
+// transient backend failures are retried under the store's RetryPolicy,
+// and mutation failures are additionally recorded as the store's sticky
 // error, so bulk writers may check once instead of at every call.
 type File struct {
-	st *Store
-	bf BlockFile
+	st   *Store
+	bf   BlockFile
+	sums *sumTable // per-block CRC32C mirror; nil when checksums are off
+}
+
+// mutate runs op with bounded retries on transient failures. Transient
+// errors promise that nothing was applied, so re-running op is safe;
+// permanent errors (including torn writes) return immediately.
+func (f *File) mutate(op func() error) error {
+	pol := f.st.retryPolicy()
+	for attempt := 0; ; attempt++ {
+		err := op()
+		if err == nil {
+			return nil
+		}
+		if !IsTransient(err) || attempt >= pol.MaxRetries {
+			if IsTransient(err) {
+				metricRetriesExhausted.Inc()
+			}
+			return err
+		}
+		metricWriteRetries.Inc()
+		if d := pol.delay(attempt); d > 0 {
+			time.Sleep(d)
+		}
+	}
+}
+
+// verifyBlocks checks data read from [pos, pos+nblocks) against the
+// file's checksum sidecar; a no-op when checksums are off.
+func (f *File) verifyBlocks(pos int, data []byte, nblocks int) error {
+	if f.sums == nil {
+		return nil
+	}
+	return f.sums.verify(f.Name(), pos, data, nblocks)
 }
 
 // Name returns the file name.
@@ -337,9 +406,17 @@ func (f *File) Bytes() int { return f.bf.Bytes() }
 // Appends never touch previously readable blocks, so no cache
 // invalidation is needed.
 func (f *File) Append(p []byte) (pos, nblocks int, err error) {
-	pos, nblocks, err = f.bf.Append(p)
+	err = f.mutate(func() error {
+		pos, nblocks, err = f.bf.Append(p)
+		return err
+	})
 	if err != nil {
 		return 0, 0, f.st.fail(fmt.Errorf("store: append to %s: %w", f.Name(), err))
+	}
+	if f.sums != nil {
+		if serr := f.sums.recordAppend(pos, p, nblocks); serr != nil {
+			return 0, 0, f.st.fail(serr)
+		}
 	}
 	return pos, nblocks, nil
 }
@@ -349,8 +426,13 @@ func (f *File) Append(p []byte) (pos, nblocks int, err error) {
 // Writes are construction/maintenance operations; their cost, where it
 // matters, is charged explicitly by the caller.
 func (f *File) WriteBlocks(pos int, data []byte) error {
-	if err := f.bf.WriteBlocks(pos, data); err != nil {
+	if err := f.mutate(func() error { return f.bf.WriteBlocks(pos, data) }); err != nil {
 		return f.st.fail(fmt.Errorf("store: write to %s: %w", f.Name(), err))
+	}
+	if f.sums != nil {
+		if serr := f.sums.recordWrite(pos, data); serr != nil {
+			return f.st.fail(serr)
+		}
 	}
 	if p := f.st.Pool(); p != nil {
 		p.Invalidate(f.Name(), pos, len(data)/f.st.Config().BlockSize)
@@ -361,8 +443,13 @@ func (f *File) WriteBlocks(pos int, data []byte) error {
 // SetContents replaces the whole file with p, padded to a block boundary.
 // An empty p truncates the file to zero blocks.
 func (f *File) SetContents(p []byte) error {
-	if err := f.bf.SetContents(p); err != nil {
+	if err := f.mutate(func() error { return f.bf.SetContents(p) }); err != nil {
 		return f.st.fail(fmt.Errorf("store: rewrite of %s: %w", f.Name(), err))
+	}
+	if f.sums != nil {
+		if serr := f.sums.recordContents(p, f.Blocks()); serr != nil {
+			return f.st.fail(serr)
+		}
 	}
 	if pl := f.st.Pool(); pl != nil {
 		pl.InvalidateFile(f.Name())
@@ -371,7 +458,8 @@ func (f *File) SetContents(p []byte) error {
 }
 
 // ReadRaw returns the raw content of nblocks blocks at pos without
-// charging any cost and without touching the cache. It is intended for
+// charging any cost and without touching the cache, verified against
+// the checksum sidecar when checksums are enabled. It is intended for
 // superblock reads, invariant checks, tests and debugging; query code
 // must go through a Session.
 func (f *File) ReadRaw(pos, nblocks int) ([]byte, error) {
@@ -379,5 +467,12 @@ func (f *File) ReadRaw(pos, nblocks int) ([]byte, error) {
 		return nil, fmt.Errorf("store: raw read past end of %s: pos=%d n=%d blocks=%d",
 			f.Name(), pos, nblocks, f.Blocks())
 	}
-	return f.bf.ReadBlocks(pos, nblocks)
+	data, err := f.bf.ReadBlocks(pos, nblocks)
+	if err != nil {
+		return nil, err
+	}
+	if verr := f.verifyBlocks(pos, data, nblocks); verr != nil {
+		return nil, verr
+	}
+	return data, nil
 }

@@ -27,9 +27,22 @@ echo "== go test -race =="
 # right at the default 10m per-binary timeout; give it headroom.
 go test -race -timeout 1800s ./...
 
+echo "== fuzz seed corpus =="
+# The bit-flip corpus must keep passing in normal runs: a single flipped
+# bit anywhere on disk may change a KNN answer only into a typed error.
+go test -run 'FuzzBitFlipKNN' ./internal/core/
+
 echo "== engine scaling gate =="
 go run ./cmd/iqbench -parallel 1,4 -scale 0.05 -queries 40 \
 	-bench-out /tmp/iqbench_scaling_gate.json -gate
+
+echo "== chaos gate =="
+# Seeded fault-injection campaign: transient faults fully retried,
+# corruption fully quarantined and repaired (results identical to the
+# clean run), overload shed, and checksum overhead within 5% of the
+# plain clean path.
+go run ./cmd/iqbench -faults default -scale 0.1 -queries 40 \
+	-chaos-out /tmp/iqbench_chaos_gate.json -gate
 
 echo "== observer overhead gate =="
 # The bound is 5% of one query. The filter kernels made the untraced
