@@ -65,6 +65,8 @@ func run() error {
 		gate      = flag.Bool("gate", false, "with -parallel or -faults: fail unless the mode's acceptance thresholds hold")
 		faultsFlg = flag.String("faults", "", "chaos mode instead of figures: fault spec (e.g. seed=42,read=0.02) or 'default'")
 		chaosOut  = flag.String("chaos-out", "BENCH_faulttol.json", "where -faults writes its JSON fault-tolerance report")
+		share     = flag.String("share", "", "scan-sharing mode instead of figures: comma-separated client counts (e.g. 1,8,32,64)")
+		shareOut  = flag.String("share-out", "BENCH_share.json", "where -share writes its JSON sharing report")
 	)
 	flag.Parse()
 	if *quickFlag {
@@ -80,6 +82,9 @@ func run() error {
 	}
 	if *parallel != "" {
 		return runParallel(*parallel, *scale, *queries, *seed, *benchOut, *gate)
+	}
+	if *share != "" {
+		return runShare(*share, *scale, *queries, *seed, *shareOut, *gate)
 	}
 	if *debugAddr != "" {
 		addr, err := obs.StartDebugServer(*debugAddr)

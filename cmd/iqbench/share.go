@@ -1,0 +1,199 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/engine"
+	"repro/internal/obs"
+	"repro/internal/store"
+)
+
+// shareReport is the schema of the -share JSON report (BENCH_share.json):
+// one row per client count, each comparing the scan-sharing coordinator
+// against the share-nothing worker pool on the same tree and the same
+// query batch.
+type shareReport struct {
+	Date     string     `json:"date"`
+	Dataset  string     `json:"dataset"`
+	N        int        `json:"n"`
+	Dim      int        `json:"dim"`
+	Queries  int        `json:"queries"`
+	K        int        `json:"k"`
+	Clusters int        `json:"query_clusters"`
+	Rows     []shareRow `json:"rows"`
+}
+
+// shareRow is one point of the concurrency sweep. Clients is both the
+// worker count of the share-nothing pool and the multiplexing window of
+// the sharing coordinator, so the two modes model the same number of
+// concurrently executing queries. QPS figures divide the batch size by
+// the simulated makespan; latencies come from the per-query simulated
+// latency histogram. QueriesPerPage is page serves over page fetches —
+// how many queries each fetched page fed on average (1.0 = no sharing).
+type shareRow struct {
+	Clients        int     `json:"clients"`
+	SharedQPS      float64 `json:"shared_qps"`
+	DirectQPS      float64 `json:"direct_qps"`
+	Speedup        float64 `json:"speedup"`
+	SharedP50      float64 `json:"shared_latency_p50"`
+	SharedP99      float64 `json:"shared_latency_p99"`
+	DirectP50      float64 `json:"direct_latency_p50"`
+	DirectP99      float64 `json:"direct_latency_p99"`
+	PagesFetched   int64   `json:"pages_fetched"`
+	PageServes     int64   `json:"page_serves"`
+	QueriesPerPage float64 `json:"queries_per_page"`
+}
+
+// runShare benchmarks cross-query scan sharing: a clustered query
+// workload (concurrent clients hitting overlapping hot regions) is
+// pushed through both execution modes at each client count.
+func runShare(spec string, scale float64, queries int, seed int64, out string, gate bool) error {
+	var clientCounts []int
+	for _, part := range strings.Split(spec, ",") {
+		c, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || c <= 0 {
+			return fmt.Errorf("bad -share client count %q", part)
+		}
+		clientCounts = append(clientCounts, c)
+	}
+
+	n := int(float64(100000) * scale)
+	if n < 2000 {
+		n = 2000
+	}
+	const dim, k, clusters = 16, 1, 4
+	db, err := dataset.Generate(dataset.Uniform, seed, n, dim)
+	if err != nil {
+		return err
+	}
+	// Queries cluster around a few hot regions: that is the workload scan
+	// sharing exists for — concurrent clients re-reading the same pages.
+	qs := dataset.GenClustered(seed+1, queries, dim, clusters, 0.05)
+	sto := store.NewSim(store.DefaultConfig())
+	tr, err := core.Build(sto, db, core.DefaultOptions())
+	if err != nil {
+		return err
+	}
+	batch := make([]engine.Query, len(qs))
+	for i, q := range qs {
+		batch[i] = engine.Query{Kind: engine.KNN, Point: q, K: k}
+	}
+
+	report := shareReport{
+		Date:     time.Now().UTC().Format(time.RFC3339),
+		Dataset:  string(dataset.Uniform),
+		N:        n,
+		Dim:      dim,
+		Queries:  queries,
+		K:        k,
+		Clusters: clusters,
+	}
+	fmt.Printf("scan sharing: %s n=%d dim=%d queries=%d k=%d query-clusters=%d\n",
+		dataset.Uniform, n, dim, queries, k, clusters)
+	for _, c := range clientCounts {
+		sharedQPS, sharedLat, fetched, serves, err := runShareMode(sto, tr, batch, c, true)
+		if err != nil {
+			return fmt.Errorf("clients=%d shared: %w", c, err)
+		}
+		directQPS, directLat, _, _, err := runShareMode(sto, tr, batch, c, false)
+		if err != nil {
+			return fmt.Errorf("clients=%d direct: %w", c, err)
+		}
+		row := shareRow{
+			Clients:      c,
+			SharedQPS:    sharedQPS,
+			DirectQPS:    directQPS,
+			Speedup:      sharedQPS / directQPS,
+			SharedP50:    sharedLat.P50,
+			SharedP99:    sharedLat.P99,
+			DirectP50:    directLat.P50,
+			DirectP99:    directLat.P99,
+			PagesFetched: fetched,
+			PageServes:   serves,
+		}
+		if fetched > 0 {
+			row.QueriesPerPage = float64(serves) / float64(fetched)
+		}
+		report.Rows = append(report.Rows, row)
+		fmt.Printf("clients=%2d  shared=%8.1f qps  direct=%8.1f qps  speedup=%.2fx  q/page=%.2f  p99 %.4f vs %.4f s\n",
+			c, row.SharedQPS, row.DirectQPS, row.Speedup, row.QueriesPerPage, row.SharedP99, row.DirectP99)
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("write %s: %w", out, err)
+	}
+	fmt.Printf("report written to %s\n", out)
+
+	if gate {
+		return checkSharing(report)
+	}
+	return nil
+}
+
+// runShareMode pushes the batch through one engine configuration and
+// returns the simulated aggregate QPS, the latency snapshot, and (in
+// sharing mode) the fetch/serve counters.
+func runShareMode(sto *store.Store, tr *core.Tree, batch []engine.Query, clients int, sharing bool) (
+	float64, obs.HistogramSnapshot, int64, int64, error) {
+	reg := &obs.Registry{}
+	opts := []engine.Option{engine.WithRegistry(reg)}
+	if sharing {
+		opts = append(opts, engine.WithScanSharing(), engine.WithShareWindow(clients))
+	}
+	e := engine.New(sto, tr, clients, opts...)
+	results := e.SubmitBatch(batch)
+	for _, res := range results {
+		if res.Err != nil {
+			e.Close()
+			return 0, obs.HistogramSnapshot{}, 0, 0, res.Err
+		}
+	}
+	makespan := e.Makespan()
+	e.Close()
+	lat := reg.Histogram("engine.sim_latency_seconds").Snapshot()
+	qps := float64(len(batch)) / makespan
+	fetched := reg.Counter("engine.shared.pages_fetched").Value()
+	serves := reg.Counter("engine.shared.page_serves").Value()
+	return qps, lat, fetched, serves, nil
+}
+
+// checkSharing enforces the two acceptance thresholds of the sharing
+// pipeline: a real aggregate win under contention, and no meaningful
+// single-client latency cost for the restructuring.
+func checkSharing(r shareReport) error {
+	var at32, at1 *shareRow
+	for i := range r.Rows {
+		switch r.Rows[i].Clients {
+		case 32:
+			at32 = &r.Rows[i]
+		case 1:
+			at1 = &r.Rows[i]
+		}
+	}
+	if at32 == nil || at1 == nil {
+		return fmt.Errorf("sharing gate needs rows for 1 and 32 clients")
+	}
+	if at32.Speedup < 1.3 {
+		return fmt.Errorf("sharing gate FAILED: %.2fx aggregate QPS at 32 clients, want >= 1.3x", at32.Speedup)
+	}
+	if at32.QueriesPerPage <= 1.0 {
+		return fmt.Errorf("sharing gate FAILED: %.2f queries/page at 32 clients, want > 1.0", at32.QueriesPerPage)
+	}
+	if at1.SharedP99 > at1.DirectP99*1.10 {
+		return fmt.Errorf("sharing gate FAILED: single-client p99 %.4fs vs %.4fs direct (> 10%% regression)",
+			at1.SharedP99, at1.DirectP99)
+	}
+	fmt.Printf("sharing gate OK: %.2fx at 32 clients, %.2f queries/page, single-client p99 %.4fs vs %.4fs\n",
+		at32.Speedup, at32.QueriesPerPage, at1.SharedP99, at1.DirectP99)
+	return nil
+}

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"repro/internal/index"
 	"repro/internal/obs"
 	"repro/internal/quantize"
 	"repro/internal/store"
@@ -392,6 +393,38 @@ func FuzzBitFlipKNN(f *testing.F) {
 			for j, nb := range res {
 				if nb.ID != clean[i].ids[j] || nb.Dist != clean[i].dists[j] {
 					t.Fatalf("query %d rank %d: (%d, %v) after flip, clean (%d, %v) — silent corruption",
+						i, j, nb.ID, nb.Dist, clean[i].ids[j], clean[i].dists[j])
+				}
+			}
+		}
+
+		// The scan-sharing pipeline owes the same contract: running all
+		// four queries concurrently through shared cursors over the
+		// damaged store must, per query, either fail typed or answer
+		// bit-identically to the clean run.
+		sessions := make([]*store.Session, len(queries))
+		for i := range sessions {
+			sessions[i] = sto.NewSession()
+		}
+		shRes, shErrs := driveShared(t, tr, sessions,
+			func(scan index.SharedScan, i int, s *store.Session) index.Cursor {
+				return scan.KNN(s, queries[i], 3)
+			})
+		for i := range queries {
+			if err := shErrs[i]; err != nil {
+				var cbe *store.CorruptBlockError
+				if !errors.As(err, &cbe) && !errors.Is(err, ErrUnrecoverable) {
+					t.Fatalf("shared query %d: untyped failure after bit flip: %v", i, err)
+				}
+				continue
+			}
+			res := shRes[i]
+			if len(res) != len(clean[i].ids) {
+				t.Fatalf("shared query %d: %d results after flip, clean run had %d", i, len(res), len(clean[i].ids))
+			}
+			for j, nb := range res {
+				if nb.ID != clean[i].ids[j] || nb.Dist != clean[i].dists[j] {
+					t.Fatalf("shared query %d rank %d: (%d, %v) after flip, clean (%d, %v) — silent corruption",
 						i, j, nb.ID, nb.Dist, clean[i].ids[j], clean[i].dists[j])
 				}
 			}

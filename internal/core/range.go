@@ -65,14 +65,6 @@ func (t *Tree) WindowQueryTrace(s *store.Session, w vec.MBR, tr *Trace) ([]Neigh
 	return t.scanCandidates(s, sn, tr, sc, &sc.win)
 }
 
-// candState classifies a point approximation during a range/window scan.
-type candState uint8
-
-const (
-	candOut   candState = iota // certainly not a result
-	candCheck                  // needs the exact point (for the id, and possibly the decision)
-)
-
 // scanFilter is the query-specific part of a range-style scan. The two
 // implementations live in the session scratch so a scan allocates no
 // filter state.
@@ -81,8 +73,11 @@ type scanFilter interface {
 	pageHit(mbr vec.MBR) bool
 	// preparePage builds the kernel tables for one compressed page.
 	preparePage(sc *queryScratch, g quantize.Grid, count int)
-	// pointHit classifies one point approximation (after preparePage).
-	pointHit(codes []uint32) candState
+	// pageHits classifies a whole prepared page's approximations in one
+	// kernel batch call; hits[i] is true when point i needs its exact
+	// geometry (for the id, and possibly the decision). The returned
+	// slice is scratch, valid until the next call.
+	pageHits(sc *queryScratch, codes []uint32, dim, count int) []bool
 	// exactHit decides on the exact point, returning the result distance.
 	exactHit(p vec.Point) (float64, bool)
 }
@@ -106,12 +101,14 @@ func (f *epsFilter) preparePage(sc *queryScratch, g quantize.Grid, count int) {
 	f.lbT = kernel.SqThreshold(f.met, math.Nextafter(f.eps, math.Inf(1)))
 }
 
-func (f *epsFilter) pointHit(codes []uint32) candState {
-	lb, pruned := f.tb.MinDistPruned(codes, f.lbT)
-	if pruned || lb > f.eps {
-		return candOut
+func (f *epsFilter) pageHits(sc *queryScratch, codes []uint32, dim, count int) []bool {
+	pb := &sc.bounds
+	f.tb.MinDistBatch(codes, dim, count, f.lbT, pb)
+	hits := growHits(&sc.hits, count)
+	for i := 0; i < count; i++ {
+		hits[i] = !pb.Pruned[i] && pb.Lb[i] <= f.eps
 	}
-	return candCheck
+	return hits
 }
 
 func (f *epsFilter) exactHit(p vec.Point) (float64, bool) {
@@ -132,35 +129,41 @@ func (f *windowFilter) preparePage(sc *queryScratch, g quantize.Grid, count int)
 	f.wt = sc.arena.Window(g, f.w, count)
 }
 
-func (f *windowFilter) pointHit(codes []uint32) candState {
-	if f.wt.Hits(codes) {
-		return candCheck
-	}
-	return candOut
+func (f *windowFilter) pageHits(sc *queryScratch, codes []uint32, dim, count int) []bool {
+	sc.hits = f.wt.HitsBatch(codes, dim, count, sc.hits)
+	return sc.hits
 }
 
 func (f *windowFilter) exactHit(p vec.Point) (float64, bool) { return 0, f.w.Contains(p) }
 
-// scanCandidates drives both range-style queries against the pinned
-// snapshot sn: select pages via the filter's pageHit, classify
-// approximations via pointHit, and refine candidates via exactHit (which
-// returns the result distance and whether the exact point qualifies).
-// Every qualifying point must be refined regardless of certainty, because
-// point ids live in the exact pages.
-func (t *Tree) scanCandidates(s *store.Session, sn *snapshot, tr *Trace, sc *queryScratch, f scanFilter) ([]Neighbor, error) {
-	// Level 1: directory scan.
+// growHits resizes the scratch hit buffer, keeping its high-water
+// capacity across pages.
+func growHits(hits *[]bool, n int) []bool {
+	if cap(*hits) < n {
+		*hits = make([]bool, n)
+	}
+	*hits = (*hits)[:n]
+	return *hits
+}
+
+// beginScan runs the level-1 directory scan of a range-style query
+// against the pinned snapshot: it selects the candidate pages via the
+// filter's pageHit, returning their sorted quantized-page positions
+// (aliasing sc.positions; sc.posEntry maps position → entry) and the
+// entries whose page is already quarantined and must be served from the
+// exact shadow. Shared between the share-nothing scan and the
+// scan-sharing cursor so both select identical page sets.
+func (t *Tree) beginScan(s *store.Session, sn *snapshot, sc *queryScratch, f scanFilter) (positions, degraded []int, err error) {
 	if sn.dirBlocks > 0 {
 		if _, err := s.Read(t.dirFile, 0, sn.dirBlocks); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
 	s.ChargeApproxCPU(t.dirFile, t.dim, len(sn.entries))
 
 	sc.pts.Reset()
-	positions := sc.positions[:0]
+	positions = sc.positions[:0]
 	clear(sc.posEntry)
-	posEntry := sc.posEntry
-	var degraded []int // entries served from their exact shadow
 	for i, e := range sn.entries {
 		if sn.free[i] {
 			continue
@@ -173,13 +176,28 @@ func (t *Tree) scanCandidates(s *store.Session, sn *snapshot, tr *Trace, sc *que
 			continue
 		}
 		positions = append(positions, int(e.QPos))
-		posEntry[int(e.QPos)] = i
+		sc.posEntry[int(e.QPos)] = i
 	}
 	sc.positions = positions
+	sort.Ints(positions)
+	return positions, degraded, nil
+}
+
+// scanCandidates drives both range-style queries against the pinned
+// snapshot sn: select pages via the filter's pageHit, classify
+// approximations via pageHits, and refine candidates via exactHit (which
+// returns the result distance and whether the exact point qualifies).
+// Every qualifying point must be refined regardless of certainty, because
+// point ids live in the exact pages.
+func (t *Tree) scanCandidates(s *store.Session, sn *snapshot, tr *Trace, sc *queryScratch, f scanFilter) ([]Neighbor, error) {
+	positions, degraded, err := t.beginScan(s, sn, sc, f)
+	if err != nil {
+		return nil, err
+	}
+	posEntry := sc.posEntry
 	if len(positions) == 0 && len(degraded) == 0 {
 		return nil, nil
 	}
-	sort.Ints(positions)
 
 	// Level 2: optimal known-set fetch (Fig. 1), optionally buffer-capped.
 	runs := pagesched.PlanKnownSet(positions, t.opt.QPageBlocks, t.sto.Config(), t.opt.MaxBufferBlocks)
@@ -308,22 +326,39 @@ func (t *Tree) rangePage(s *store.Session, sn *snapshot, tr *Trace, sc *queryScr
 	entry int, buf []byte, out []Neighbor) ([]Neighbor, error) {
 	qp := page.UnmarshalQPage(buf)
 	if qp.Bits == quantize.ExactBits {
-		pts, ids := sc.pts.DecodeQPage(qp.Payload, qp.Count, t.dim)
-		s.ChargeDistCPU(t.qFile, t.dim, len(pts))
-		for i, p := range pts {
-			if d, ok := f.exactHit(p); ok {
-				out = append(out, Neighbor{ID: ids[i], Dist: d, Point: p.Clone()})
-			}
-		}
-		return out, nil
+		return t.rangeExactQPage(s, sc, f, qp.Payload, qp.Count, out)
 	}
-	grid := sn.grids[entry]
 	codes := sc.arena.Unpack(qp.Payload, qp.Count*t.dim, qp.Bits)
-	f.preparePage(sc, grid, qp.Count)
-	s.ChargeApproxCPU(t.qFile, t.dim, qp.Count)
+	return t.rangePageCodes(s, sn, tr, sc, f, entry, qp.Count, codes, out)
+}
+
+// rangeExactQPage decides an exact-mode (32-bit) quantized page: every
+// point carries its full coordinates, so the filter's exact predicate
+// applies directly.
+func (t *Tree) rangeExactQPage(s *store.Session, sc *queryScratch, f scanFilter,
+	payload []byte, count int, out []Neighbor) ([]Neighbor, error) {
+	pts, ids := sc.pts.DecodeQPage(payload, count, t.dim)
+	s.ChargeDistCPU(t.qFile, t.dim, len(pts))
+	for i, p := range pts {
+		if d, ok := f.exactHit(p); ok {
+			out = append(out, Neighbor{ID: ids[i], Dist: d, Point: p.Clone()})
+		}
+	}
+	return out, nil
+}
+
+// rangePageCodes filters one compressed page's bulk-unpacked codes and
+// refines the surviving candidates against the exact level. Split from
+// rangePage so the scan-sharing path can feed it codes decoded once per
+// shared page.
+func (t *Tree) rangePageCodes(s *store.Session, sn *snapshot, tr *Trace, sc *queryScratch, f scanFilter,
+	entry, count int, codes []uint32, out []Neighbor) ([]Neighbor, error) {
+	f.preparePage(sc, sn.grids[entry], count)
+	s.ChargeApproxCPU(t.qFile, t.dim, count)
+	hits := f.pageHits(sc, codes, t.dim, count)
 	need := sc.need[:0]
-	for i := 0; i < qp.Count; i++ {
-		if f.pointHit(codes[i*t.dim:(i+1)*t.dim]) == candCheck {
+	for i := 0; i < count; i++ {
+		if hits[i] {
 			need = append(need, i)
 		}
 	}

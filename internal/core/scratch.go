@@ -29,6 +29,11 @@ type queryScratch struct {
 	need      []int
 	eps       epsFilter
 	win       windowFilter
+
+	// Batch-kernel buffers (scan-sharing page filters and the batch
+	// range/window classifiers).
+	bounds kernel.PageBounds
+	hits   []bool
 }
 
 // scratchFor returns the session's query scratch, creating and attaching

@@ -169,7 +169,32 @@ func (st *nnSearch) bound() float64 {
 
 func (st *nnSearch) prune() float64 { return math.Min(st.nnDist(), st.bound()) }
 
+// run drives the share-nothing search to completion: seed the priority
+// list, then alternately pick the next pending page and fetch it (with
+// the batched or single-page strategy). The scan-sharing cursor drives
+// the same start/advance state machine but suspends at the fetch
+// boundary instead, so both paths make identical page decisions.
 func (st *nnSearch) run() {
+	if !st.start() {
+		return
+	}
+	for st.err == nil {
+		entry, ok := st.advance()
+		if !ok {
+			break
+		}
+		if st.t.opt.OptimizedIO {
+			st.processBatch(entry)
+		} else {
+			st.processSingle(entry)
+		}
+	}
+}
+
+// start runs the level-1 directory scan and seeds the priority list
+// (paper Sec. 3.2). It reports whether the search can proceed; on false,
+// st.err holds the reason (or the search is trivially complete).
+func (st *nnSearch) start() bool {
 	t := st.t
 	sn := st.sn
 	met := t.opt.Metric
@@ -179,7 +204,7 @@ func (st *nnSearch) run() {
 	if sn.dirBlocks > 0 {
 		if _, err := st.s.Read(t.dirFile, 0, sn.dirBlocks); err != nil {
 			st.err = err
-			return
+			return false
 		}
 	}
 	st.s.ChargeApproxCPU(t.dirFile, t.dim, len(sn.entries))
@@ -195,7 +220,14 @@ func (st *nnSearch) run() {
 	}
 	st.sc.sorter = entrySorter{minD: st.minD, idx: st.sorted}
 	sort.Sort(&st.sc.sorter)
+	return true
+}
 
+// advance pops the priority list to the next unprocessed page entry,
+// refining point items inline on the way. ok=false means the search is
+// complete: either the list ran dry, nothing left can improve the
+// result, or a refinement failed (st.err).
+func (st *nnSearch) advance() (entry int, ok bool) {
 	for len(st.heap) > 0 && st.err == nil {
 		it := st.popItem()
 		if it.dist >= st.nnDist() {
@@ -211,12 +243,9 @@ func (st *nnSearch) run() {
 		if st.processed[it.entry] {
 			continue
 		}
-		if t.opt.OptimizedIO {
-			st.processBatch(int(it.entry))
-		} else {
-			st.processSingle(int(it.entry))
-		}
+		return int(it.entry), true
 	}
+	return 0, false
 }
 
 // processSingle loads exactly one quantized page with a random access
@@ -395,21 +424,36 @@ func (st *nnSearch) processPage(entry int, buf []byte) {
 		return // transferred as part of a batch but certainly irrelevant
 	}
 	qp := page.UnmarshalQPage(buf)
-	met := t.opt.Metric
 	if qp.Bits == quantize.ExactBits {
-		pts, ids := st.sc.pts.DecodeQPage(qp.Payload, qp.Count, t.dim)
-		st.s.ChargeDistCPU(t.qFile, t.dim, len(pts))
-		for i, p := range pts {
-			d := met.Dist(st.q, p)
-			st.pushUB(d)
-			st.addResult(Neighbor{ID: ids[i], Dist: d, Point: p})
-		}
+		st.processExact(qp.Payload, qp.Count)
 		return
 	}
-	grid := st.sn.grids[entry]
 	codes := st.sc.arena.Unpack(qp.Payload, qp.Count*t.dim, qp.Bits)
-	tb := st.sc.arena.Tables(grid, st.q, met, qp.Count)
-	st.s.ChargeApproxCPU(t.qFile, t.dim, qp.Count)
+	st.processCodes(entry, qp.Count, codes)
+}
+
+// processExact consumes one exact-mode (32-bit) page: final distances,
+// no refinement needed.
+func (st *nnSearch) processExact(payload []byte, count int) {
+	t := st.t
+	met := t.opt.Metric
+	pts, ids := st.sc.pts.DecodeQPage(payload, count, t.dim)
+	st.s.ChargeDistCPU(t.qFile, t.dim, len(pts))
+	for i, p := range pts {
+		d := met.Dist(st.q, p)
+		st.pushUB(d)
+		st.addResult(Neighbor{ID: ids[i], Dist: d, Point: p})
+	}
+}
+
+// processCodes filters one compressed page's bulk-unpacked codes with
+// the scalar per-point loop, pushing candidate approximations onto the
+// priority list.
+func (st *nnSearch) processCodes(entry, count int, codes []uint32) {
+	t := st.t
+	met := t.opt.Metric
+	tb := st.sc.arena.Tables(st.sn.grids[entry], st.q, met, count)
+	st.s.ChargeApproxCPU(t.qFile, t.dim, count)
 	cand := 0
 	// prune/bound only shrink while scanning the page, so thresholds
 	// cached here stay safe: a point abandoned against a stale (larger)
@@ -419,7 +463,7 @@ func (st *nnSearch) processPage(entry int, buf []byte) {
 	bound := st.bound()
 	lbT := kernel.SqThreshold(met, prune)
 	ubT := kernel.SqThreshold(met, bound)
-	for i := 0; i < qp.Count; i++ {
+	for i := 0; i < count; i++ {
 		cs := codes[i*t.dim : (i+1)*t.dim]
 		lb, ubD, pruned := tb.BoundsPruned(cs, lbT, ubT)
 		if pruned {
@@ -435,6 +479,40 @@ func (st *nnSearch) processPage(entry int, buf []byte) {
 		if lb < prune {
 			cand++
 			st.pushItem(pqItem{dist: lb, entry: int32(entry), pt: int32(i)})
+		}
+	}
+	st.tr.AddCandidates(cand)
+}
+
+// processCodesBatch is processCodes over the kernel's batch entry point:
+// all bounds are computed against the page-start thresholds in one call
+// (so a shared page decoded once serves many queries with cache-hot
+// codes), then admitted through the same live-threshold tests as the
+// scalar loop. Final search state is identical to processCodes — a
+// batch-computed point the scalar loop would have pruned fails the same
+// live candidate test and cannot move a full upper-bound heap (see
+// internal/kernel/multi.go).
+func (st *nnSearch) processCodesBatch(entry, count int, codes []uint32) {
+	t := st.t
+	met := t.opt.Metric
+	tb := st.sc.arena.Tables(st.sn.grids[entry], st.q, met, count)
+	st.s.ChargeApproxCPU(t.qFile, t.dim, count)
+	pb := &st.sc.bounds
+	prune := st.prune()
+	lbT := kernel.SqThreshold(met, prune)
+	ubT := kernel.SqThreshold(met, st.bound())
+	tb.BoundsBatch(codes, t.dim, count, lbT, ubT, pb)
+	cand := 0
+	for i := 0; i < count; i++ {
+		if pb.Pruned[i] {
+			continue
+		}
+		if st.pushUB(pb.Ub[i]) {
+			prune = st.prune()
+		}
+		if pb.Lb[i] < prune {
+			cand++
+			st.pushItem(pqItem{dist: pb.Lb[i], entry: int32(entry), pt: int32(i)})
 		}
 	}
 	st.tr.AddCandidates(cand)

@@ -40,6 +40,11 @@ var ErrOverloaded = errors.New("engine: overloaded, query shed")
 // across the layers.
 var ErrCanceled = store.ErrCanceled
 
+// ErrInvalidQuery marks a query rejected at submission because its shape
+// cannot be executed (nil point, non-positive k, inverted window, or an
+// unknown kind). The query never reaches the pool.
+var ErrInvalidQuery = errors.New("engine: invalid query")
+
 // Kind selects the query type of a Query.
 type Kind int
 
@@ -63,6 +68,42 @@ type Query struct {
 	// for queue space and again at every page-fetch boundary inside the
 	// index, so a canceled query stops paying I/O promptly.
 	Ctx context.Context
+}
+
+// Validate checks the query's shape, returning an error wrapping
+// ErrInvalidQuery for queries that cannot be executed. Submission
+// validates every query, so malformed work fails typed at the door
+// instead of surfacing as an index panic or a silent empty result.
+func (q Query) Validate() error {
+	switch q.Kind {
+	case KNN:
+		if q.Point == nil {
+			return fmt.Errorf("%w: knn with nil point", ErrInvalidQuery)
+		}
+		if q.K <= 0 {
+			return fmt.Errorf("%w: knn with k=%d", ErrInvalidQuery, q.K)
+		}
+	case Range:
+		if q.Point == nil {
+			return fmt.Errorf("%w: range with nil point", ErrInvalidQuery)
+		}
+		if q.Eps < 0 || q.Eps != q.Eps {
+			return fmt.Errorf("%w: range with eps=%v", ErrInvalidQuery, q.Eps)
+		}
+	case Window:
+		w := q.Window
+		if len(w.Lo) == 0 || len(w.Lo) != len(w.Hi) {
+			return fmt.Errorf("%w: window with %d/%d bounds", ErrInvalidQuery, len(w.Lo), len(w.Hi))
+		}
+		for i := range w.Lo {
+			if w.Lo[i] > w.Hi[i] {
+				return fmt.Errorf("%w: window inverted in dim %d", ErrInvalidQuery, i)
+			}
+		}
+	default:
+		return fmt.Errorf("%w: unknown kind %d", ErrInvalidQuery, int(q.Kind))
+	}
+	return nil
 }
 
 // Result is the outcome of one Query.
@@ -97,7 +138,16 @@ type Engine struct {
 	closed  bool
 
 	busyMu sync.Mutex
-	busy   []float64 // per-worker summed simulated busy seconds
+	busy   []float64 // per-lane summed simulated busy seconds
+
+	// Scan-sharing mode (see shared.go): one coordinator goroutine
+	// replaces the worker pool, multiplexing up to shareWindow in-flight
+	// queries over cross-query batched page fetches. busy then models
+	// workers parallel lanes fed round-robin, keeping Makespan comparable
+	// across modes.
+	sharing     bool
+	shareWindow int
+	scan        index.SharedScan
 
 	reg        *obs.Registry
 	queueDepth *obs.Gauge
@@ -108,6 +158,11 @@ type Engine struct {
 	cancels    *obs.Counter
 	simLat     *obs.Histogram
 	wallLat    *obs.Histogram
+
+	sharedRounds   *obs.Counter
+	sharedFetched  *obs.Counter
+	sharedServes   *obs.Counter
+	sharedRestarts *obs.Counter
 }
 
 type job struct {
@@ -134,6 +189,31 @@ func WithRegistry(reg *obs.Registry) Option {
 // queries, so only a genuinely wedged or saturated pool sheds.
 func WithQueueWait(d time.Duration) Option {
 	return func(e *Engine) { e.queueWait = d }
+}
+
+// WithScanSharing switches the engine to the shared multi-query
+// pipeline: a coordinator steps every in-flight query to its page-fetch
+// boundary, merges the wanted pages across queries into one deduplicated
+// read plan per round, and fans each fetched page out to all queries
+// that need it. Requires the index to implement index.SharedScanner;
+// other indexes are served share-nothing regardless of this option.
+// Results are identical to share-nothing execution.
+func WithScanSharing() Option {
+	return func(e *Engine) { e.sharing = true }
+}
+
+// WithShareWindow caps how many queries the scan-sharing coordinator
+// keeps in flight at once — the fairness/latency knob: a larger window
+// exposes more cross-query page overlap (higher aggregate throughput), a
+// smaller one bounds how much co-scheduled work can delay any single
+// query. Defaults to 4× the worker count. Only meaningful with
+// WithScanSharing.
+func WithShareWindow(n int) Option {
+	return func(e *Engine) {
+		if n > 0 {
+			e.shareWindow = n
+		}
+	}
 }
 
 // New starts an engine with the given number of workers serving queries
@@ -165,12 +245,33 @@ func New(sto *store.Store, idx index.Index, workers int, opts ...Option) *Engine
 	e.simLat = e.reg.Histogram("engine.sim_latency_seconds")
 	e.wallLat = e.reg.Histogram("engine.wall_latency_seconds")
 	e.sessions.New = func() any { return sto.NewSession() }
+	if e.sharing {
+		if ss, ok := idx.(index.SharedScanner); ok {
+			e.scan = ss.NewSharedScan()
+		}
+	}
+	if e.scan != nil {
+		if e.shareWindow <= 0 {
+			e.shareWindow = 4 * workers
+		}
+		e.sharedRounds = e.reg.Counter("engine.shared.rounds")
+		e.sharedFetched = e.reg.Counter("engine.shared.pages_fetched")
+		e.sharedServes = e.reg.Counter("engine.shared.page_serves")
+		e.sharedRestarts = e.reg.Counter("engine.shared.restarts")
+		e.wg.Add(1)
+		go e.coordinator()
+		return e
+	}
 	e.wg.Add(workers)
 	for i := 0; i < workers; i++ {
 		go e.worker(i)
 	}
 	return e
 }
+
+// Sharing reports whether the engine actually runs the scan-sharing
+// pipeline (the option was set and the index supports it).
+func (e *Engine) Sharing() bool { return e.scan != nil }
 
 // Workers returns the size of the worker pool.
 func (e *Engine) Workers() int { return e.workers }
@@ -215,6 +316,9 @@ func (e *Engine) SubmitBatch(qs []Query) []Result {
 // which also bounds how long Close can block behind a full queue: at
 // most the queue wait.
 func (e *Engine) enqueue(j job) error {
+	if err := j.q.Validate(); err != nil {
+		return err
+	}
 	e.closeMu.RLock()
 	defer e.closeMu.RUnlock()
 	if e.closed {
@@ -377,7 +481,10 @@ func (e *Engine) account(worker int, res *Result) {
 	e.busyMu.Unlock()
 }
 
-// WorkerBusy returns each worker's summed simulated busy seconds.
+// WorkerBusy returns each worker's summed simulated busy seconds. The
+// slice is one consistent snapshot taken under the ledger lock — a
+// concurrent query finishing during the call is either fully included or
+// not at all, never half-applied.
 func (e *Engine) WorkerBusy() []float64 {
 	e.busyMu.Lock()
 	defer e.busyMu.Unlock()
@@ -387,10 +494,15 @@ func (e *Engine) WorkerBusy() []float64 {
 // Makespan returns the simulated wall-clock of the run so far under the
 // model of one disk per worker: the largest per-worker busy sum. With
 // queue-balanced work it approaches total busy / workers, which is what
-// makes simulated QPS scale with the pool.
+// makes simulated QPS scale with the pool. Like WorkerBusy, the maximum
+// is computed under the ledger lock in one critical section, so it is
+// monotonically non-decreasing across calls even under concurrent
+// accounting.
 func (e *Engine) Makespan() float64 {
+	e.busyMu.Lock()
+	defer e.busyMu.Unlock()
 	var m float64
-	for _, b := range e.WorkerBusy() {
+	for _, b := range e.busy {
 		if b > m {
 			m = b
 		}

@@ -121,7 +121,7 @@ func TestEngineLoadShedding(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			e.Submit(Query{Kind: KNN})
+			e.Submit(Query{Kind: KNN, Point: vec.Point{0, 0}, K: 1})
 		}()
 	}
 	// Wait until the queue is actually full.
@@ -132,7 +132,7 @@ func TestEngineLoadShedding(t *testing.T) {
 		}
 		time.Sleep(time.Millisecond)
 	}
-	res := e.Submit(Query{Kind: KNN})
+	res := e.Submit(Query{Kind: KNN, Point: vec.Point{0, 0}, K: 1})
 	if !errors.Is(res.Err, ErrOverloaded) {
 		t.Fatalf("saturated submit: %v, want ErrOverloaded", res.Err)
 	}
@@ -164,7 +164,7 @@ func TestEngineContextCancellation(t *testing.T) {
 	// Pre-canceled context: rejected at submission.
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	res := e.Submit(Query{Kind: KNN, Ctx: ctx})
+	res := e.Submit(Query{Kind: KNN, Point: vec.Point{0, 0}, K: 1, Ctx: ctx})
 	if !errors.Is(res.Err, ErrCanceled) || !errors.Is(res.Err, context.Canceled) {
 		t.Fatalf("pre-canceled submit: %v", res.Err)
 	}
@@ -175,7 +175,7 @@ func TestEngineContextCancellation(t *testing.T) {
 		cancel2()
 		s.Read(f, 0, 1)
 	}
-	res = e.Submit(Query{Kind: KNN, Ctx: ctx2})
+	res = e.Submit(Query{Kind: KNN, Point: vec.Point{0, 0}, K: 1, Ctx: ctx2})
 	if !errors.Is(res.Err, ErrCanceled) {
 		t.Fatalf("mid-run cancellation: %v", res.Err)
 	}
@@ -185,7 +185,7 @@ func TestEngineContextCancellation(t *testing.T) {
 
 	// A live context is invisible.
 	idx.fn = func(s *store.Session) { s.Read(f, 0, 1) }
-	res = e.Submit(Query{Kind: KNN, Ctx: context.Background()})
+	res = e.Submit(Query{Kind: KNN, Point: vec.Point{0, 0}, K: 1, Ctx: context.Background()})
 	if res.Err != nil {
 		t.Fatalf("live context: %v", res.Err)
 	}
@@ -206,7 +206,7 @@ func TestEngineSubmitCloseRace(t *testing.T) {
 				defer wg.Done()
 				<-start
 				for i := 0; i < 20; i++ {
-					res := e.Submit(Query{Kind: KNN})
+					res := e.Submit(Query{Kind: KNN, Point: vec.Point{0, 0}, K: 1})
 					if res.Err != nil && !errors.Is(res.Err, ErrClosed) {
 						t.Errorf("race round %d: %v", round, res.Err)
 						return

@@ -1,0 +1,84 @@
+package index_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/index"
+	"repro/internal/vec"
+)
+
+// TestSharedEngineCrossIndexEquivalence is the serving-layer side of the
+// cross-method contract: for every access method, an engine with scan
+// sharing enabled returns bit-identical results to the share-nothing
+// engine for all three query kinds. The IQ-tree actually exercises the
+// shared pipeline (it implements SharedScanner); the other methods must
+// degrade to the worker pool without observable difference.
+func TestSharedEngineCrossIndexEquivalence(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	const n, dim = 2500, 8
+	pts := make([]vec.Point, n)
+	for i := range pts {
+		p := make(vec.Point, dim)
+		for j := range p {
+			p[j] = r.Float32()
+		}
+		pts[i] = p
+	}
+	methods := buildAll(t, pts)
+
+	batch := make([]engine.Query, 0, 36)
+	for i := 0; i < 36; i++ {
+		q := make(vec.Point, dim)
+		for j := range q {
+			q[j] = r.Float32()
+		}
+		switch i % 3 {
+		case 0:
+			batch = append(batch, engine.Query{Kind: engine.KNN, Point: q, K: 1 + r.Intn(8)})
+		case 1:
+			batch = append(batch, engine.Query{Kind: engine.Range, Point: q, Eps: 0.3 + r.Float64()*0.3})
+		default:
+			lo := make(vec.Point, dim)
+			hi := make(vec.Point, dim)
+			for j := range lo {
+				a := r.Float32() * 0.6
+				lo[j], hi[j] = a, a+0.3+r.Float32()*0.3
+			}
+			batch = append(batch, engine.Query{Kind: engine.Window, Window: vec.MBR{Lo: lo, Hi: hi}})
+		}
+	}
+
+	for _, m := range methods {
+		m := m
+		t.Run(m.name, func(t *testing.T) {
+			shared := engine.New(m.sto, m.idx, 4, engine.WithScanSharing())
+			defer shared.Close()
+			plain := engine.New(m.sto, m.idx, 4)
+			defer plain.Close()
+			_, sharable := m.idx.(index.SharedScanner)
+			if shared.Sharing() != sharable {
+				t.Fatalf("Sharing() = %v, index implements SharedScanner = %v", shared.Sharing(), sharable)
+			}
+			got := shared.SubmitBatch(batch)
+			want := plain.SubmitBatch(batch)
+			for i := range batch {
+				if got[i].Err != nil || want[i].Err != nil {
+					t.Fatalf("query %d: shared err %v, plain err %v", i, got[i].Err, want[i].Err)
+				}
+				if len(got[i].Neighbors) != len(want[i].Neighbors) {
+					t.Fatalf("query %d (%v): shared %d results, plain %d",
+						i, batch[i].Kind, len(got[i].Neighbors), len(want[i].Neighbors))
+				}
+				for j := range want[i].Neighbors {
+					g, w := got[i].Neighbors[j], want[i].Neighbors[j]
+					if g.ID != w.ID || g.Dist != w.Dist {
+						t.Fatalf("%s query %d result %d: shared (%d,%v), plain (%d,%v)",
+							m.name, i, j, g.ID, g.Dist, w.ID, w.Dist)
+					}
+				}
+			}
+		})
+	}
+}

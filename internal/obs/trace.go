@@ -17,6 +17,7 @@ type LevelTrace struct {
 	Reads        int
 	Writes       int
 	CachedBlocks int     // blocks served by the buffer pool (zero cost)
+	SharedBlocks int     // blocks delivered by another query's fetch (zero cost)
 	CPUSeconds   float64 // CPU attributed to this level
 	DistCPU      float64 // … of which exact distance computations
 	ApproxCPU    float64 // … of which approximation decode/bound work
@@ -82,6 +83,12 @@ type QueryTrace struct {
 	// shadow because the quantized page was quarantined after a checksum
 	// failure. Results stay exact; only the cost degrades.
 	DegradedReads int
+	// SharedPages counts quantized pages this query consumed from another
+	// query's fetch under scan sharing. The leader query's trace carries
+	// the transfer (PagesRead); shared pages charge nothing here, so they
+	// are excluded from Totals — keeping trace totals equal to the
+	// session's Stats in shared mode too.
+	SharedPages int
 
 	// SeekCost and XferCost are the per-seek and per-block simulated
 	// costs used to render counter sums as seconds (set by SetCosts).
@@ -140,6 +147,10 @@ func (t *QueryTrace) ObserveRead(file string, seeks, blocks int, tier ReadTier) 
 	l := t.Level(file)
 	if tier == ReadPoolHit {
 		l.CachedBlocks += blocks
+		return
+	}
+	if tier == ReadShared {
+		l.SharedBlocks += blocks
 		return
 	}
 	l.Seeks += seeks
@@ -225,6 +236,15 @@ func (t *QueryTrace) AddDegraded(n int) {
 	t.DegradedReads += n
 }
 
+// AddShared counts n quantized pages consumed from another query's
+// fetch (scan sharing; zero cost for this query). Nil-safe.
+func (t *QueryTrace) AddShared(n int) {
+	if t == nil {
+		return
+	}
+	t.SharedPages += n
+}
+
 // Degraded reports whether the traced query paid any degraded reads.
 func (t *QueryTrace) Degraded() bool { return t != nil && t.DegradedReads > 0 }
 
@@ -271,6 +291,19 @@ func (t *QueryTrace) CachedBlocks() int {
 	n := 0
 	for _, l := range t.Levels {
 		n += l.CachedBlocks
+	}
+	return n
+}
+
+// SharedBlocks returns the total blocks delivered by other queries'
+// fetches under scan sharing (zero cost for this query).
+func (t *QueryTrace) SharedBlocks() int {
+	if t == nil {
+		return 0
+	}
+	n := 0
+	for _, l := range t.Levels {
+		n += l.SharedBlocks
 	}
 	return n
 }
@@ -333,6 +366,10 @@ func (t *QueryTrace) Format() string {
 	}
 	if tc > 0 {
 		fmt.Fprintf(&b, "  buffer pool: %d blocks served from cache (zero simulated cost)\n", tc)
+	}
+	if t.SharedPages > 0 {
+		fmt.Fprintf(&b, "  scan sharing: %d pages (%d blocks) delivered by other queries' fetches (zero cost here)\n",
+			t.SharedPages, t.SharedBlocks())
 	}
 	return b.String()
 }

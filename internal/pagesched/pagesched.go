@@ -15,6 +15,7 @@ package pagesched
 
 import (
 	"math"
+	"sort"
 
 	"repro/internal/mathx"
 	"repro/internal/obs"
@@ -214,4 +215,62 @@ func (s *Scheduler) Batch(pivot int) (first, last int) {
 	}
 	s.Trace.AddBatch(obs.BatchDecision{Pivot: pivot, First: first, Last: last})
 	return first, last
+}
+
+// PageSpan is one contiguous page extent [First, Last] of a cross-query
+// round plan (page units, inclusive).
+type PageSpan struct {
+	First, Last int
+}
+
+// Pages returns the number of pages the span covers.
+func (p PageSpan) Pages() int { return p.Last - p.First + 1 }
+
+// Contains reports whether page position pos lies inside the span.
+func (p PageSpan) Contains(pos int) bool { return pos >= p.First && pos <= p.Last }
+
+// BatchAll plans one scan-sharing round: wants holds every page position
+// some in-flight query needs next (duplicates allowed, any order), and
+// the scheduler's Prob must already combine the access probabilities of
+// all those queries (1 − Π(1 − p_q)). Each uncovered want anchors one
+// cumulated-cost-balance extension — the same Batch logic that plans one
+// query's pivot, stretched across queries — and overlapping or adjacent
+// extents are merged, so the returned spans are disjoint, ascending, and
+// cover every want: no block is fetched twice within a round. With a
+// single want the plan is exactly [Batch(want)], so one query in flight
+// degenerates to the share-nothing schedule.
+func (s *Scheduler) BatchAll(wants []int) []PageSpan {
+	if len(wants) == 0 {
+		return nil
+	}
+	sorted := append([]int(nil), wants...)
+	sort.Ints(sorted)
+	var exts []PageSpan
+	covered := -1 // highest page already covered by an earlier extent
+	for i, p := range sorted {
+		if p <= covered || (i > 0 && p == sorted[i-1]) {
+			continue
+		}
+		first, last := s.Batch(p)
+		exts = append(exts, PageSpan{First: first, Last: last})
+		if last > covered {
+			covered = last
+		}
+	}
+	// Backward extension can dip below an earlier extent; merge anything
+	// overlapping or adjacent (an adjacent merge is cost-neutral — the
+	// second read would have continued seek-free from the first).
+	sort.Slice(exts, func(i, j int) bool { return exts[i].First < exts[j].First })
+	merged := exts[:1]
+	for _, e := range exts[1:] {
+		top := &merged[len(merged)-1]
+		if e.First <= top.Last+1 {
+			if e.Last > top.Last {
+				top.Last = e.Last
+			}
+			continue
+		}
+		merged = append(merged, e)
+	}
+	return merged
 }

@@ -275,6 +275,17 @@ func (s *Session) readPooled(f *File, pos, nblocks int) ([]byte, error) {
 	return dst, nil
 }
 
+// NoteShared reports to the session's observer that nblocks blocks of
+// file f were consumed from another session's fetch (scan sharing).
+// Nothing is charged — the leader session paid the seek and transfer —
+// so aggregate Stats, per-file stats, and the head position are all left
+// untouched, and trace totals keep matching Stats exactly.
+func (s *Session) NoteShared(f *File, nblocks int) {
+	if s.obs != nil && f != nil && nblocks > 0 {
+		s.obs.ObserveRead(f.Name(), 0, nblocks, obs.ReadShared)
+	}
+}
+
 // ReadRange transfers the blocks covering the byte range [off, off+n) of
 // file f and returns those blocks plus the offset of the range within the
 // returned slice.

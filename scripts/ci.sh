@@ -36,6 +36,15 @@ echo "== engine scaling gate =="
 go run ./cmd/iqbench -parallel 1,4 -scale 0.05 -queries 40 \
 	-bench-out /tmp/iqbench_scaling_gate.json -gate
 
+echo "== scan sharing gate =="
+# Cross-query scan sharing must earn its keep on the hot workload:
+# >= 1.3x aggregate simulated QPS at 32 concurrent clients, each fetched
+# page feeding > 1 query on average, and no single-client p99 regression
+# beyond 10% (with one query in flight the shared plan degenerates to
+# the share-nothing batch schedule exactly).
+go run ./cmd/iqbench -share 1,32 -scale 0.2 -queries 128 \
+	-share-out /tmp/iqbench_share_gate.json -gate
+
 echo "== chaos gate =="
 # Seeded fault-injection campaign: transient faults fully retried,
 # corruption fully quarantined and repaired (results identical to the
