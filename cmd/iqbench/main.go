@@ -67,6 +67,9 @@ func run() error {
 		chaosOut  = flag.String("chaos-out", "BENCH_faulttol.json", "where -faults writes its JSON fault-tolerance report")
 		share     = flag.String("share", "", "scan-sharing mode instead of figures: comma-separated client counts (e.g. 1,8,32,64)")
 		shareOut  = flag.String("share-out", "BENCH_share.json", "where -share writes its JSON sharing report")
+		shards    = flag.String("shards", "", "sharded serving mode instead of figures: comma-separated shard counts (e.g. 1,2,4,8)")
+		replicas  = flag.Int("replicas", 2, "with -shards: replicas per shard for the chaos campaign")
+		shardOut  = flag.String("shard-out", "BENCH_shard.json", "where -shards writes its JSON scatter-gather report")
 	)
 	flag.Parse()
 	if *quickFlag {
@@ -85,6 +88,9 @@ func run() error {
 	}
 	if *share != "" {
 		return runShare(*share, *scale, *queries, *seed, *shareOut, *gate)
+	}
+	if *shards != "" {
+		return runShard(*shards, *replicas, *scale, *queries, *seed, *shardOut, *gate)
 	}
 	if *debugAddr != "" {
 		addr, err := obs.StartDebugServer(*debugAddr)

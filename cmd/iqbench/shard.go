@@ -1,0 +1,344 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/engine"
+	"repro/internal/obs"
+	"repro/internal/shard"
+	"repro/internal/store"
+	"repro/internal/vec"
+)
+
+// shardReport is the schema of the -shards JSON report
+// (BENCH_shard.json): a scatter-gather scaling sweep over shard counts
+// plus a seeded chaos campaign that corrupts and kills replicas mid-run.
+type shardReport struct {
+	Date        string     `json:"date"`
+	Dataset     string     `json:"dataset"`
+	N           int        `json:"n"`
+	Dim         int        `json:"dim"`
+	Queries     int        `json:"queries"`
+	K           int        `json:"k"`
+	Workers     int        `json:"workers_per_replica"`
+	Partitioner string     `json:"partitioner"`
+	Rows        []shardRow `json:"rows"`
+	Chaos       shardChaos `json:"chaos"`
+}
+
+// shardRow is one point of the scaling sweep (replicas=1: replicas add
+// availability, not capacity). QPS divides the batch size by the
+// fleet's simulated makespan — the busiest disk lane across every shard
+// engine — so the number models N shards' disks running in parallel.
+// Mismatched counts queries whose merged answer differed from the
+// single-shard row (must be 0: sharding never changes an answer).
+type shardRow struct {
+	Shards     int     `json:"shards"`
+	QPS        float64 `json:"sim_qps"`
+	Speedup    float64 `json:"speedup_vs_1"`
+	Fanout     int64   `json:"fanout"`
+	Mismatched int     `json:"mismatched"`
+}
+
+// shardChaos summarizes the replica-failover campaign: one replica's
+// directory corrupted at rest (bit flips beneath the checksum sidecars)
+// and another replica's engine killed mid-run. Lost counts queries that
+// returned an error; Mismatched counts answers that changed. Both must
+// be 0 — that is the availability claim.
+type shardChaos struct {
+	Shards         int   `json:"shards"`
+	Replicas       int   `json:"replicas"`
+	Queries        int   `json:"queries"`
+	Lost           int   `json:"lost"`
+	Mismatched     int   `json:"mismatched"`
+	Failovers      int64 `json:"failovers"`
+	ReplicaRetries int64 `json:"replica_retries"`
+}
+
+// shardBatch builds the sweep workload: a KNN/range/window mix. Range
+// and window work partitions cleanly across shards; KNN pays a per-shard
+// candidate-refinement overhead — the mix keeps the sweep honest about
+// both.
+func shardBatch(seed int64, queries, dim, k int) []engine.Query {
+	r := rand.New(rand.NewSource(seed))
+	batch := make([]engine.Query, 0, queries)
+	for i := 0; i < queries; i++ {
+		q := make(vec.Point, dim)
+		for j := range q {
+			q[j] = r.Float32()
+		}
+		switch i % 3 {
+		case 0:
+			batch = append(batch, engine.Query{Kind: engine.KNN, Point: q, K: k})
+		case 1:
+			batch = append(batch, engine.Query{Kind: engine.Range, Point: q, Eps: 0.9 + r.Float64()*0.2})
+		default:
+			lo := make(vec.Point, dim)
+			hi := make(vec.Point, dim)
+			for j := range lo {
+				a := r.Float32() * 0.5
+				lo[j], hi[j] = a, a+0.35+r.Float32()*0.15
+			}
+			batch = append(batch, engine.Query{Kind: engine.Window, Window: vec.MBR{Lo: lo, Hi: hi}})
+		}
+	}
+	return batch
+}
+
+// canonicalNbs sorts one answer into the coordinator's canonical order
+// so answers can be compared across topologies.
+func canonicalNbs(kind engine.Kind, nbs []vec.Neighbor) []vec.Neighbor {
+	out := append([]vec.Neighbor(nil), nbs...)
+	sort.Slice(out, func(i, j int) bool {
+		if kind != engine.Window && out[i].Dist != out[j].Dist {
+			return out[i].Dist < out[j].Dist
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+func sameShardAnswer(a, b []vec.Neighbor) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].ID != b[i].ID || a[i].Dist != b[i].Dist {
+			return false
+		}
+	}
+	return true
+}
+
+// runShard benchmarks sharded scatter-gather serving: a scaling sweep
+// over shard counts, then a chaos campaign on the largest topology with
+// the requested replica count.
+func runShard(spec string, replicas int, scale float64, queries int, seed int64, out string, gate bool) error {
+	var shardCounts []int
+	for _, part := range strings.Split(spec, ",") {
+		c, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || c <= 0 {
+			return fmt.Errorf("bad -shards count %q", part)
+		}
+		shardCounts = append(shardCounts, c)
+	}
+	if replicas < 1 {
+		return fmt.Errorf("bad -replicas %d", replicas)
+	}
+
+	// Sharding is a scale-out play: per-shard fixed costs (directory
+	// seek, per-shard KNN refinement) amortize only over enough data,
+	// so the sweep keeps a higher floor than the single-node benches.
+	n := int(float64(200000) * scale)
+	if n < 16000 {
+		n = 16000
+	}
+	const dim, k, workers = 16, 4, 2
+	db, err := dataset.Generate(dataset.Uniform, seed, n, dim)
+	if err != nil {
+		return err
+	}
+	batch := shardBatch(seed+1, queries, dim, k)
+
+	report := shardReport{
+		Date:        time.Now().UTC().Format(time.RFC3339),
+		Dataset:     string(dataset.Uniform),
+		N:           n,
+		Dim:         dim,
+		Queries:     queries,
+		K:           k,
+		Workers:     workers,
+		Partitioner: shard.RoundRobin{}.Name(),
+	}
+	fmt.Printf("sharded scatter-gather: %s n=%d dim=%d queries=%d k=%d workers/replica=%d\n",
+		dataset.Uniform, n, dim, queries, k, workers)
+
+	var baseline [][]vec.Neighbor
+	var baseQPS float64
+	for _, sc := range shardCounts {
+		reg := &obs.Registry{}
+		c, err := shard.New(shard.Config{
+			Shards:   sc,
+			Replicas: 1,
+			Workers:  workers,
+			Registry: reg,
+		}, db)
+		if err != nil {
+			return fmt.Errorf("shards=%d: %w", sc, err)
+		}
+		results := c.SubmitBatch(batch)
+		row := shardRow{Shards: sc, Fanout: reg.Counter("shard.fanout").Value()}
+		answers := make([][]vec.Neighbor, len(results))
+		for i, res := range results {
+			if res.Err != nil {
+				c.Close()
+				return fmt.Errorf("shards=%d query %d: %w", sc, i, res.Err)
+			}
+			answers[i] = canonicalNbs(batch[i].Kind, res.Neighbors)
+		}
+		row.QPS = float64(len(batch)) / c.Makespan()
+		c.Close()
+		if baseline == nil {
+			baseline = answers
+			baseQPS = row.QPS
+		} else {
+			for i := range answers {
+				if !sameShardAnswer(answers[i], baseline[i]) {
+					row.Mismatched++
+				}
+			}
+		}
+		row.Speedup = row.QPS / baseQPS
+		report.Rows = append(report.Rows, row)
+		fmt.Printf("shards=%2d  sim_qps=%8.1f  speedup=%.2fx  fanout=%d  mismatched=%d\n",
+			sc, row.QPS, row.Speedup, row.Fanout, row.Mismatched)
+	}
+
+	chaos, err := runShardChaos(db, batch, baseline, shardCounts[len(shardCounts)-1], replicas, workers)
+	if err != nil {
+		return err
+	}
+	report.Chaos = *chaos
+	fmt.Printf("chaos: shards=%d replicas=%d queries=%d lost=%d mismatched=%d failovers=%d retries=%d\n",
+		chaos.Shards, chaos.Replicas, chaos.Queries, chaos.Lost, chaos.Mismatched,
+		chaos.Failovers, chaos.ReplicaRetries)
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("write %s: %w", out, err)
+	}
+	fmt.Printf("report written to %s\n", out)
+
+	if gate {
+		return checkShard(report)
+	}
+	return nil
+}
+
+// runShardChaos runs the availability campaign: a replicated topology
+// serves the batch once healthy, then keeps serving it after one
+// replica's directory is corrupted at rest and another replica's engine
+// is killed. Every query must still answer, and every answer must match
+// the sweep baseline.
+func runShardChaos(db []vec.Point, batch []engine.Query, baseline [][]vec.Neighbor,
+	shards, replicas, workers int) (*shardChaos, error) {
+	if replicas < 2 {
+		fmt.Println("chaos: skipped (needs -replicas >= 2)")
+		return &shardChaos{Shards: shards, Replicas: replicas}, nil
+	}
+	reg := &obs.Registry{}
+	stores := make(map[[2]int]*store.Store)
+	c, err := shard.New(shard.Config{
+		Shards:   shards,
+		Replicas: replicas,
+		Workers:  workers,
+		Registry: reg,
+		NewStore: func(si, ri int) (*store.Store, error) {
+			sto := store.NewSim(store.DefaultConfig())
+			if err := sto.EnableChecksums(); err != nil {
+				return nil, err
+			}
+			stores[[2]int{si, ri}] = sto
+			return sto, nil
+		},
+	}, db)
+	if err != nil {
+		return nil, fmt.Errorf("chaos build: %w", err)
+	}
+	defer c.Close()
+
+	chaos := &shardChaos{Shards: shards, Replicas: replicas}
+	verify := func(results []shard.Result) {
+		for i, res := range results {
+			chaos.Queries++
+			if res.Err != nil {
+				chaos.Lost++
+				continue
+			}
+			if !sameShardAnswer(canonicalNbs(batch[i].Kind, res.Neighbors), baseline[i]) {
+				chaos.Mismatched++
+			}
+		}
+	}
+	// Round 1: healthy fleet.
+	verify(c.SubmitBatch(batch))
+
+	// Inject: corrupt replica 0 of shard 0 at rest (flip a bit in every
+	// directory block straight on the backend, beneath the checksum
+	// sidecars) and kill replica 1 of the last shard.
+	sto := stores[[2]int{0, 0}]
+	bf := sto.Backend().Lookup(core.DirFileName)
+	if bf == nil {
+		return nil, fmt.Errorf("chaos: victim replica has no directory file")
+	}
+	for b := 0; b < bf.Blocks(); b++ {
+		data, err := bf.ReadBlocks(b, 1)
+		if err != nil {
+			return nil, err
+		}
+		buf := append([]byte(nil), data...)
+		buf[0] ^= 0x40
+		if err := bf.WriteBlocks(b, buf); err != nil {
+			return nil, err
+		}
+	}
+	c.Engine(shards-1, 1).Close()
+
+	// Rounds 2-3: the degraded fleet must not lose or change anything.
+	verify(c.SubmitBatch(batch))
+	verify(c.SubmitBatch(batch))
+
+	chaos.Failovers = reg.Counter("shard.failovers").Value()
+	chaos.ReplicaRetries = reg.Counter("shard.replica_retries").Value()
+	return chaos, nil
+}
+
+// checkShard enforces the scale-out acceptance thresholds: >= 3x
+// aggregate simulated QPS at 8 shards over 1 shard, no mismatched
+// answers anywhere in the sweep, and a chaos campaign with zero lost
+// and zero mismatched queries plus at least one recorded failover.
+func checkShard(r shardReport) error {
+	var at1, at8 *shardRow
+	for i := range r.Rows {
+		switch r.Rows[i].Shards {
+		case 1:
+			at1 = &r.Rows[i]
+		case 8:
+			at8 = &r.Rows[i]
+		}
+		if r.Rows[i].Mismatched != 0 {
+			return fmt.Errorf("shard gate FAILED: %d mismatched answers at %d shards",
+				r.Rows[i].Mismatched, r.Rows[i].Shards)
+		}
+	}
+	if at1 == nil || at8 == nil {
+		return fmt.Errorf("shard gate needs rows for 1 and 8 shards")
+	}
+	if at8.Speedup < 3.0 {
+		return fmt.Errorf("shard gate FAILED: %.2fx aggregate sim QPS at 8 shards, want >= 3x", at8.Speedup)
+	}
+	if r.Chaos.Replicas >= 2 {
+		if r.Chaos.Lost != 0 || r.Chaos.Mismatched != 0 {
+			return fmt.Errorf("shard gate FAILED: chaos lost %d / mismatched %d queries, want 0/0",
+				r.Chaos.Lost, r.Chaos.Mismatched)
+		}
+		if r.Chaos.Failovers == 0 && r.Chaos.ReplicaRetries == 0 {
+			return fmt.Errorf("shard gate FAILED: chaos campaign recorded no failovers — nothing was exercised")
+		}
+	}
+	fmt.Printf("shard gate OK: %.2fx at 8 shards, chaos %d queries, %d lost, %d mismatched, %d failovers\n",
+		at8.Speedup, r.Chaos.Queries, r.Chaos.Lost, r.Chaos.Mismatched, r.Chaos.Failovers)
+	return nil
+}

@@ -45,6 +45,19 @@ var ErrCanceled = store.ErrCanceled
 // unknown kind). The query never reaches the pool.
 var ErrInvalidQuery = errors.New("engine: invalid query")
 
+// ErrPanicked marks a query whose index execution panicked. The panic is
+// contained — neither a worker nor the sharing coordinator dies — and
+// surfaces typed so routing layers (internal/shard) can classify it as a
+// replica-local fault and retry a sibling replica.
+var ErrPanicked = errors.New("engine: query panicked")
+
+// ErrTooManyRestarts marks a shared-scan query abandoned because index
+// reorganizations invalidated its cursor more than maxSharedRestarts
+// times — progress insurance against a writer that reorganizes faster
+// than queries complete. It wraps index.ErrStaleScan in the returned
+// error chain, so both errors.Is checks hold.
+var ErrTooManyRestarts = errors.New("engine: shared scan restarted too many times")
+
 // Kind selects the query type of a Query.
 type Kind int
 
@@ -147,6 +160,7 @@ type Engine struct {
 	// across modes.
 	sharing     bool
 	shareWindow int
+	maxRestarts int
 	scan        index.SharedScan
 
 	reg        *obs.Registry
@@ -159,10 +173,11 @@ type Engine struct {
 	simLat     *obs.Histogram
 	wallLat    *obs.Histogram
 
-	sharedRounds   *obs.Counter
-	sharedFetched  *obs.Counter
-	sharedServes   *obs.Counter
-	sharedRestarts *obs.Counter
+	sharedRounds    *obs.Counter
+	sharedFetched   *obs.Counter
+	sharedServes    *obs.Counter
+	sharedRestarts  *obs.Counter
+	sharedExhausted *obs.Counter
 }
 
 type job struct {
@@ -223,12 +238,13 @@ func New(sto *store.Store, idx index.Index, workers int, opts ...Option) *Engine
 		panic(fmt.Sprintf("engine: workers must be positive, got %d", workers))
 	}
 	e := &Engine{
-		sto:       sto,
-		idx:       idx,
-		workers:   workers,
-		queueWait: time.Second,
-		queue:     make(chan job, 4*workers),
-		busy:      make([]float64, workers),
+		sto:         sto,
+		idx:         idx,
+		workers:     workers,
+		queueWait:   time.Second,
+		queue:       make(chan job, 4*workers),
+		busy:        make([]float64, workers),
+		maxRestarts: maxSharedRestarts,
 	}
 	for _, o := range opts {
 		o(e)
@@ -258,6 +274,7 @@ func New(sto *store.Store, idx index.Index, workers int, opts ...Option) *Engine
 		e.sharedFetched = e.reg.Counter("engine.shared.pages_fetched")
 		e.sharedServes = e.reg.Counter("engine.shared.page_serves")
 		e.sharedRestarts = e.reg.Counter("engine.shared.restarts")
+		e.sharedExhausted = e.reg.Counter("engine.shared.restarts_exhausted")
 		e.wg.Add(1)
 		go e.coordinator()
 		return e
@@ -272,6 +289,47 @@ func New(sto *store.Store, idx index.Index, workers int, opts ...Option) *Engine
 // Sharing reports whether the engine actually runs the scan-sharing
 // pipeline (the option was set and the index supports it).
 func (e *Engine) Sharing() bool { return e.scan != nil }
+
+// Health is a point-in-time readiness snapshot of one engine, cheap
+// enough for a routing layer (internal/shard) to poll per decision: a
+// closed engine can never serve again, a deep queue signals saturation,
+// and the failure counters distinguish a replica that answers from one
+// that answers badly.
+type Health struct {
+	Closed     bool  // Close was called; every submission fails ErrClosed
+	Sharing    bool  // scan-sharing coordinator instead of the worker pool
+	Workers    int   // pool size (parallel lanes in sharing mode)
+	QueueDepth int64 // jobs currently queued or waiting for queue space
+	Queries    int64 // completed queries
+	Failures   int64 // completed queries that carried an error
+	Panics     int64 // contained index panics
+	Sheds      int64 // queries shed with ErrOverloaded
+	Cancels    int64 // queries abandoned via context cancellation
+}
+
+// Ready reports whether the engine can accept queries at all. A ready
+// engine may still shed under load; Closed is the only permanent state.
+func (h Health) Ready() bool { return !h.Closed }
+
+// Health returns the engine's current readiness snapshot. The counter
+// fields are individually consistent atomic reads, not one cut across
+// all of them — routing decisions tolerate that.
+func (e *Engine) Health() Health {
+	e.closeMu.RLock()
+	closed := e.closed
+	e.closeMu.RUnlock()
+	return Health{
+		Closed:     closed,
+		Sharing:    e.Sharing(),
+		Workers:    e.workers,
+		QueueDepth: e.queueDepth.Value(),
+		Queries:    e.queries.Value(),
+		Failures:   e.failures.Value(),
+		Panics:     e.panics.Value(),
+		Sheds:      e.sheds.Value(),
+		Cancels:    e.cancels.Value(),
+	}
+}
 
 // Workers returns the size of the worker pool.
 func (e *Engine) Workers() int { return e.workers }
@@ -447,7 +505,7 @@ func (e *Engine) execute(s *store.Session, q Query, res *Result) (panicked bool)
 		if r := recover(); r != nil {
 			panicked = true
 			res.Neighbors = nil
-			res.Err = fmt.Errorf("engine: %s query panicked: %v", q.Kind, r)
+			res.Err = fmt.Errorf("%w: %s query: %v", ErrPanicked, q.Kind, r)
 			e.panics.Inc()
 		}
 	}()

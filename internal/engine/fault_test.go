@@ -59,8 +59,11 @@ func TestEnginePanicRecovery(t *testing.T) {
 	defer e.Close()
 
 	res := e.Submit(Query{Kind: KNN, Point: vec.Point{0, 0}, K: 1})
-	if res.Err == nil || !strings.Contains(res.Err.Error(), "panicked") {
-		t.Fatalf("panic should surface as Result.Err, got %v", res.Err)
+	if !errors.Is(res.Err, ErrPanicked) {
+		t.Fatalf("panic should surface typed as ErrPanicked, got %v", res.Err)
+	}
+	if !strings.Contains(res.Err.Error(), "poisoned page") {
+		t.Fatalf("panic error lost the panic value: %v", res.Err)
 	}
 	if res.Neighbors != nil {
 		t.Fatal("panicked query must not return partial neighbors")

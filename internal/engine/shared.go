@@ -55,6 +55,15 @@ type sharedQuery struct {
 	wants    []int // per-round scratch
 }
 
+// canceled reports whether the query's context is already done. A
+// canceled query must not lead a span fetch: its session fails the read
+// at the next cancellation check, aborting the whole span for everyone
+// attached to it — and the doomed query would still be charged the
+// transfer.
+func (sq *sharedQuery) canceled() bool {
+	return sq.job.q.Ctx != nil && sq.job.q.Ctx.Err() != nil
+}
+
 // coordinator is the scan-sharing main loop; it replaces the worker pool.
 func (e *Engine) coordinator() {
 	defer e.wg.Done()
@@ -146,7 +155,7 @@ func (e *Engine) guard(sq *sharedQuery, f func()) {
 		if r := recover(); r != nil {
 			sq.panicked = true
 			sq.job.res.Neighbors = nil
-			sq.job.res.Err = fmt.Errorf("engine: %s query panicked: %v", sq.job.q.Kind, r)
+			sq.job.res.Err = fmt.Errorf("%w: %s query: %v", ErrPanicked, sq.job.q.Kind, r)
 			e.panics.Inc()
 		}
 	}()
@@ -202,8 +211,9 @@ func (e *Engine) stepShared(sq *sharedQuery) bool {
 		}
 		if errors.Is(err, index.ErrStaleScan) {
 			sq.restarts++
-			if sq.restarts > maxSharedRestarts {
-				sq.job.res.Err = err
+			if sq.restarts > e.maxRestarts {
+				e.sharedExhausted.Inc()
+				sq.job.res.Err = fmt.Errorf("%w: %w", ErrTooManyRestarts, err)
 				e.finishShared(sq)
 				return true
 			}
@@ -334,10 +344,15 @@ func (e *Engine) round(active []*sharedQuery) []*sharedQuery {
 	return live
 }
 
-// spanLeader returns the first live query owning a want inside the span.
+// spanLeader returns the first live, non-canceled query owning a want
+// inside the span. Skipping just-canceled owners matters: a canceled
+// leader's session fails the fetch at its first cancellation check,
+// which would both charge the doomed query for a transfer it never uses
+// and abort the span for every co-attached query. The canceled query is
+// finalized by the next round's step instead.
 func spanLeader(span pagesched.PageSpan, wants []int, owner map[int]*sharedQuery) *sharedQuery {
 	for i := sort.SearchInts(wants, span.First); i < len(wants) && wants[i] <= span.Last; i++ {
-		if sq := owner[wants[i]]; !sq.finished {
+		if sq := owner[wants[i]]; !sq.finished && !sq.canceled() {
 			return sq
 		}
 	}

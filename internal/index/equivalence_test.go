@@ -7,8 +7,10 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/index"
 	"repro/internal/scan"
+	"repro/internal/shard"
 	"repro/internal/store"
 	"repro/internal/vafile"
 	"repro/internal/vec"
@@ -159,6 +161,97 @@ func TestCrossIndexEquivalence(t *testing.T) {
 		}
 		if st.Method == "" || st.Bytes <= 0 || st.Pages <= 0 {
 			t.Fatalf("%s stats incomplete: %+v", m.name, st)
+		}
+	}
+}
+
+// TestShardedCrossIndexEquivalence extends the equivalence contract
+// through the scatter-gather coordinator: partitioned serving over the
+// IQ-tree must answer exactly like every unsharded access method —
+// identical KNN distance sequences (IDs exact at untied ranks) and
+// identical range/window ID sets — because sharding changes the
+// physical layout, never the answer.
+func TestShardedCrossIndexEquivalence(t *testing.T) {
+	r := rand.New(rand.NewSource(22))
+	const n, dim, k, eps = 2000, 8, 10, 0.55
+	pts := make([]vec.Point, n)
+	for i := range pts {
+		p := make(vec.Point, dim)
+		for j := range p {
+			p[j] = r.Float32()
+		}
+		pts[i] = p
+	}
+	methods := buildAll(t, pts)
+
+	c, err := shard.New(shard.Config{Shards: 4, Replicas: 2}, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	queries := make([]vec.Point, 12)
+	for i := range queries {
+		p := make(vec.Point, dim)
+		for j := range p {
+			p[j] = r.Float32()
+		}
+		queries[i] = p
+	}
+	w := vec.MBR{Lo: make(vec.Point, dim), Hi: make(vec.Point, dim)}
+	for j := 0; j < dim; j++ {
+		w.Lo[j], w.Hi[j] = 0.25, 0.75
+	}
+
+	for qi, q := range queries {
+		sknn := c.Submit(engine.Query{Kind: engine.KNN, Point: q, K: k})
+		srng := c.Submit(engine.Query{Kind: engine.Range, Point: q, Eps: eps})
+		swin := c.Submit(engine.Query{Kind: engine.Window, Window: w})
+		if sknn.Err != nil || srng.Err != nil || swin.Err != nil {
+			t.Fatalf("sharded query %d: knn %v, range %v, window %v", qi, sknn.Err, srng.Err, swin.Err)
+		}
+		if len(sknn.Neighbors) != k {
+			t.Fatalf("sharded query %d: %d KNN results, want %d", qi, len(sknn.Neighbors), k)
+		}
+		for _, nb := range sknn.Neighbors {
+			if !pts[nb.ID].Equal(nb.Point) {
+				t.Fatalf("sharded query %d: ID %d geometry mismatch", qi, nb.ID)
+			}
+			if got := vec.Euclidean.Dist(q, nb.Point); got != nb.Dist {
+				t.Fatalf("sharded query %d: ID %d dist %v, exact %v", qi, nb.ID, nb.Dist, got)
+			}
+		}
+		for _, m := range methods {
+			knn, err := m.idx.KNN(m.sto.NewSession(), q, k)
+			if err != nil {
+				t.Fatalf("%s KNN: %v", m.name, err)
+			}
+			for i := range knn {
+				if sknn.Neighbors[i].Dist != knn[i].Dist {
+					t.Fatalf("sharded vs %s query %d: KNN dist[%d]=%v, want %v",
+						m.name, qi, i, sknn.Neighbors[i].Dist, knn[i].Dist)
+				}
+				tied := (i > 0 && knn[i-1].Dist == knn[i].Dist) ||
+					(i+1 < len(knn) && knn[i+1].Dist == knn[i].Dist)
+				if !tied && sknn.Neighbors[i].ID != knn[i].ID {
+					t.Fatalf("sharded vs %s query %d: KNN[%d] ID %d, want %d",
+						m.name, qi, i, sknn.Neighbors[i].ID, knn[i].ID)
+				}
+			}
+			rng, err := m.idx.RangeSearch(m.sto.NewSession(), q, eps)
+			if err != nil {
+				t.Fatalf("%s RangeSearch: %v", m.name, err)
+			}
+			if got := idSet(srng.Neighbors); !sameSet(got, idSet(rng)) {
+				t.Fatalf("sharded vs %s query %d: range IDs differ", m.name, qi)
+			}
+			win, err := m.idx.WindowQuery(m.sto.NewSession(), w)
+			if err != nil {
+				t.Fatalf("%s WindowQuery: %v", m.name, err)
+			}
+			if got := idSet(swin.Neighbors); !sameSet(got, idSet(win)) {
+				t.Fatalf("sharded vs %s query %d: window IDs differ", m.name, qi)
+			}
 		}
 	}
 }

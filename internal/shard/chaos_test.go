@@ -1,0 +1,194 @@
+package shard
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/obs"
+	"repro/internal/store"
+)
+
+// TestShardChaosReplicaFailover is the tentpole chaos proof: with two
+// replicas per shard, corrupting one replica's directory at rest (bit
+// flips beneath the checksum layer) and killing another replica's
+// engine loses zero queries and never changes an answer — the
+// coordinator fails over to the healthy sibling on the typed
+// *store.CorruptBlockError / engine.ErrClosed and the merged results
+// stay exactly the unsharded baseline.
+func TestShardChaosReplicaFailover(t *testing.T) {
+	r := rand.New(rand.NewSource(91))
+	pts := randPoints(r, 2400, 6)
+	batch := mixedQueries(r, 30, 6)
+	want := unshardedBaseline(t, pts, batch)
+
+	reg := &obs.Registry{}
+	c, err := New(Config{
+		Shards:   4,
+		Replicas: 2,
+		Registry: reg,
+		NewStore: func(_, _ int) (*store.Store, error) {
+			sto := store.NewSim(store.DefaultConfig())
+			if err := sto.EnableChecksums(); err != nil {
+				return nil, err
+			}
+			return sto, nil
+		},
+	}, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Phase 1: healthy fleet answers exactly with zero failovers.
+	for i, res := range c.SubmitBatch(batch) {
+		if res.Err != nil {
+			t.Fatalf("healthy query %d: %v", i, res.Err)
+		}
+		assertSameResults(t, "healthy", i, batch[i].Kind, res.Neighbors, want[i])
+	}
+	if got := reg.Counter("shard.failovers").Value(); got != 0 {
+		t.Fatalf("healthy fleet recorded %d failovers", got)
+	}
+
+	// Phase 2: corrupt replica 0 of shard 0 at rest — flip one bit in
+	// every directory block straight on the backend, beneath the
+	// checksum sidecar maintenance, so every level-1 read of that
+	// replica fails with the typed *store.CorruptBlockError.
+	corrupt := func(sto *store.Store) {
+		bf := sto.Backend().Lookup(core.DirFileName)
+		if bf == nil {
+			t.Fatal("corrupt target has no directory file")
+		}
+		for b := 0; b < bf.Blocks(); b++ {
+			data, err := bf.ReadBlocks(b, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			buf := append([]byte(nil), data...)
+			buf[0] ^= 0x40
+			if err := bf.WriteBlocks(b, buf); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	victim := c.Engine(0, 0)
+	corrupt(victimStore(t, c, 0, 0))
+	// The corrupt replica must fail typed when asked directly.
+	direct := victim.Submit(engine.Query{Kind: engine.KNN, Point: pts[0], K: 3})
+	var cbe *store.CorruptBlockError
+	if !errors.As(direct.Err, &cbe) {
+		t.Fatalf("corrupt replica answered %v, want *store.CorruptBlockError", direct.Err)
+	}
+
+	// Phase 3: kill replica 1 of shard 1 mid-run — queries racing the
+	// kill must either route around it or fail over, never fail out.
+	var kill sync.WaitGroup
+	kill.Add(1)
+	go func() {
+		defer kill.Done()
+		c.Engine(1, 1).Close()
+	}()
+	results := c.SubmitBatch(batch)
+	kill.Wait()
+	for i, res := range results {
+		if res.Err != nil {
+			t.Fatalf("chaos query %d lost: %v", i, res.Err)
+		}
+		assertSameResults(t, "chaos", i, batch[i].Kind, res.Neighbors, want[i])
+	}
+
+	// Every query that touched the corrupt replica failed over; traffic
+	// then drained to the sibling. At least the first probe must have
+	// been retried.
+	if got := reg.Counter("shard.replica_retries").Value(); got == 0 {
+		t.Fatal("no replica retries recorded; the corrupt replica was never probed")
+	}
+	if got := reg.Counter("shard.failovers").Value(); got == 0 {
+		t.Fatal("no failovers recorded under chaos")
+	}
+
+	// Phase 4: the fleet keeps serving exactly after the chaos — the
+	// corrupt and killed replicas stay out of rotation.
+	for i, res := range c.SubmitBatch(batch) {
+		if res.Err != nil {
+			t.Fatalf("post-chaos query %d: %v", i, res.Err)
+		}
+		assertSameResults(t, "post-chaos", i, batch[i].Kind, res.Neighbors, want[i])
+	}
+}
+
+// victimStore digs out one replica's store for at-rest corruption.
+func victimStore(t *testing.T, c *Coordinator, shard, rep int) *store.Store {
+	t.Helper()
+	if shard >= len(c.shards) || rep >= len(c.shards[shard].reps) {
+		t.Fatalf("no replica %d/%d", shard, rep)
+	}
+	return c.shards[shard].reps[rep].sto
+}
+
+// TestShardChaosFaultStoreTransients slots a seeded FaultStore under
+// one replica of every shard (transient read errors with retries
+// disabled, so every injected fault becomes a hard replica-local
+// failure) and proves the fleet answers every query exactly anyway.
+func TestShardChaosFaultStoreTransients(t *testing.T) {
+	r := rand.New(rand.NewSource(92))
+	pts := randPoints(r, 1800, 6)
+	batch := mixedQueries(r, 24, 6)
+	want := unshardedBaseline(t, pts, batch)
+
+	reg := &obs.Registry{}
+	var faulty []*store.FaultStore
+	c, err := New(Config{
+		Shards:   2,
+		Replicas: 2,
+		Registry: reg,
+		NewStore: func(shard, rep int) (*store.Store, error) {
+			if rep != 0 {
+				return store.NewSim(store.DefaultConfig()), nil
+			}
+			fs := store.NewFaultStore(store.NewSimStore(store.DefaultConfig()), store.FaultConfig{
+				Seed:    int64(93 + shard),
+				ReadErr: 0.05,
+			})
+			fs.SetEnabled(false) // build cleanly
+			faulty = append(faulty, fs)
+			sto := store.Wrap(fs)
+			sto.SetRetryPolicy(store.RetryPolicy{}) // no retries: faults hit failover
+			return sto, nil
+		},
+	}, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for _, fs := range faulty {
+		fs.SetEnabled(true)
+	}
+
+	lost, failedOver := 0, 0
+	for round := 0; round < 4; round++ {
+		for i, res := range c.SubmitBatch(batch) {
+			if res.Err != nil {
+				lost++
+				t.Errorf("round %d query %d lost: %v", round, i, res.Err)
+				continue
+			}
+			failedOver += res.Failovers
+			assertSameResults(t, "transients", i, batch[i].Kind, res.Neighbors, want[i])
+		}
+	}
+	if lost > 0 {
+		t.Fatalf("%d queries lost under transient injection", lost)
+	}
+	injected := 0
+	for _, fs := range faulty {
+		injected += fs.InjectedTotal()
+	}
+	if injected > 0 && failedOver == 0 && reg.Counter("shard.replica_retries").Value() == 0 {
+		t.Fatalf("%d faults injected but no failover recorded", injected)
+	}
+}

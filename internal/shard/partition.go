@@ -1,0 +1,133 @@
+package shard
+
+import (
+	"math/rand"
+
+	"repro/internal/vec"
+)
+
+// Partitioner assigns every point of a build set to one of n shards.
+// The assignment is a build-time decision: queries always fan out to
+// every shard (the global answer may live anywhere), so the partitioner
+// only shapes balance and locality, never correctness.
+type Partitioner interface {
+	// Name identifies the strategy in benchmarks and stats.
+	Name() string
+	// Assign returns one shard id in [0, shards) per point. Shards may
+	// end up empty; the coordinator serves them as empty result sets.
+	Assign(pts []vec.Point, shards int) []int
+}
+
+// RoundRobin deals points out cyclically — the balance-first strategy:
+// shard sizes differ by at most one point, with no locality.
+type RoundRobin struct{}
+
+// Name identifies the strategy.
+func (RoundRobin) Name() string { return "round-robin" }
+
+// Assign maps point i to shard i % shards.
+func (RoundRobin) Assign(pts []vec.Point, shards int) []int {
+	out := make([]int, len(pts))
+	for i := range pts {
+		out[i] = i % shards
+	}
+	return out
+}
+
+// Centroid is a coarse k-means router: a few seeded Lloyd iterations
+// over the build set place one centroid per shard, and each point joins
+// its nearest centroid (ties to the lowest shard id). Clustered data
+// then lands cluster-coherent shards, which tightens per-shard MBRs and
+// lets the quantized filter prune harder — the same coarse-quantizer
+// shape as an IVF index, applied at process scale.
+type Centroid struct {
+	// Seed makes the routing deterministic; the same seed and point set
+	// always produce the same assignment.
+	Seed int64
+	// Iters is the number of Lloyd iterations (default 8).
+	Iters int
+}
+
+// Name identifies the strategy.
+func (Centroid) Name() string { return "centroid" }
+
+// Assign clusters pts around shards seeded centroids and returns each
+// point's cluster.
+func (c Centroid) Assign(pts []vec.Point, shards int) []int {
+	out := make([]int, len(pts))
+	if shards <= 1 || len(pts) == 0 {
+		return out
+	}
+	iters := c.Iters
+	if iters <= 0 {
+		iters = 8
+	}
+	dim := len(pts[0])
+	r := rand.New(rand.NewSource(c.Seed))
+
+	// Seed centroids from a random sample of distinct points.
+	cents := make([][]float64, shards)
+	perm := r.Perm(len(pts))
+	for i := range cents {
+		cents[i] = make([]float64, dim)
+		src := pts[perm[i%len(perm)]]
+		for d := 0; d < dim; d++ {
+			cents[i][d] = float64(src[d])
+		}
+	}
+
+	nearest := func(p vec.Point) int {
+		best, bestD := 0, -1.0
+		for ci, cent := range cents {
+			var d float64
+			for j := 0; j < dim; j++ {
+				diff := float64(p[j]) - cent[j]
+				d += diff * diff
+			}
+			if bestD < 0 || d < bestD {
+				best, bestD = ci, d
+			}
+		}
+		return best
+	}
+
+	sum := make([][]float64, shards)
+	cnt := make([]int, shards)
+	for i := range sum {
+		sum[i] = make([]float64, dim)
+	}
+	for it := 0; it < iters; it++ {
+		for i := range sum {
+			for d := range sum[i] {
+				sum[i][d] = 0
+			}
+			cnt[i] = 0
+		}
+		for i, p := range pts {
+			ci := nearest(p)
+			out[i] = ci
+			for d := 0; d < dim; d++ {
+				sum[ci][d] += float64(p[d])
+			}
+			cnt[ci]++
+		}
+		for ci := range cents {
+			if cnt[ci] == 0 {
+				// Re-seed a starved centroid on a random point so a bad
+				// draw cannot permanently empty a shard.
+				src := pts[r.Intn(len(pts))]
+				for d := 0; d < dim; d++ {
+					cents[ci][d] = float64(src[d])
+				}
+				continue
+			}
+			for d := 0; d < dim; d++ {
+				cents[ci][d] = sum[ci][d] / float64(cnt[ci])
+			}
+		}
+	}
+	for i, p := range pts {
+		out[i] = nearest(p)
+	}
+	return out
+}
