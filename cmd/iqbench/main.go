@@ -70,6 +70,8 @@ func run() error {
 		shards    = flag.String("shards", "", "sharded serving mode instead of figures: comma-separated shard counts (e.g. 1,2,4,8)")
 		replicas  = flag.Int("replicas", 2, "with -shards: replicas per shard for the chaos campaign")
 		shardOut  = flag.String("shard-out", "BENCH_shard.json", "where -shards writes its JSON scatter-gather report")
+		ingest    = flag.String("ingest", "", "durable ingest mode instead of figures: concurrent writer count (e.g. 8) or 'default'")
+		ingestOut = flag.String("ingest-out", "BENCH_ingest.json", "where -ingest writes its JSON write-path report")
 	)
 	flag.Parse()
 	if *quickFlag {
@@ -91,6 +93,9 @@ func run() error {
 	}
 	if *shards != "" {
 		return runShard(*shards, *replicas, *scale, *queries, *seed, *shardOut, *gate)
+	}
+	if *ingest != "" {
+		return runIngest(*ingest, *scale, *queries, *seed, *ingestOut, *gate)
 	}
 	if *debugAddr != "" {
 		addr, err := obs.StartDebugServer(*debugAddr)

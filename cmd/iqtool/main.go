@@ -22,6 +22,16 @@
 //	iqtool -store file -dir /tmp/iq -checksum -dataset color -n 50000 -stats
 //	iqtool -store file -dir /tmp/iq -open -checksum -verify -stats
 //
+// A tree built with -durable keeps a write-ahead log: every update is
+// logged and group-committed before it is acknowledged, and a crashed
+// process recovers by replay on the next open. -wal inspects the log
+// (record count, LSN range, torn tail); -wal-replay forces recovery and
+// compaction:
+//
+//	iqtool -store file -dir /tmp/iq -durable -dataset color -n 50000 -stats
+//	iqtool -dir /tmp/iq -wal
+//	iqtool -dir /tmp/iq -wal -wal-replay
+//
 // -cache attaches a shared LRU buffer pool (in bytes); cached blocks
 // cost no simulated I/O, and -explain reports the pool's hit rate.
 // -trace prints the full per-query plan: a per-level cost table
@@ -75,9 +85,15 @@ func run() (err error) {
 		open     = flag.Bool("open", false, "open the existing tree in -dir instead of building (implies -store file)")
 		cache    = flag.Int64("cache", 0, "buffer-pool cache budget in bytes (0 = no cache)")
 		checksum = flag.Bool("checksum", false, "guard every block with a CRC32C checksum (with -verify: also scrub)")
+		durable  = flag.Bool("durable", false, "build in WAL mode: updates are logged and group-committed before acknowledgement")
+		walFlg   = flag.Bool("wal", false, "inspect the write-ahead and checkpoint logs in -dir (implies -store file)")
+		walRepl  = flag.Bool("wal-replay", false, "with -wal: force recovery — replay the log, truncate torn tails, checkpoint and compact")
 	)
 	flag.Parse()
 
+	if *walFlg {
+		*backend = "file"
+	}
 	if *open {
 		*backend = "file"
 		if *compare {
@@ -113,8 +129,12 @@ func run() (err error) {
 	if *cache > 0 {
 		sto.SetCache(*cache)
 	}
+	if *walFlg {
+		return runWAL(sto, *walRepl)
+	}
 
 	opt := core.DefaultOptions()
+	opt.WAL = *durable
 	if *maxMet {
 		opt.Metric = vec.Maximum
 	}

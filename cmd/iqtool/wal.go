@@ -1,0 +1,68 @@
+package main
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/store"
+)
+
+// runWAL implements -wal: inspect every write-ahead and checkpoint log
+// in the store (record count, LSN range, block extent, torn tail), and
+// with -wal-replay force a full recovery — replay the log into the
+// checkpointed state, truncate any torn tail, and checkpoint, which
+// compacts the WAL back to empty.
+func runWAL(sto *store.Store, replay bool) error {
+	if n := printWALLogs(sto); n == 0 {
+		fmt.Println("no write-ahead or checkpoint logs in this store")
+		return nil
+	}
+	if !replay {
+		return nil
+	}
+
+	tr, err := core.Open(sto)
+	if err != nil {
+		return fmt.Errorf("replay: %w", err)
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		return fmt.Errorf("invariants after replay: %w", err)
+	}
+	st := tr.Stats()
+	fmt.Printf("\nreplayed and checkpointed: %d points, %d pages, invariants OK\n",
+		st.Points, st.Pages)
+	fmt.Println("logs after compaction:")
+	printWALLogs(sto)
+	return nil
+}
+
+// printWALLogs prints one line per log file in the store and returns
+// how many it found.
+func printWALLogs(sto *store.Store) int {
+	backend := sto.Backend()
+	names := backend.Names()
+	sort.Strings(names)
+	found := 0
+	for _, name := range names {
+		if !store.IsWALFile(name) {
+			continue
+		}
+		found++
+		info, _, err := store.InspectWAL(backend, name)
+		if err != nil {
+			fmt.Printf("%s: unreadable: %v\n", name, err)
+			continue
+		}
+		fmt.Printf("%s: %d records", name, info.Records)
+		if info.Records > 0 {
+			fmt.Printf(", LSN %d..%d", info.FirstLSN, info.LastLSN)
+		}
+		fmt.Printf(", %d blocks", info.Blocks)
+		if info.Torn {
+			fmt.Printf(", TORN TAIL: %d trailing blocks will be discarded on recovery", info.TornBlocks)
+		}
+		fmt.Println()
+	}
+	return found
+}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/page"
 	"repro/internal/quantize"
+	"repro/internal/store"
 	"repro/internal/vec"
 )
 
@@ -45,6 +46,14 @@ func newBuilder(t *Tree, sn *snapshot, pts []vec.Point) *builder {
 }
 
 func (b *builder) run() {
+	b.write(b.frontier())
+}
+
+// frontier computes the final page layout (partitioning + optimal
+// quantization) without touching the store: the planning half of the
+// build, shared with the incremental reoptimizer, which wants the plan
+// up front and the page writes spread over many steps.
+func (b *builder) frontier() []*bnode {
 	ranges := b.initialRanges()
 	if b.t.opt.Quantize && b.t.opt.FixedBits == 0 && b.t.opt.RefineCostFactor == 0 {
 		b.sn.model.RefineFactor = b.calibrateRefinement(ranges)
@@ -69,7 +78,29 @@ func (b *builder) run() {
 			frontier = append(frontier, b.splitToExact(r)...)
 		}
 	}
-	b.write(frontier)
+	return frontier
+}
+
+// plan materializes the frontier as self-contained page plans, in disk
+// layout order. The returned pages alias b.pts' points but own their
+// id slices.
+func (b *builder) plan(frontier []*bnode) []planPage {
+	out := make([]planPage, len(frontier))
+	for i, n := range frontier {
+		pts := make([]vec.Point, n.count())
+		ids := make([]uint32, n.count())
+		for j := 0; j < n.count(); j++ {
+			idx := b.perm[n.lo+j]
+			pts[j] = b.pts[idx]
+			if b.ids != nil {
+				ids[j] = b.ids[idx]
+			} else {
+				ids[j] = uint32(idx)
+			}
+		}
+		out[i] = planPage{pts: pts, ids: ids, bits: n.bits, mbr: n.mbr, base: uint32(n.lo)}
+	}
+	return out
 }
 
 // partRange is an initial partition before split-tree nodes exist.
@@ -289,6 +320,43 @@ func (b *builder) optimize(roots []*bnode) []*bnode {
 	return frontier
 }
 
+// planPage is one page of a computed layout, ready to be written by
+// writePlanPage — the unit of work of the incremental reoptimizer.
+type planPage struct {
+	pts  []vec.Point
+	ids  []uint32
+	bits int
+	mbr  vec.MBR
+	base uint32
+}
+
+// writePlanPage appends one planned page to the given quantized/exact
+// files and returns its directory entry and grid. Write failures are
+// recorded as the store's sticky error, which the caller checks before
+// publishing anything that references the page.
+func (t *Tree) writePlanPage(qf, ef *store.File, pp planPage) (page.DirEntry, quantize.Grid) {
+	grid := quantize.NewGrid(pp.mbr, pp.bits)
+	e := page.DirEntry{
+		Count: uint32(len(pp.pts)),
+		Bits:  uint8(pp.bits),
+		Base:  pp.base,
+		MBR:   pp.mbr,
+	}
+	var bpos int
+	if pp.bits < quantize.ExactBits {
+		epos, eblocks, err := ef.Append(page.MarshalExact(pp.pts, pp.ids))
+		if err == nil {
+			e.EPos = uint32(epos)
+			e.EBlocks = uint32(eblocks)
+		}
+		bpos, _, _ = qf.Append(page.MarshalQPage(grid, pp.pts, nil, t.qPageBytes()))
+	} else {
+		bpos, _, _ = qf.Append(page.MarshalQPage(grid, pp.pts, pp.ids, t.qPageBytes()))
+	}
+	e.QPos = uint32(bpos / t.opt.QPageBlocks)
+	return e, grid
+}
+
 // write lays the frontier out on disk in partition order: quantized pages
 // back to back in the second-level file (so spatially adjacent partitions
 // are adjacent on disk), exact pages in the same order in the third-level
@@ -298,47 +366,14 @@ func (b *builder) write(frontier []*bnode) {
 	sn := b.sn
 	dirBuf := make([]byte, 0, len(frontier)*page.DirEntrySize(t.dim))
 	entryBuf := make([]byte, page.DirEntrySize(t.dim))
-	for _, n := range frontier {
-		pts := make([]vec.Point, n.count())
-		ids := make([]uint32, n.count())
-		for i := 0; i < n.count(); i++ {
-			idx := b.perm[n.lo+i]
-			pts[i] = b.pts[idx]
-			if b.ids != nil {
-				ids[i] = b.ids[idx]
-			} else {
-				ids[i] = uint32(idx)
-			}
-		}
-		grid := quantize.NewGrid(n.mbr, n.bits)
-		e := page.DirEntry{
-			Count: uint32(n.count()),
-			Bits:  uint8(n.bits),
-			Base:  uint32(n.lo),
-			MBR:   n.mbr,
-		}
-		var qpos int
-		if n.bits < quantize.ExactBits {
-			// Write failures are recorded as the store's sticky error,
-			// which Build checks once after the builder finishes.
-			epos, eblocks, err := t.eFile.Append(page.MarshalExact(pts, ids))
-			if err == nil {
-				e.EPos = uint32(epos)
-				e.EBlocks = uint32(eblocks)
-			}
-			bpos, _, _ := t.qFile.Append(page.MarshalQPage(grid, pts, nil, t.qPageBytes()))
-			qpos = bpos / t.opt.QPageBlocks
-		} else {
-			bpos, _, _ := t.qFile.Append(page.MarshalQPage(grid, pts, ids, t.qPageBytes()))
-			qpos = bpos / t.opt.QPageBlocks
-		}
-		e.QPos = uint32(qpos)
+	for _, pp := range b.plan(frontier) {
+		e, grid := t.writePlanPage(t.qFile, t.eFile, pp)
 		e.Marshal(entryBuf, t.dim)
 		dirBuf = append(dirBuf, entryBuf...)
 		entryIdx := sn.appendEntry()
 		sn.entries[entryIdx] = e
 		sn.grids[entryIdx] = grid
-		sn.setOwner(qpos, entryIdx)
+		sn.setOwner(int(e.QPos), entryIdx)
 	}
 	t.dirFile.SetContents(dirBuf)
 	sn.dirBlocks = t.dirFile.Blocks()

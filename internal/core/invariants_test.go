@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -150,6 +151,36 @@ func TestReoptimizeOnFreshTreeIsStable(t *testing.T) {
 	}
 	if err := tr.CheckInvariants(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestReoptimizeEmptyTreeTypedError: reoptimizing a tree whose points
+// have all been deleted reports the typed ErrEmptyTree (there is nothing
+// to re-quantize), leaves the tree usable, and a later insert revives it.
+func TestReoptimizeEmptyTreeTypedError(t *testing.T) {
+	r := rand.New(rand.NewSource(44))
+	pts := randPoints(r, 500, 4)
+	tr := buildTree(t, pts, DefaultOptions())
+	s := tr.sto.NewSession()
+	for i, p := range pts {
+		if ok, err := tr.Delete(s, p, uint32(i)); err != nil || !ok {
+			t.Fatalf("delete %d: ok=%v err=%v", i, ok, err)
+		}
+	}
+	if err := tr.Reoptimize(); !errors.Is(err, ErrEmptyTree) {
+		t.Fatalf("Reoptimize on emptied tree: %v, want ErrEmptyTree", err)
+	}
+	if tr.ReoptimizeRunning() {
+		t.Fatal("aborted reoptimize left state behind")
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Insert(s, pts[0], 1); err != nil {
+		t.Fatalf("insert after empty-tree reoptimize: %v", err)
+	}
+	if err := tr.Reoptimize(); err != nil {
+		t.Fatalf("reoptimize after revival: %v", err)
 	}
 }
 

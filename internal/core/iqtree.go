@@ -79,6 +79,16 @@ type Options struct {
 	// range-query page fetching (the buffer-limited variant of Seeger et
 	// al. [19]). 0 means unlimited.
 	MaxBufferBlocks int
+	// WAL enables write-ahead logging: Insert/InsertBatch/Delete are
+	// acknowledged only once their logical record is durable in the log
+	// (group commit amortizes the fsync), and Open replays the log after
+	// a crash, restoring exactly the acknowledged state. See DESIGN.md
+	// §13.
+	WAL bool
+	// WALCheckpointBlocks triggers an automatic checkpoint once the log
+	// grows past this many blocks (0 = only explicit/maintenance
+	// checkpoints). Only meaningful with WAL.
+	WALCheckpointBlocks int
 }
 
 // DefaultOptions returns the paper's full IQ-tree configuration.
@@ -121,6 +131,25 @@ type Tree struct {
 	dirFile  *store.File // level 1: directory entries
 	qFile    *store.File // level 2: fixed-size quantized pages
 	eFile    *store.File // level 3: exact pages (variable size)
+
+	// gen numbers the live data-file generation: qFile/eFile are the
+	// genName-suffixed files of this generation, and incremental
+	// reoptimization builds generation gen+1 beside them. Only the final
+	// reoptimize step (under world.Lock) changes gen or the file
+	// pointers, so holders of world.RLock read them race-free.
+	gen uint32
+
+	// wal is the mutation log and ckptLog the checkpoint log; both nil
+	// unless Options.WAL. Appends happen under t.mu (so LSN order equals
+	// apply order); commits happen after t.mu is released.
+	wal     *store.WAL
+	ckptLog *store.WAL
+
+	// reoptMu serializes incremental reoptimization steps; reopt holds
+	// the in-flight run's state (guarded by t.mu for the fields writers
+	// touch — see reopt.go).
+	reoptMu sync.Mutex
+	reopt   *reoptState
 
 	dim        int
 	fractalDim float64
@@ -254,6 +283,19 @@ func Build(sto *store.Store, pts []vec.Point, opt Options) (*Tree, error) {
 	}
 	if err := sto.Err(); err != nil {
 		return nil, fmt.Errorf("core: build: %w", err)
+	}
+	if opt.WAL {
+		if t.wal, err = store.CreateWAL(sto.Backend(), WALFileName); err != nil {
+			return nil, err
+		}
+		if t.ckptLog, err = store.CreateWAL(sto.Backend(), ckptLogName(0)); err != nil {
+			return nil, err
+		}
+		// The initial checkpoint makes the fresh build durable and gives
+		// recovery its base state.
+		if err := t.checkpoint(sn); err != nil {
+			return nil, err
+		}
 	}
 	t.publish(sn)
 	return t, nil

@@ -16,7 +16,8 @@ import (
 // File names of the IQ-tree's on-disk structure. The three data files
 // correspond to the three levels of paper Fig. 3; the meta file is a
 // superblock holding what a reopening process cannot recover from the
-// levels themselves.
+// levels themselves. The quantized and exact files carry a generation
+// suffix after the first incremental reoptimization (see genName).
 const (
 	MetaFileName = "iq.meta"
 	DirFileName  = "iq.dir"
@@ -27,16 +28,23 @@ const (
 // metaMagic identifies the superblock format.
 const metaMagic = 0x49515452 // "IQTR"
 
-const metaVersion = 1
+// metaVersion 2 added the WAL flag, the data-file generation and the
+// auto-checkpoint threshold; version-1 superblocks are rejected.
+const metaVersion = 2
 
 // writeMeta serializes the superblock for the given epoch. Layout
 // (little-endian):
 //
 //	magic u32 | version u32 | dim u32 | entries u32 | live points u64 |
-//	metric u8 | quantize u8 | optimizedIO u8 | pad | qpageBlocks u32 |
-//	fractalDim f64 | refineFactor f64
+//	metric u8 | quantize u8 | optimizedIO u8 | wal u8 | qpageBlocks u32 |
+//	fractalDim f64 | refineFactor f64 | gen u32 | ckptBlocks u32
+//
+// In WAL mode the dynamic fields (entries, live points, gen) are only
+// trustworthy at checkpoints — the meta file is rewritten per update but
+// fsynced only by checkpoints, and recovery takes them from the newest
+// checkpoint record instead.
 func (t *Tree) writeMeta(sn *snapshot) error {
-	buf := make([]byte, 48)
+	buf := make([]byte, 56)
 	le := binary.LittleEndian
 	le.PutUint32(buf[0:], metaMagic)
 	le.PutUint32(buf[4:], metaVersion)
@@ -46,9 +54,12 @@ func (t *Tree) writeMeta(sn *snapshot) error {
 	buf[24] = uint8(t.opt.Metric)
 	buf[25] = b2u(t.opt.Quantize)
 	buf[26] = b2u(t.opt.OptimizedIO)
+	buf[27] = b2u(t.opt.WAL)
 	le.PutUint32(buf[28:], uint32(t.opt.QPageBlocks))
 	le.PutUint64(buf[32:], math.Float64bits(t.fractalDim))
 	le.PutUint64(buf[40:], math.Float64bits(sn.model.RefineFactor))
+	le.PutUint32(buf[48:], t.gen)
+	le.PutUint32(buf[52:], uint32(t.opt.WALCheckpointBlocks))
 	return t.metaFile.SetContents(buf)
 }
 
@@ -63,12 +74,17 @@ func b2u(b bool) uint8 {
 // later maintenance) left on the store — the same in-memory store, or a
 // file-backed store reopened by another process. The returned tree
 // answers queries and accepts updates exactly like the original.
+//
+// For a WAL-mode tree this is the recovery path: the newest valid
+// checkpoint record provides the base state, the data files are trimmed
+// back to its extents (discarding physical writes of mutations that will
+// be replayed, or that were never acknowledged), the surviving WAL
+// records are replayed through the normal apply path, and a fresh
+// checkpoint makes the recovered state durable. Torn tails of either log
+// are truncated, never replayed.
 func Open(sto *store.Store) (*Tree, error) {
 	meta := sto.File(MetaFileName)
-	dir := sto.File(DirFileName)
-	qf := sto.File(QFileName)
-	ef := sto.File(EFileName)
-	if meta == nil || dir == nil || qf == nil || ef == nil {
+	if meta == nil {
 		return nil, errors.New("core: no IQ-tree on this store")
 	}
 	if meta.Blocks() == 0 {
@@ -88,47 +104,73 @@ func Open(sto *store.Store) (*Tree, error) {
 	t := &Tree{
 		sto:      sto,
 		metaFile: meta,
-		dirFile:  dir,
-		qFile:    qf,
-		eFile:    ef,
 		dim:      int(le.Uint32(buf[8:])),
 	}
-	nEntries := int(le.Uint32(buf[12:]))
 	t.opt = Options{
-		Metric:      vec.Metric(buf[24]),
-		Quantize:    buf[25] == 1,
-		OptimizedIO: buf[26] == 1,
-		QPageBlocks: int(le.Uint32(buf[28:])),
+		Metric:              vec.Metric(buf[24]),
+		Quantize:            buf[25] == 1,
+		OptimizedIO:         buf[26] == 1,
+		WAL:                 buf[27] == 1,
+		QPageBlocks:         int(le.Uint32(buf[28:])),
+		WALCheckpointBlocks: int(le.Uint32(buf[52:])),
 	}
 	t.fractalDim = math.Float64frombits(le.Uint64(buf[32:]))
-	sn := &snapshot{
-		n:         int(le.Uint64(buf[16:])),
-		dirBlocks: dir.Blocks(),
+	refineFactor := math.Float64frombits(le.Uint64(buf[40:]))
+	if t.dirFile = sto.File(DirFileName); t.dirFile == nil {
+		return nil, errors.New("core: missing directory file")
 	}
+	if t.opt.WAL {
+		return t.recover(refineFactor)
+	}
+
+	t.gen = le.Uint32(buf[48:])
+	if t.qFile = sto.File(genName(QFileName, t.gen)); t.qFile == nil {
+		return nil, fmt.Errorf("core: missing quantized file (generation %d)", t.gen)
+	}
+	if t.eFile = sto.File(genName(EFileName, t.gen)); t.eFile == nil {
+		return nil, fmt.Errorf("core: missing exact file (generation %d)", t.gen)
+	}
+	nEntries := int(le.Uint32(buf[12:]))
 
 	// Rebuild the in-memory directory from level 1.
 	entrySize := page.DirEntrySize(t.dim)
-	if dir.Bytes() < nEntries*entrySize {
+	if t.dirFile.Bytes() < nEntries*entrySize {
 		return nil, fmt.Errorf("core: directory file too small for %d entries", nEntries)
 	}
 	var raw []byte
-	if dir.Blocks() > 0 {
-		if raw, err = dir.ReadRaw(0, dir.Blocks()); err != nil {
+	if t.dirFile.Blocks() > 0 {
+		if raw, err = t.dirFile.ReadRaw(0, t.dirFile.Blocks()); err != nil {
 			return nil, err
 		}
+	}
+	entries := make([]page.DirEntry, nEntries)
+	for i := 0; i < nEntries; i++ {
+		entries[i] = page.UnmarshalDirEntry(raw[i*entrySize:], t.dim)
+	}
+	sn := t.rebuildSnapshot(entries, int(le.Uint64(buf[16:])), nil, refineFactor)
+	t.publish(sn)
+	return t, nil
+}
+
+// rebuildSnapshot reconstructs a snapshot from serialized directory
+// entries. dataSpace nil means "union of the live MBRs" (the legacy
+// reconstruction); checkpoints supply the exact live value.
+func (t *Tree) rebuildSnapshot(entries []page.DirEntry, n int, dataSpace *vec.MBR, refineFactor float64) *snapshot {
+	sn := &snapshot{
+		n:         n,
+		dirBlocks: t.dirFile.Blocks(),
 	}
 	sn.dataSpace = vec.NewMBR(t.dim)
 	// The quantized file may extend past the last live page (stale
 	// versions from out-of-place updates); size the position index by the
 	// file so batch scans can classify every position.
-	if qpages := qf.Blocks() / t.opt.QPageBlocks; qpages > 0 {
+	if qpages := t.qFile.Blocks() / t.opt.QPageBlocks; qpages > 0 {
 		sn.entryAt = make([]int32, qpages)
 		for i := range sn.entryAt {
 			sn.entryAt[i] = -1
 		}
 	}
-	for i := 0; i < nEntries; i++ {
-		e := page.UnmarshalDirEntry(raw[i*entrySize:], t.dim)
+	for i, e := range entries {
 		sn.entries = append(sn.entries, e)
 		bits := int(e.Bits)
 		if bits < 1 || bits > quantize.ExactBits {
@@ -142,17 +184,138 @@ func Open(sto *store.Store) (*Tree, error) {
 			sn.setOwner(int(e.QPos), i)
 		}
 	}
+	if dataSpace != nil {
+		sn.dataSpace = dataSpace.Clone()
+	}
 	sn.model = costmodel.Model{
-		Disk:          sto.Config(),
+		Disk:          t.sto.Config(),
 		Metric:        t.opt.Metric,
 		Dim:           t.dim,
 		N:             sn.n,
 		FractalDim:    t.fractalDim,
 		DataSpace:     sn.dataSpace,
-		DirEntryBytes: entrySize,
+		DirEntryBytes: page.DirEntrySize(t.dim),
 		QPageBlocks:   t.opt.QPageBlocks,
 		ExactBlocks:   1,
-		RefineFactor:  math.Float64frombits(le.Uint64(buf[40:])),
+		RefineFactor:  refineFactor,
+	}
+	return sn
+}
+
+// recover rebuilds a WAL-mode tree: newest checkpoint + log replay.
+func (t *Tree) recover(refineFactor float64) (*Tree, error) {
+	backend := t.sto.Backend()
+	// Find the newest generation with a valid checkpoint record. A crash
+	// mid-swap can leave two checkpoint logs; the newer one is only
+	// authoritative if it holds a valid record.
+	var (
+		best    checkpointRecord
+		bestLog string
+		found   bool
+	)
+	for _, name := range backend.Names() {
+		if !store.IsWALFile(name) {
+			continue
+		}
+		gen, ok := genOfName(CkptBaseName, name[:len(name)-len(store.WALSuffix)])
+		if !ok {
+			continue
+		}
+		_, recs, err := store.InspectWAL(backend, name)
+		if err != nil {
+			return nil, err
+		}
+		// Last valid record wins within a log; iterate from the end.
+		for i := len(recs) - 1; i >= 0; i-- {
+			c, err := decodeCheckpoint(recs[i].Payload, t.dim)
+			if err != nil || c.gen != gen {
+				continue
+			}
+			if !found || c.gen > best.gen {
+				best = c
+				bestLog = name
+				found = true
+			}
+			break
+		}
+	}
+	if !found {
+		return nil, errors.New("core: WAL-mode tree has no valid checkpoint")
+	}
+	t.gen = best.gen
+	if t.qFile = t.sto.File(genName(QFileName, t.gen)); t.qFile == nil {
+		return nil, fmt.Errorf("core: missing quantized file (generation %d)", t.gen)
+	}
+	if t.eFile = t.sto.File(genName(EFileName, t.gen)); t.eFile == nil {
+		return nil, fmt.Errorf("core: missing exact file (generation %d)", t.gen)
+	}
+	// Trim physical writes past the checkpoint: they belong to mutations
+	// that replay re-applies (identically, LSN order = apply order) or
+	// that never got acknowledged.
+	if err := t.qFile.Truncate(best.qBlocks); err != nil {
+		return nil, err
+	}
+	if err := t.eFile.Truncate(best.eBlocks); err != nil {
+		return nil, err
+	}
+	sn := t.rebuildSnapshot(best.entries, best.n, &best.dataSpace, refineFactor)
+
+	ckptLog, _, _, err := store.OpenWAL(backend, bestLog)
+	if err != nil {
+		return nil, err
+	}
+	t.ckptLog = ckptLog
+	wal, recs, _, err := store.OpenWAL(backend, WALFileName)
+	if err != nil {
+		return nil, err
+	}
+	t.wal = wal
+	free := t.sto.NewSession()
+	replayed := 0
+	for _, r := range recs {
+		if r.LSN <= best.lsn {
+			continue // already reflected in the checkpoint's state
+		}
+		op, err := decodeMutOp(r.Kind, r.Payload, t.dim)
+		if err != nil {
+			return nil, fmt.Errorf("core: WAL replay LSN %d: %w", r.LSN, err)
+		}
+		if err := t.applyMutOp(free, sn, op); err != nil {
+			return nil, fmt.Errorf("core: WAL replay LSN %d: %w", r.LSN, err)
+		}
+		replayed++
+	}
+	if err := t.rewriteDirectory(sn); err != nil {
+		return nil, err
+	}
+	if err := t.sto.Err(); err != nil {
+		return nil, err
+	}
+	// The recovered state becomes the new durable base; the WAL restarts
+	// empty so a second recovery does not replay twice.
+	if err := t.checkpoint(sn); err != nil {
+		return nil, err
+	}
+	// Drop files of other generations: leftovers of a crashed swap (never
+	// committed) or of a committed swap whose cleanup was interrupted.
+	for _, name := range backend.Names() {
+		stale := false
+		if g, ok := genOfName(QFileName, name); ok && g != t.gen {
+			stale = true
+		}
+		if g, ok := genOfName(EFileName, name); ok && g != t.gen {
+			stale = true
+		}
+		if store.IsWALFile(name) {
+			if g, ok := genOfName(CkptBaseName, name[:len(name)-len(store.WALSuffix)]); ok && g != t.gen {
+				stale = true
+			}
+		}
+		if stale {
+			if err := t.sto.Remove(name); err != nil {
+				return nil, err
+			}
+		}
 	}
 	t.publish(sn)
 	return t, nil

@@ -41,11 +41,12 @@ var (
 	metricRepairedPages = obs.Default().Counter("core.repaired_pages")
 )
 
-// corruptQPage reports whether err is a checksum failure in the
-// quantized file — the only file with a level-3 fallback.
-func corruptQPage(err error) bool {
+// corruptQPage reports whether err is a checksum failure in the current
+// generation's quantized file — the only file with a level-3 fallback.
+// Callers hold world.RLock, under which the file pointer is stable.
+func (t *Tree) corruptQPage(err error) bool {
 	var cbe *store.CorruptBlockError
-	return errors.As(err, &cbe) && cbe.File == QFileName
+	return errors.As(err, &cbe) && cbe.File == t.qFile.Name()
 }
 
 // unrecoverablePage builds the typed error for a corrupt exact-mode page.

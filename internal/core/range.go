@@ -208,7 +208,7 @@ func (t *Tree) scanCandidates(s *store.Session, sn *snapshot, tr *Trace, sc *que
 		nPages := run.Blocks / t.opt.QPageBlocks
 		buf, err := s.Read(t.qFile, run.Pos*t.opt.QPageBlocks, run.Blocks)
 		if err != nil {
-			if !corruptQPage(err) {
+			if !t.corruptQPage(err) {
 				return nil, err
 			}
 			// Fresh corruption somewhere in the run: retry page by page
@@ -268,7 +268,7 @@ func (t *Tree) rangeRunDegraded(s *store.Session, sn *snapshot, tr *Trace, sc *q
 		}
 		buf, err := s.Read(t.qFile, pos*t.opt.QPageBlocks, t.opt.QPageBlocks)
 		if err != nil {
-			if !corruptQPage(err) {
+			if !t.corruptQPage(err) {
 				return nil, err
 			}
 			s.Recover()

@@ -260,7 +260,7 @@ func (st *nnSearch) processSingle(entry int) {
 	}
 	buf, err := st.s.Read(t.qFile, pos*t.opt.QPageBlocks, t.opt.QPageBlocks)
 	if err != nil {
-		if !corruptQPage(err) {
+		if !t.corruptQPage(err) {
 			st.err = err
 			return
 		}
@@ -301,7 +301,7 @@ func (st *nnSearch) processBatch(entry int) {
 	}
 	buf, err := st.s.Read(t.qFile, first*t.opt.QPageBlocks, (last-first+1)*t.opt.QPageBlocks)
 	if err != nil {
-		if !corruptQPage(err) {
+		if !t.corruptQPage(err) {
 			st.err = err
 			return
 		}

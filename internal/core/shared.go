@@ -120,7 +120,7 @@ func (ss *sharedScan) FetchRun(s *store.Session, gen uint64, first, last int, wa
 	}
 	buf, err := s.Read(t.qFile, first*t.opt.QPageBlocks, (last-first+1)*t.opt.QPageBlocks)
 	if err != nil {
-		if !corruptQPage(err) {
+		if !t.corruptQPage(err) {
 			return err
 		}
 		// Fresh corruption somewhere in the run: localize it by retrying
@@ -150,7 +150,7 @@ func (ss *sharedScan) fetchPagewise(s *store.Session, first, last int, wanted fu
 		}
 		buf, err := s.Read(t.qFile, pos*t.opt.QPageBlocks, t.opt.QPageBlocks)
 		if err != nil {
-			if !corruptQPage(err) {
+			if !t.corruptQPage(err) {
 				return err
 			}
 			s.Recover()

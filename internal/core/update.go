@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -18,6 +19,12 @@ import (
 // only when everything succeeded. A failed update publishes nothing; the
 // blocks it appended become unreferenced garbage, reclaimed by the next
 // Reoptimize like any other stale page version.
+//
+// In WAL mode (Options.WAL) each mutation additionally buffers its
+// logical record inside the same t.mu critical section that applies it —
+// so LSN order equals apply order and replay is deterministic — and the
+// entry point acknowledges only after a group commit made the record
+// durable (see wal.go and DESIGN.md §13).
 
 // Insert adds one point to the tree (paper Section 6 / end of 3.6): the
 // point goes to the page needing least MBR enlargement; on page overflow
@@ -28,12 +35,70 @@ func (t *Tree) Insert(s *store.Session, p vec.Point, id uint32) error {
 	if len(p) != t.dim {
 		return fmt.Errorf("core: insert dimension %d, want %d", len(p), t.dim)
 	}
+	op := mutOp{kind: walKindInsert, pts: []vec.Point{p.Clone()}, ids: []uint32{id}}
+	lsn, err := t.runMutation(s, op)
+	if err != nil {
+		return err
+	}
+	return t.commitDurable(lsn)
+}
+
+// InsertBatch adds many points at once, grouping them by target page so
+// that each affected page is read, re-quantized and rewritten exactly
+// once, the directory is rewritten once at the end, and (in WAL mode)
+// one log record covers the whole batch.
+func (t *Tree) InsertBatch(s *store.Session, pts []vec.Point, ids []uint32) error {
+	if len(pts) != len(ids) {
+		return fmt.Errorf("core: %d points but %d ids", len(pts), len(ids))
+	}
+	for i, p := range pts {
+		if len(p) != t.dim {
+			return fmt.Errorf("core: point %d has dimension %d, want %d", i, len(p), t.dim)
+		}
+	}
+	if len(pts) == 0 {
+		return nil
+	}
+	cl := make([]vec.Point, len(pts))
+	for i, p := range pts {
+		cl[i] = p.Clone()
+	}
+	op := mutOp{kind: walKindInsertBatch, pts: cl, ids: append([]uint32(nil), ids...)}
+	lsn, err := t.runMutation(s, op)
+	if err != nil {
+		return err
+	}
+	return t.commitDurable(lsn)
+}
+
+// runMutation applies one logical mutation under the writer locks and
+// returns the WAL LSN to commit (0 when logging is off or nothing
+// changed). The caller must not acknowledge the mutation before
+// commitDurable(lsn) returns.
+func (t *Tree) runMutation(s *store.Session, op mutOp) (uint64, error) {
 	t.world.RLock()
 	defer t.world.RUnlock()
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	sn := t.load().clone()
+	switch op.kind {
+	case walKindInsert:
+		if err := t.applyInsert(s, sn, op.pts[0], op.ids[0]); err != nil {
+			return 0, err
+		}
+	case walKindInsertBatch:
+		if err := t.applyInsertBatch(s, sn, op.pts, op.ids); err != nil {
+			return 0, err
+		}
+	default:
+		panic("core: runMutation on non-insert op")
+	}
+	return t.finishMutation(sn, op)
+}
 
+// applyInsert mutates sn in place: one point into the page needing least
+// enlargement. Caller holds t.mu (and world.RLock) and owns p.
+func (t *Tree) applyInsert(s *store.Session, sn *snapshot, p vec.Point, id uint32) error {
 	target := sn.chooseEntry(p)
 	if target < 0 {
 		// Every page is free (the tree was emptied by deletes): revive a
@@ -47,7 +112,7 @@ func (t *Tree) Insert(s *store.Session, p vec.Point, id uint32) error {
 	if err != nil {
 		return err
 	}
-	pts = append(pts, p.Clone())
+	pts = append(pts, p)
 	ids = append(ids, id)
 
 	sn.n++
@@ -56,34 +121,12 @@ func (t *Tree) Insert(s *store.Session, p vec.Point, id uint32) error {
 	sn.model.DataSpace = sn.dataSpace
 
 	t.storeGroup(s, sn, target, pts, ids, int(sn.entries[target].Bits))
-	if err := t.rewriteDirectory(sn); err != nil {
-		return err
-	}
-	if err := t.sto.Err(); err != nil {
-		return err
-	}
-	t.publish(sn)
 	return nil
 }
 
-// InsertBatch adds many points at once, grouping them by target page so
-// that each affected page is read, re-quantized and rewritten exactly
-// once, and the directory is rewritten once at the end.
-func (t *Tree) InsertBatch(s *store.Session, pts []vec.Point, ids []uint32) error {
-	if len(pts) != len(ids) {
-		return fmt.Errorf("core: %d points but %d ids", len(pts), len(ids))
-	}
-	for i, p := range pts {
-		if len(p) != t.dim {
-			return fmt.Errorf("core: point %d has dimension %d, want %d", i, len(p), t.dim)
-		}
-	}
-	t.world.RLock()
-	defer t.world.RUnlock()
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	sn := t.load().clone()
-
+// applyInsertBatch mutates sn in place: many points, grouped by target
+// page. Caller holds t.mu (and world.RLock) and owns pts.
+func (t *Tree) applyInsertBatch(s *store.Session, sn *snapshot, pts []vec.Point, ids []uint32) error {
 	groups := make(map[int][]int)
 	for i, p := range pts {
 		target := sn.chooseEntry(p)
@@ -115,18 +158,51 @@ func (t *Tree) InsertBatch(s *store.Session, pts []vec.Point, ids []uint32) erro
 			return err
 		}
 		for _, i := range members {
-			pagePts = append(pagePts, pts[i].Clone())
+			pagePts = append(pagePts, pts[i])
 			pageIDs = append(pageIDs, ids[i])
 		}
 		t.storeGroup(s, sn, target, pagePts, pageIDs, oldBits)
 	}
+	return nil
+}
+
+// finishMutation completes an applied mutation under t.mu: rewrite the
+// directory, verify no write failed, buffer the WAL record, capture the
+// delta for an in-flight incremental reoptimization, and publish the
+// epoch. Nothing fallible sits between the WAL append and the publish,
+// so a buffered record always corresponds to a published epoch.
+func (t *Tree) finishMutation(sn *snapshot, op mutOp) (uint64, error) {
 	if err := t.rewriteDirectory(sn); err != nil {
-		return err
+		return 0, err
 	}
 	if err := t.sto.Err(); err != nil {
-		return err
+		return 0, err
+	}
+	var lsn uint64
+	if t.wal != nil {
+		lsn = t.wal.Append(op.kind, encodeMutOp(op, t.dim))
+	}
+	if t.reopt != nil {
+		t.reopt.deltas = append(t.reopt.deltas, op)
 	}
 	t.publish(sn)
+	return lsn, nil
+}
+
+// commitDurable group-commits the mutation's WAL record (no-op when
+// logging is off) and runs an automatic checkpoint when the log has
+// outgrown its threshold. Called after the writer locks are released, so
+// concurrent writers' records share one fsync.
+func (t *Tree) commitDurable(lsn uint64) error {
+	if t.wal == nil || lsn == 0 {
+		return nil
+	}
+	if err := t.wal.Commit(lsn); err != nil {
+		return err
+	}
+	if n := t.opt.WALCheckpointBlocks; n > 0 && t.wal.Blocks() >= n {
+		return t.Checkpoint()
+	}
 	return nil
 }
 
@@ -166,16 +242,37 @@ func (t *Tree) splitGroup(s *store.Session, sn *snapshot, entry int, pts []vec.P
 }
 
 // Delete removes the point with the given coordinates and id. It returns
-// found=false if no such point exists.
+// found=false if no such point exists. A miss logs nothing; only a found
+// delete produces a WAL record and a new epoch.
 func (t *Tree) Delete(s *store.Session, p vec.Point, id uint32) (found bool, err error) {
 	if len(p) != t.dim {
 		return false, nil
 	}
-	t.world.RLock()
-	defer t.world.RUnlock()
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	sn := t.load().clone()
+	op := mutOp{kind: walKindDelete, pts: []vec.Point{p.Clone()}, ids: []uint32{id}}
+	var lsn uint64
+	found, lsn, err = func() (bool, uint64, error) {
+		t.world.RLock()
+		defer t.world.RUnlock()
+		t.mu.Lock()
+		defer t.mu.Unlock()
+		sn := t.load().clone()
+		found, err := t.applyDelete(s, sn, op.pts[0], op.ids[0])
+		if err != nil || !found {
+			return found, 0, err
+		}
+		lsn, err := t.finishMutation(sn, op)
+		return true, lsn, err
+	}()
+	if err != nil || !found {
+		return found, err
+	}
+	return true, t.commitDurable(lsn)
+}
+
+// applyDelete mutates sn in place: remove the first (id, coordinates)
+// match, shrinking/merging/freeing its page. Caller holds t.mu (and
+// world.RLock).
+func (t *Tree) applyDelete(s *store.Session, sn *snapshot, p vec.Point, id uint32) (bool, error) {
 	for i, e := range sn.entries {
 		if sn.free[i] || !e.MBR.Contains(p) {
 			continue
@@ -200,18 +297,28 @@ func (t *Tree) Delete(s *store.Session, p vec.Point, id uint32) (found bool, err
 						return false, err
 					}
 				}
-				if err := t.rewriteDirectory(sn); err != nil {
-					return false, err
-				}
-				if err := t.sto.Err(); err != nil {
-					return false, err
-				}
-				t.publish(sn)
 				return true, nil
 			}
 		}
 	}
 	return false, nil
+}
+
+// applyMutOp dispatches a decoded WAL record (or a captured reopt delta)
+// through the same apply path the live mutation took, keeping replay
+// bit-identical. Caller holds t.mu (and the world lock in some mode).
+func (t *Tree) applyMutOp(s *store.Session, sn *snapshot, op mutOp) error {
+	switch op.kind {
+	case walKindInsert:
+		return t.applyInsert(s, sn, op.pts[0], op.ids[0])
+	case walKindInsertBatch:
+		return t.applyInsertBatch(s, sn, op.pts, op.ids)
+	case walKindDelete:
+		_, err := t.applyDelete(s, sn, op.pts[0], op.ids[0])
+		return err
+	default:
+		return fmt.Errorf("core: unknown WAL record kind %d", op.kind)
+	}
 }
 
 // tryMerge implements the paper's "undo the split" maintenance (Section 6
@@ -445,58 +552,26 @@ func (t *Tree) rewriteDirectory(sn *snapshot) error {
 	return t.writeMeta(sn)
 }
 
+// ErrEmptyTree reports a maintenance operation that needs at least one
+// live point — reoptimization rebuilds the physical structure from the
+// data, and an emptied tree has none to rebuild from.
+var ErrEmptyTree = errors.New("core: cannot reoptimize an empty tree")
+
 // Reoptimize rebuilds the tree's physical structure from scratch over its
 // current contents: fresh packed partitions, a fresh optimal quantization,
 // and compacted files (garbage page versions from past updates are
 // dropped). The paper notes that updates require "careful book-keeping"
-// to maintain optimality; this is the batch variant — run it after heavy
-// update traffic, guided by CostEstimate.
-//
-// Reoptimize is the only stop-the-world operation: it truncates the data
-// files in place, so it excludes every query and update for its duration
-// and invalidates outstanding NNIterators (their next Next reports
-// ErrStaleIterator).
+// to maintain optimality; this batch variant simply drives the
+// incremental stepper (reopt.go) to completion, so queries and updates
+// keep running throughout — only the final swap step briefly excludes
+// them.
 func (t *Tree) Reoptimize() error {
-	t.world.Lock()
-	defer t.world.Unlock()
-	old := t.load()
-	pts, ids, err := t.allPoints(old)
-	if err != nil {
-		return err
+	for {
+		done, err := t.ReoptimizeStep(t.sto.NewSession())
+		if err != nil || done {
+			return err
+		}
 	}
-	if len(pts) == 0 {
-		return fmt.Errorf("core: cannot reoptimize an empty tree")
-	}
-	if err := t.qFile.SetContents(nil); err != nil {
-		return err
-	}
-	if err := t.eFile.SetContents(nil); err != nil {
-		return err
-	}
-	// The rebuild reuses physical positions from zero; stale quarantine
-	// entries would damn fresh pages.
-	t.clearQuarantine()
-	sn := &snapshot{
-		epoch:     old.epoch + 1,
-		n:         len(pts),
-		dataSpace: vec.MBROf(pts),
-		model:     old.model,
-	}
-	sn.model.N = sn.n
-	sn.model.DataSpace = sn.dataSpace
-
-	b := newBuilder(t, sn, pts)
-	b.ids = ids
-	b.run()
-	if err := t.writeMeta(sn); err != nil {
-		return err
-	}
-	if err := t.sto.Err(); err != nil {
-		return err
-	}
-	t.publish(sn)
-	t.reoptGen.Add(1)
-	return nil
 }
 
 // AllPoints returns every live (point, id) pair by reading the data files

@@ -163,6 +163,12 @@ type Engine struct {
 	maxRestarts int
 	scan        index.SharedScan
 
+	// Write path (see write.go): one writer goroutine drains a dedicated
+	// queue, coalescing insert bursts into batch applications.
+	writesOn   bool
+	mut        Mutator
+	writeQueue chan writeJob
+
 	reg        *obs.Registry
 	queueDepth *obs.Gauge
 	queries    *obs.Counter
@@ -178,6 +184,11 @@ type Engine struct {
 	sharedServes    *obs.Counter
 	sharedRestarts  *obs.Counter
 	sharedExhausted *obs.Counter
+
+	writeQueueDepth *obs.Gauge
+	writeCount      *obs.Counter
+	writeBatches    *obs.Counter
+	writeFailures   *obs.Counter
 }
 
 type job struct {
@@ -261,6 +272,20 @@ func New(sto *store.Store, idx index.Index, workers int, opts ...Option) *Engine
 	e.simLat = e.reg.Histogram("engine.sim_latency_seconds")
 	e.wallLat = e.reg.Histogram("engine.wall_latency_seconds")
 	e.sessions.New = func() any { return sto.NewSession() }
+	if e.writesOn {
+		if m, ok := idx.(Mutator); ok {
+			e.mut = m
+		}
+	}
+	if e.mut != nil {
+		e.writeQueue = make(chan writeJob, 4*workers)
+		e.writeQueueDepth = e.reg.Gauge("engine.write_queue_depth")
+		e.writeCount = e.reg.Counter("engine.writes")
+		e.writeBatches = e.reg.Counter("engine.write_batches")
+		e.writeFailures = e.reg.Counter("engine.write_failures")
+		e.wg.Add(1)
+		go e.writer()
+	}
 	if e.sharing {
 		if ss, ok := idx.(index.SharedScanner); ok {
 			e.scan = ss.NewSharedScan()
@@ -442,6 +467,9 @@ func (e *Engine) Close() {
 	e.closed = true
 	e.closeMu.Unlock()
 	close(e.queue)
+	if e.writeQueue != nil {
+		close(e.writeQueue)
+	}
 	e.wg.Wait()
 }
 

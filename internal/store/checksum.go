@@ -175,6 +175,18 @@ func (t *sumTable) recordContents(p []byte, nblocks int) error {
 	return t.persistLocked()
 }
 
+// truncateTo drops the recorded sums past nblocks and persists the
+// sidecar (a no-op when nothing is recorded past it).
+func (t *sumTable) truncateTo(nblocks int) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if nblocks < 0 || nblocks >= len(t.sums) {
+		return nil
+	}
+	t.sums = t.sums[:nblocks]
+	return t.persistLocked()
+}
+
 // verify checks nblocks blocks of data read from block pos of the named
 // file against the recorded sums. It returns a *CorruptBlockError for
 // the first mismatching or unrecorded block.
@@ -217,7 +229,10 @@ func (s *Store) EnableChecksums() error {
 	defer s.mu.Unlock()
 	s.checked = true
 	for _, name := range s.backend.Names() {
-		if IsChecksumFile(name) {
+		if IsChecksumFile(name) || IsWALFile(name) {
+			// WAL records carry their own per-record CRC32C, and the log is
+			// appended beneath the File wrapper (group commit must not pay a
+			// sidecar rewrite per batch), so it keeps no sidecar.
 			continue
 		}
 		f := s.files[name]
@@ -247,7 +262,7 @@ func (s *Store) Checked() bool {
 // exists, computing sums from current content otherwise. truncate
 // forces a fresh empty table (used by NewFile, which truncates data).
 func (s *Store) attachSumsLocked(f *File, truncate bool) error {
-	if f.sums != nil || IsChecksumFile(f.Name()) {
+	if f.sums != nil || IsChecksumFile(f.Name()) || IsWALFile(f.Name()) {
 		return nil
 	}
 	side := f.Name() + ChecksumSuffix

@@ -315,6 +315,11 @@ func (fs *FaultStore) Lookup(name string) BlockFile {
 // Names returns the inner store's file names.
 func (fs *FaultStore) Names() []string { return fs.inner.Names() }
 
+// Remove forwards to the inner store without an injection point:
+// removal is a maintenance operation, not part of the faulted I/O path,
+// and skipping the draw keeps scheduled fault indices stable.
+func (fs *FaultStore) Remove(name string) error { return fs.inner.Remove(name) }
+
 // Sync flushes the inner store.
 func (fs *FaultStore) Sync() error { return fs.inner.Sync() }
 
@@ -412,6 +417,20 @@ func (f *faultFile) WriteBlocks(pos int, data []byte) error {
 		}
 	}
 	return f.bf.WriteBlocks(pos, data)
+}
+
+// Truncate forwards to the inner file. A transient write error applies
+// nothing; torn faults do not apply (a truncate either moves the size or
+// does not — there is no partial prefix to tear).
+func (f *faultFile) Truncate(nblocks int) error {
+	kind, _, _ := f.fs.decide(false)
+	switch kind {
+	case FaultWriteErr:
+		return fmt.Errorf("fault: injected truncate error on %s: %w", f.Name(), ErrTransient)
+	case FaultLatency:
+		f.fs.latency()
+	}
+	return f.bf.Truncate(nblocks)
 }
 
 // SetContents rewrites through to the inner file; a torn fault leaves

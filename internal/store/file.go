@@ -136,6 +136,29 @@ func (d *FileStore) Names() []string {
 	return out
 }
 
+// Remove deletes the named file from the directory (a no-op when it
+// does not exist). The removal is made durable by the next Sync's
+// directory fsync.
+func (d *FileStore) Remove(name string) error {
+	if err := validName(name); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	f, ok := d.files[name]
+	if !ok {
+		return nil
+	}
+	if err := f.h.Close(); err != nil {
+		return fmt.Errorf("store: close %s for removal: %w", name, err)
+	}
+	if err := os.Remove(filepath.Join(d.dir, name)); err != nil {
+		return fmt.Errorf("store: remove %s: %w", name, err)
+	}
+	delete(d.files, name)
+	return nil
+}
+
 // Sync flushes every backing file — and the directory itself, so that
 // newly created files are durable too — to stable storage. Every file
 // is attempted even after a failure, and all failures are reported
@@ -285,6 +308,26 @@ func (f *osFile) WriteBlocks(pos int, data []byte) error {
 	if _, err := f.h.WriteAt(data, int64(pos)*int64(bs)); err != nil {
 		return fmt.Errorf("file: write %s: %w", f.name, err)
 	}
+	return nil
+}
+
+// Truncate shrinks the file to nblocks blocks; at or past the current
+// length it is a no-op.
+func (f *osFile) Truncate(nblocks int) error {
+	if nblocks < 0 {
+		return fmt.Errorf("file: truncate %s to %d blocks", f.name, nblocks)
+	}
+	bs := f.d.cfg.BlockSize
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	want := int64(nblocks) * int64(bs)
+	if want >= f.size {
+		return nil
+	}
+	if err := f.h.Truncate(want); err != nil {
+		return fmt.Errorf("file: truncate %s: %w", f.name, err)
+	}
+	f.size = want
 	return nil
 }
 

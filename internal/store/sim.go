@@ -67,6 +67,24 @@ func (d *SimStore) Names() []string {
 	return out
 }
 
+// Remove deletes the named file (a no-op when it does not exist).
+// Readers holding aliases into its data keep their bytes.
+func (d *SimStore) Remove(name string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.files[name]; !ok {
+		return nil
+	}
+	delete(d.files, name)
+	for i, n := range d.order {
+		if n == name {
+			d.order = append(d.order[:i], d.order[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
 // Sync is a no-op for the simulator.
 func (d *SimStore) Sync() error { return nil }
 
@@ -153,6 +171,24 @@ func (f *SimFile) WriteBlocks(pos int, data []byte) error {
 	fresh := append([]byte(nil), f.data...)
 	copy(fresh[pos*bs:], data)
 	f.data = fresh
+	return nil
+}
+
+// Truncate shrinks the file to nblocks blocks; at or past the current
+// length it is a no-op. The shortened slice keeps its backing array —
+// safe, because Append grows into a fresh array and WriteBlocks copies,
+// so bytes already handed to readers are never overwritten.
+func (f *SimFile) Truncate(nblocks int) error {
+	if nblocks < 0 {
+		return fmt.Errorf("sim: truncate %s to %d blocks", f.name, nblocks)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	bs := f.d.cfg.BlockSize
+	if nblocks*bs >= len(f.data) {
+		return nil
+	}
+	f.data = f.data[:nblocks*bs]
 	return nil
 }
 

@@ -143,6 +143,10 @@ type BlockFile interface {
 	// SetContents replaces the whole file with p, padded to a block
 	// boundary. An empty p truncates the file to zero blocks.
 	SetContents(p []byte) error
+	// Truncate discards blocks from the tail, shrinking the file to
+	// nblocks blocks. Truncating at or past the current length is a
+	// no-op; negative counts are rejected.
+	Truncate(nblocks int) error
 }
 
 // BlockStore is the backend contract for a set of named block files.
@@ -155,6 +159,8 @@ type BlockStore interface {
 	Lookup(name string) BlockFile
 	// Names returns the file names in deterministic order.
 	Names() []string
+	// Remove deletes the named file. Removing a missing file is a no-op.
+	Remove(name string) error
 	// Sync flushes durable backends; it is a no-op for the simulator.
 	Sync() error
 	// Close releases backend resources. The store must not be used after.
@@ -294,6 +300,32 @@ func (s *Store) TotalBlocks() int {
 		}
 	}
 	return n
+}
+
+// Remove deletes the named file (and its checksum sidecar, when one
+// exists) from the backend, dropping the canonical wrapper and any
+// cached frames. Removing a missing file is a no-op. Stale *File
+// wrappers held by callers become invalid; removal is a maintenance
+// operation for files no snapshot references anymore (old generations
+// after a compaction swap).
+func (s *Store) Remove(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.pool != nil {
+		s.pool.InvalidateFile(name)
+	}
+	delete(s.files, name)
+	if err := s.backend.Remove(name); err != nil {
+		return s.failLocked(fmt.Errorf("store: remove %s: %w", name, err))
+	}
+	if !IsChecksumFile(name) {
+		side := name + ChecksumSuffix
+		delete(s.files, side)
+		if err := s.backend.Remove(side); err != nil {
+			return s.failLocked(fmt.Errorf("store: remove %s: %w", side, err))
+		}
+	}
+	return nil
 }
 
 // SetRetryPolicy replaces the bounded-backoff policy applied to
@@ -448,6 +480,25 @@ func (f *File) SetContents(p []byte) error {
 	}
 	if f.sums != nil {
 		if serr := f.sums.recordContents(p, f.Blocks()); serr != nil {
+			return f.st.fail(serr)
+		}
+	}
+	if pl := f.st.Pool(); pl != nil {
+		pl.InvalidateFile(f.Name())
+	}
+	return nil
+}
+
+// Truncate shrinks the file to nblocks blocks, dropping the recorded
+// checksums of the discarded tail and invalidating any cached frames.
+// Used by generation-swap compaction and WAL tail recovery; truncating
+// at or past the current length is a no-op.
+func (f *File) Truncate(nblocks int) error {
+	if err := f.mutate(func() error { return f.bf.Truncate(nblocks) }); err != nil {
+		return f.st.fail(fmt.Errorf("store: truncate %s: %w", f.Name(), err))
+	}
+	if f.sums != nil {
+		if serr := f.sums.truncateTo(nblocks); serr != nil {
 			return f.st.fail(serr)
 		}
 	}

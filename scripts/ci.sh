@@ -54,6 +54,21 @@ echo "== shard scale-out gate =="
 go run ./cmd/iqbench -shards 1,8 -replicas 2 -scale 0.05 -queries 42 \
 	-shard-out /tmp/iqbench_shard_gate.json -gate
 
+echo "== kill-and-recover gate =="
+# No acknowledged write may be lost: the recovery suite crash-reopens
+# WAL-mode trees (insert-heavy, delete-heavy, torn tail, across
+# checkpoints, mid- and post-incremental-reoptimize) and requires the
+# recovered tree byte-identical to a never-crashed twin.
+go test -run 'KillAndRecover' -count=1 ./internal/core/
+
+echo "== durable ingest gate =="
+# The write path must not starve reads: after a concurrent acked-write
+# burst, simulated p99 of KNN reads while the incremental reoptimizer
+# steps must stay within 2x the quiescent simulated p99 (readers keep
+# their pinned snapshots, so compaction must not show up in their I/O).
+go run ./cmd/iqbench -ingest default -scale 0.1 -queries 60 \
+	-ingest-out /tmp/iqbench_ingest_gate.json -gate
+
 echo "== chaos gate =="
 # Seeded fault-injection campaign: transient faults fully retried,
 # corruption fully quarantined and repaired (results identical to the
