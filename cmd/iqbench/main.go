@@ -72,6 +72,8 @@ func run() error {
 		shardOut  = flag.String("shard-out", "BENCH_shard.json", "where -shards writes its JSON scatter-gather report")
 		ingest    = flag.String("ingest", "", "durable ingest mode instead of figures: concurrent writer count (e.g. 8) or 'default'")
 		ingestOut = flag.String("ingest-out", "BENCH_ingest.json", "where -ingest writes its JSON write-path report")
+		approx    = flag.String("approx", "", "approximate-search mode instead of figures: comma-separated MinRecall sweep (e.g. 1,0.95,0.8) or 'default'")
+		approxOut = flag.String("approx-out", "BENCH_approx.json", "where -approx writes its JSON Pareto report")
 	)
 	flag.Parse()
 	if *quickFlag {
@@ -96,6 +98,9 @@ func run() error {
 	}
 	if *ingest != "" {
 		return runIngest(*ingest, *scale, *queries, *seed, *ingestOut, *gate)
+	}
+	if *approx != "" {
+		return runApprox(*approx, *scale, *queries, *seed, *approxOut, *gate)
 	}
 	if *debugAddr != "" {
 		addr, err := obs.StartDebugServer(*debugAddr)

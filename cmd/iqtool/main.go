@@ -49,6 +49,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/index"
 	"repro/internal/scan"
 	"repro/internal/store"
 	"repro/internal/vafile"
@@ -73,6 +74,7 @@ func run() (err error) {
 		queries  = flag.Int("queries", 5, "number of held-out query points")
 		knn      = flag.Int("knn", 1, "k for k-nearest-neighbor queries")
 		rng      = flag.Float64("range", 0, "if > 0, run range queries with this radius instead of k-NN")
+		minRec   = flag.Float64("min-recall", 0, "approximate k-NN: target expected recall in (0,1]; 0 or 1 = exact")
 		statsFlg = flag.Bool("stats", false, "print tree structure statistics only")
 		pagesFlg = flag.Bool("pages", false, "with -stats: also dump one line per quantized page")
 		verify   = flag.Bool("verify", false, "run the full structural invariant check after building")
@@ -243,7 +245,14 @@ func run() (err error) {
 			fmt.Printf("query %d: %d results in range %.3f  (%.4fs simulated, %v)\n",
 				qi, len(res), *rng, s.Time(), s.Stats)
 		} else {
-			res, err := tree.KNNTrace(s, q, *knn, &trace)
+			var res []core.Neighbor
+			var err error
+			if *minRec > 0 {
+				s.SetObserver(&trace)
+				res, err = tree.KNNApprox(s, q, *knn, index.Approx{MinRecall: *minRec})
+			} else {
+				res, err = tree.KNNTrace(s, q, *knn, &trace)
+			}
 			if err != nil {
 				return err
 			}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"errors"
+	"math"
 	"math/rand"
 	"testing"
 
@@ -394,6 +395,50 @@ func FuzzBitFlipKNN(f *testing.F) {
 				if nb.ID != clean[i].ids[j] || nb.Dist != clean[i].dists[j] {
 					t.Fatalf("query %d rank %d: (%d, %v) after flip, clean (%d, %v) — silent corruption",
 						i, j, nb.ID, nb.Dist, clean[i].ids[j], clean[i].dists[j])
+				}
+			}
+		}
+
+		// The approximate path owes the same contract. ε = 0 (MinRecall 1)
+		// must stay bit-identical to the clean exact run or fail typed;
+		// ε > 0 may substitute neighbors but must only ever surface genuine
+		// points at true distances — or fail typed — never corrupt data.
+		met := tr.Options().Metric
+		for i, q := range queries {
+			res, err := tr.KNNApprox(sto.NewSession(), q, 3, index.Approx{MinRecall: 1})
+			if err != nil {
+				var cbe *store.CorruptBlockError
+				if !errors.As(err, &cbe) && !errors.Is(err, ErrUnrecoverable) {
+					t.Fatalf("approx ε=0 query %d: untyped failure after bit flip: %v", i, err)
+				}
+				continue
+			}
+			if len(res) != len(clean[i].ids) {
+				t.Fatalf("approx ε=0 query %d: %d results after flip, clean run had %d", i, len(res), len(clean[i].ids))
+			}
+			for j, nb := range res {
+				if nb.ID != clean[i].ids[j] || nb.Dist != clean[i].dists[j] {
+					t.Fatalf("approx ε=0 query %d rank %d: (%d, %v) after flip, clean (%d, %v) — silent corruption",
+						i, j, nb.ID, nb.Dist, clean[i].ids[j], clean[i].dists[j])
+				}
+			}
+		}
+		for i, q := range queries {
+			res, err := tr.KNNApprox(sto.NewSession(), q, 3, index.Approx{MinRecall: 0.8})
+			if err != nil {
+				var cbe *store.CorruptBlockError
+				if !errors.As(err, &cbe) && !errors.Is(err, ErrUnrecoverable) {
+					t.Fatalf("approx ε>0 query %d: untyped failure after bit flip: %v", i, err)
+				}
+				continue
+			}
+			for j, nb := range res {
+				if int(nb.ID) >= len(pts) {
+					t.Fatalf("approx ε>0 query %d rank %d: fabricated ID %d", i, j, nb.ID)
+				}
+				if td := met.Dist(q, pts[nb.ID]); math.Abs(nb.Dist-td) > 1e-5 {
+					t.Fatalf("approx ε>0 query %d rank %d: ID %d at %v, true distance %v — corrupt data surfaced",
+						i, j, nb.ID, nb.Dist, td)
 				}
 			}
 		}

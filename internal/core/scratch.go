@@ -1,6 +1,7 @@
 package core
 
 import (
+	"repro/internal/index"
 	"repro/internal/kernel"
 	"repro/internal/pagesched"
 	"repro/internal/store"
@@ -47,6 +48,7 @@ func scratchFor(s *store.Session) *queryScratch {
 	}
 	sc.search.sc = sc
 	sc.search.exactCache = make(map[int32]exactPage)
+	sc.search.exactSkip = make(map[int32]bool)
 	sc.probFn = sc.search.accessProb
 	s.SetScratch(sc)
 	return sc
@@ -54,10 +56,12 @@ func scratchFor(s *store.Session) *queryScratch {
 
 // beginSearch re-initializes the scratch's k-NN state for one query,
 // reusing every buffer at its high-water capacity.
-func (sc *queryScratch) beginSearch(t *Tree, sn *snapshot, s *store.Session, q vec.Point, k int, tr *Trace) *nnSearch {
+func (sc *queryScratch) beginSearch(t *Tree, sn *snapshot, s *store.Session, q vec.Point, k int, tr *Trace, ap index.Approx) *nnSearch {
 	st := &sc.search
 	st.t, st.sn, st.s, st.q, st.k, st.tr = t, sn, s, q, k, tr
 	st.err = nil
+	st.ap = ap
+	st.fetched, st.apStopped, st.apStopRefine, st.apSkipped, st.apProb = 0, false, false, 0, 0
 	n := len(sn.entries)
 	st.minD = growF64(st.minD, n)
 	st.processed = growBool(st.processed, n)
@@ -66,8 +70,13 @@ func (sc *queryScratch) beginSearch(t *Tree, sn *snapshot, s *store.Session, q v
 	st.heap = st.heap[:0]
 	st.res = st.res[:0]
 	st.ub = st.ub[:0]
+	st.wSum = growF64(st.wSum, n)
+	clear(st.wSum)
+	st.wCnt = growI32(st.wCnt, n)
+	clear(st.wCnt)
 	st.regionBuf = st.regionBuf[:0]
 	clear(st.exactCache)
+	clear(st.exactSkip)
 	sc.pts.Reset()
 	return st
 }
@@ -88,6 +97,13 @@ func (s *entrySorter) Swap(a, b int)      { s.idx[a], s.idx[b] = s.idx[b], s.idx
 func growF64(s []float64, n int) []float64 {
 	if cap(s) < n {
 		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+func growI32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
 	}
 	return s[:n]
 }

@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 
+	"repro/internal/index"
 	"repro/internal/kernel"
 	"repro/internal/obs"
 	"repro/internal/page"
@@ -12,6 +13,13 @@ import (
 	"repro/internal/quantize"
 	"repro/internal/store"
 	"repro/internal/vec"
+)
+
+var _ index.ApproxSearcher = (*Tree)(nil)
+
+var (
+	metricApproxStops   = obs.Default().Counter("core.approx.terminations")
+	metricApproxSkipped = obs.Default().Counter("core.approx.skipped_pages")
 )
 
 // Neighbor is one search result.
@@ -50,7 +58,25 @@ func (t *Tree) KNN(s *store.Session, q vec.Point, k int) ([]Neighbor, error) {
 // (displacing, then restoring, any previously attached observer), so it
 // records the per-level cost decomposition alongside the plan events.
 func (t *Tree) KNNTrace(s *store.Session, q vec.Point, k int, tr *Trace) ([]Neighbor, error) {
-	st, err := t.knn(s, q, k, tr)
+	st, err := t.knn(s, q, k, tr, index.Approx{})
+	if st == nil || err != nil {
+		return nil, err
+	}
+	return st.results(), nil
+}
+
+// KNNApprox is KNN under a probability-bounded approximation knob
+// (paper Sec. 2.2 turned into a stopping rule; see index.Approx): the
+// best-first search stops fetching quantized pages once the estimated
+// probability that any still-unfetched page improves the current top-k
+// drops below ε = 1 − MinRecall, or once MaxCost pages were fetched.
+// Candidates already admitted from fetched pages are still refined
+// against exact geometry, so every returned neighbor is a genuine
+// indexed point at its exact distance — an approximate answer can
+// substitute farther neighbors for missed ones, never fabricate them.
+// A zero (or MinRecall = 1) knob is bit-identical to KNN.
+func (t *Tree) KNNApprox(s *store.Session, q vec.Point, k int, ap index.Approx) ([]Neighbor, error) {
+	st, err := t.knn(s, q, k, obs.TraceFrom(s.Observer()), ap)
 	if st == nil || err != nil {
 		return nil, err
 	}
@@ -64,7 +90,7 @@ func (t *Tree) KNNTrace(s *store.Session, q vec.Point, k int, tr *Trace) ([]Neig
 // returned slice and its points are owned by the caller until the next
 // KNNInto with the same dst.
 func (t *Tree) KNNInto(s *store.Session, q vec.Point, k int, dst []Neighbor) ([]Neighbor, error) {
-	st, err := t.knn(s, q, k, obs.TraceFrom(s.Observer()))
+	st, err := t.knn(s, q, k, obs.TraceFrom(s.Observer()), index.Approx{})
 	if st == nil || err != nil {
 		return nil, err
 	}
@@ -73,7 +99,7 @@ func (t *Tree) KNNInto(s *store.Session, q vec.Point, k int, dst []Neighbor) ([]
 
 // knn runs the shared search; a nil state (with nil error) means the
 // empty-query case.
-func (t *Tree) knn(s *store.Session, q vec.Point, k int, tr *Trace) (*nnSearch, error) {
+func (t *Tree) knn(s *store.Session, q vec.Point, k int, tr *Trace, ap index.Approx) (*nnSearch, error) {
 	t.world.RLock()
 	defer t.world.RUnlock()
 	sn := t.load()
@@ -86,7 +112,7 @@ func (t *Tree) knn(s *store.Session, q vec.Point, k int, tr *Trace) (*nnSearch, 
 	if k <= 0 || sn.n == 0 {
 		return nil, s.Err()
 	}
-	st := scratchFor(s).beginSearch(t, sn, s, q, k, tr)
+	st := scratchFor(s).beginSearch(t, sn, s, q, k, tr, ap)
 	st.run()
 	if st.err != nil {
 		return nil, st.err
@@ -131,6 +157,21 @@ type nnSearch struct {
 	sorted    []int32 // live entries ordered by MINDIST (for probabilities)
 
 	heap []pqItem // min-heap on dist
+
+	// Approximate execution state (zero for exact queries): the knob, the
+	// quantized pages fetched so far (mirrors the trace's PagesRead; kept
+	// here because tracing is optional), and — once the knob's stopping
+	// rule fired — the skipped-page count and the remaining-improvement
+	// probability recorded at termination.
+	ap           index.Approx
+	fetched      int
+	apStopped    bool // ε or budget rule fired: no more quantized page fetches
+	apStopRefine bool // ε rule fired: no more fresh exact-page (level-3) loads either
+	apSkipped    int
+	apProb       float64
+	wSum         []float64      // per entry: Σ (ub − lb) over admitted candidates
+	wCnt         []int32        // per entry: admitted candidate count
+	exactSkip    map[int32]bool // exact pages the ε stop left unloaded
 
 	res resHeap   // k best refined neighbors (max-heap on dist)
 	ub  []float64 // max-heap of the k smallest upper bounds seen
@@ -237,15 +278,203 @@ func (st *nnSearch) advance() (entry int, ok bool) {
 			continue // k closer points certainly exist
 		}
 		if it.pt >= 0 {
+			if st.approxSkipRefine(it) {
+				continue // would load a fresh exact page; result is good enough
+			}
 			st.refine(it)
 			continue
 		}
 		if st.processed[it.entry] {
 			continue
 		}
+		if st.approxStop(int(it.entry)) {
+			continue // page skipped; keep draining candidate refinements
+		}
 		return int(it.entry), true
 	}
 	return 0, false
+}
+
+// approxSkipRefine decides, immediately before a popped candidate would
+// be refined, whether the ε rule terminates fresh exact-page loads: the
+// check runs only at level-3 fetch boundaries (candidates whose
+// partition is already cached refine for free, stopped or not), mirrors
+// the page-fetch stopping rule — the remaining-improvement estimate
+// counts unfetched pages and pending candidates alike — and never fires
+// before k refined results exist, so an approximate answer always holds
+// k genuine neighbors. A budget (MaxCost) stop does not gate
+// refinements: the budget bounds quantized page transfers only.
+func (st *nnSearch) approxSkipRefine(it pqItem) bool {
+	if !st.ap.Enabled() || len(st.res) < st.k {
+		return false
+	}
+	if _, cached := st.exactCache[it.entry]; cached {
+		return false
+	}
+	if !st.apStopRefine {
+		eps := st.ap.Epsilon()
+		if eps <= 0 {
+			return false
+		}
+		p := st.remainingImprove(eps, &it)
+		if p >= eps {
+			return false
+		}
+		st.terminateApprox(p)
+		st.apStopRefine = true
+	}
+	st.skipExact(it.entry)
+	return true
+}
+
+// skipExact charges one skipped page the first time a fresh exact page
+// is left unloaded by the ε termination (later candidates from the same
+// partition are part of the same skipped page).
+func (st *nnSearch) skipExact(entry int32) {
+	if st.exactSkip[entry] {
+		return
+	}
+	if st.exactSkip == nil {
+		st.exactSkip = make(map[int32]bool)
+	}
+	st.exactSkip[entry] = true
+	st.apSkipped++
+	st.tr.AddSkipped(1)
+	metricApproxSkipped.Inc()
+}
+
+// approxStop decides, immediately before the popped page entry would be
+// fetched, whether the approximate knob terminates page fetching: either
+// the page-fetch budget is spent, or the cumulative probability that any
+// still-unfetched page improves the current top-k — 1 − Π(1 − p_i) over
+// the remaining unprocessed, unpruned pages, p_i from the paper's
+// uniformity-within-MBR model — dropped below ε = 1 − MinRecall. Once
+// stopped, every later-popped page is skipped the same way while point
+// candidates from already-fetched pages keep refining, so the answer
+// stays exact for everything the filter level actually saw. Exact
+// queries (zero knob) return false without touching any state.
+func (st *nnSearch) approxStop(entry int) bool {
+	if !st.ap.Enabled() {
+		return false
+	}
+	if st.apStopped {
+		st.skipPage(entry)
+		return true
+	}
+	if st.ap.MaxCost > 0 && st.fetched >= st.ap.MaxCost {
+		// Budget stop: record the (un-cut) remaining-improvement estimate
+		// so the trace reports how much the budget may have cost. The
+		// budget bounds page transfers only; refinements keep running.
+		st.terminateApprox(st.remainingImprove(1, nil))
+		st.skipPage(entry)
+		return true
+	}
+	if eps := st.ap.Epsilon(); eps > 0 {
+		if p := st.remainingImprove(eps, nil); p < eps {
+			st.terminateApprox(p)
+			st.apStopRefine = true
+			st.skipPage(entry)
+			return true
+		}
+	}
+	return false
+}
+
+// remainingImprove estimates the per-slot probability that any
+// still-unfetched page improves the current top-k: the
+// popped-but-unprocessed entry and every other unprocessed entry with
+// MINDIST below the prune radius compete as regions of the cost model's
+// improvement estimator, normalized over the k result slots (see
+// pagesched.ImproveProbability — terminating below ε then bounds the
+// expected fraction of changed slots, hence 1 − expected recall, by ε).
+// cut is the caller's decision threshold — the scan aborts early once
+// the probability provably reaches it. With fewer than k results the
+// radius is unbounded and the estimate saturates at 1 (never terminate
+// early).
+func (st *nnSearch) remainingImprove(cut float64, extra *pqItem) float64 {
+	r := st.prune()
+	if math.IsInf(r, 1) {
+		return 1
+	}
+	// Unfetched pages compete as uniform regions of the cost model.
+	st.regionBuf = st.regionBuf[:0]
+	for _, e := range st.sorted {
+		if st.minD[e] >= r {
+			break
+		}
+		if st.processed[e] {
+			continue
+		}
+		st.regionBuf = append(st.regionBuf, pagesched.Region{
+			MBR:     st.sn.entries[e].MBR,
+			Count:   int(st.sn.entries[e].Count),
+			MinDist: st.minD[e],
+		})
+	}
+	k := float64(st.k)
+	pPages := st.sc.prob.ImproveProbability(st.q, st.t.opt.Metric, r, st.regionBuf, k, cut)
+	if pPages >= cut {
+		return pPages // pages alone forbid termination; skip the heap scan
+	}
+	// Pending candidates — filter-admitted points waiting, unrefined, in
+	// the priority list — are not uniform MBR mass: the filter step already
+	// located them near the query. Each competes through its own lower
+	// bound instead: its true distance is modeled uniform on [lb, lb + w̄],
+	// w̄ the source entry's mean admitted bound width, so
+	// P(improve) = clamp((r − lb)/w̄). Folding their misses into the page
+	// product keeps the per-slot calibration of ImproveProbability.
+	miss := math.Pow(1-pPages, k)
+	missCut := 0.0
+	if cut < 1 {
+		missCut = math.Pow(1-cut, k)
+	}
+	for i := range st.heap {
+		miss *= 1 - st.candImprove(&st.heap[i], r)
+		if miss <= missCut || miss < pagesched.ProbFloor {
+			break
+		}
+	}
+	if extra != nil {
+		miss *= 1 - st.candImprove(extra, r)
+	}
+	if miss < pagesched.ProbFloor {
+		miss = pagesched.ProbFloor
+	}
+	return 1 - math.Pow(miss, 1/k)
+}
+
+// candImprove is the pending-candidate improvement probability of one
+// priority-list point item (0 for page items).
+func (st *nnSearch) candImprove(it *pqItem, r float64) float64 {
+	if it.pt < 0 || it.dist >= r {
+		return 0
+	}
+	if st.wCnt[it.entry] == 0 {
+		return 1 // no width statistic; assume the worst
+	}
+	w := st.wSum[it.entry] / float64(st.wCnt[it.entry])
+	if w <= 0 {
+		return 1 // exact bounds: lb < r is a certain improvement
+	}
+	return math.Min((r-it.dist)/w, 1)
+}
+
+// terminateApprox records the stopping decision; callers separately skip
+// whatever page or refinement triggered it.
+func (st *nnSearch) terminateApprox(p float64) {
+	st.apStopped = true
+	st.apProb = p
+	metricApproxStops.Inc()
+	st.tr.NoteTermination(p)
+}
+
+// skipPage marks one pending page as left unfetched by the approximate
+// termination.
+func (st *nnSearch) skipPage(entry int) {
+	st.processed[entry] = true
+	st.apSkipped++
+	st.tr.AddSkipped(1)
+	metricApproxSkipped.Inc()
 }
 
 // processSingle loads exactly one quantized page with a random access
@@ -271,6 +500,7 @@ func (st *nnSearch) processSingle(entry int) {
 		st.degradedExact(entry, err)
 		return
 	}
+	st.fetched++
 	st.tr.AddPages(1)
 	st.tr.AddBatch(obs.BatchDecision{Pivot: pos, First: pos, Last: pos, Pending: 1})
 	st.processPage(entry, buf)
@@ -311,6 +541,7 @@ func (st *nnSearch) processBatch(entry int) {
 		st.processRunDegraded(first, last)
 		return
 	}
+	st.fetched += last - first + 1
 	st.tr.AddPages(last - first + 1)
 	pageBytes := t.qPageBytes()
 	pending := 0
@@ -478,6 +709,8 @@ func (st *nnSearch) processCodes(entry, count int, codes []uint32) {
 		}
 		if lb < prune {
 			cand++
+			st.wSum[entry] += ubD - lb
+			st.wCnt[entry]++
 			st.pushItem(pqItem{dist: lb, entry: int32(entry), pt: int32(i)})
 		}
 	}
@@ -512,6 +745,8 @@ func (st *nnSearch) processCodesBatch(entry, count int, codes []uint32) {
 		}
 		if pb.Lb[i] < prune {
 			cand++
+			st.wSum[entry] += pb.Ub[i] - pb.Lb[i]
+			st.wCnt[entry]++
 			st.pushItem(pqItem{dist: pb.Lb[i], entry: int32(entry), pt: int32(i)})
 		}
 	}

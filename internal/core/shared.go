@@ -38,6 +38,7 @@ import (
 // below and pinned by the shared_test.go equivalence suite.
 
 var _ index.SharedScanner = (*Tree)(nil)
+var _ index.ApproxSharedScan = (*sharedScan)(nil)
 
 // NewSharedScan returns a scan-sharing handle over the tree. The handle
 // owns the round-scoped decode scratch for shared pages, so it must be
@@ -63,6 +64,15 @@ func (ss *sharedScan) Gen() uint64 { return ss.t.reoptGen.Load() }
 
 // KNN begins one resumable k-NN query charged to s.
 func (ss *sharedScan) KNN(s *store.Session, q vec.Point, k int) index.Cursor {
+	return ss.KNNApprox(s, q, k, index.Approx{})
+}
+
+// KNNApprox begins one resumable k-NN query under the given
+// approximation knob: the cursor drives the same probability-bounded
+// state machine as Tree.KNNApprox, so once the knob's stopping rule
+// fires it drains its candidate refinements and stops wanting pages. A
+// zero (or MinRecall = 1) knob is bit-identical to KNN.
+func (ss *sharedScan) KNNApprox(s *store.Session, q vec.Point, k int, ap index.Approx) index.Cursor {
 	t := ss.t
 	c := &knnCursor{t: t, s: s, pending: -1}
 	t.world.RLock()
@@ -76,7 +86,7 @@ func (ss *sharedScan) KNN(s *store.Session, q vec.Point, k int) index.Cursor {
 		c.done = true
 		return c
 	}
-	c.st = scratchFor(s).beginSearch(t, sn, s, q, k, obs.TraceFrom(s.Observer()))
+	c.st = scratchFor(s).beginSearch(t, sn, s, q, k, obs.TraceFrom(s.Observer()), ap)
 	return c
 }
 
@@ -267,7 +277,10 @@ func (c *knnCursor) Deliver(pg *index.SharedPage, shared bool) bool {
 	relevant := e >= 0 && !st.sn.free[e] && !st.processed[e]
 	if !shared {
 		// Leader accounting matches the share-nothing batch loop: every
-		// transferred page is counted, irrelevant ones as pruned.
+		// transferred page is counted, irrelevant ones as pruned — and
+		// every transferred page consumes the approximate-mode fetch
+		// budget, exactly like the batch loop's over-reads.
+		st.fetched++
 		st.tr.AddPages(1)
 	}
 	if !relevant {

@@ -76,6 +76,18 @@ type Query struct {
 	Window vec.MBR   // Window bounds
 	Trace  bool      // collect a per-query plan trace (costs extra allocation)
 
+	// MinRecall and MaxCost arm approximate KNN execution (KNN-only; at
+	// most one may be set, and both are "unset" at zero). MinRecall ∈
+	// (0,1] is the target expected recall: the index stops fetching pages
+	// once the modeled probability that any unfetched page still improves
+	// the top-k drops below ε = 1 − MinRecall. MinRecall = 1 is armed but
+	// bit-identical to exact execution. MaxCost > 0 is a hard budget on
+	// quantized pages transferred (checked at fetch boundaries, so a
+	// batched read may overshoot by its over-read tail). On indexes
+	// without approximate support the query runs exact.
+	MinRecall float64
+	MaxCost   int
+
 	// Ctx, when non-nil, bounds the query: a done context fails the
 	// query with an error wrapping ErrCanceled — checked while waiting
 	// for queue space and again at every page-fetch boundary inside the
@@ -88,6 +100,18 @@ type Query struct {
 // validates every query, so malformed work fails typed at the door
 // instead of surfacing as an index panic or a silent empty result.
 func (q Query) Validate() error {
+	if q.MinRecall < 0 || q.MinRecall > 1 || q.MinRecall != q.MinRecall {
+		return fmt.Errorf("%w: min recall %v outside [0, 1]", ErrInvalidQuery, q.MinRecall)
+	}
+	if q.MaxCost < 0 {
+		return fmt.Errorf("%w: negative max cost %d", ErrInvalidQuery, q.MaxCost)
+	}
+	if q.MinRecall > 0 && q.MaxCost > 0 {
+		return fmt.Errorf("%w: min recall and max cost are mutually exclusive", ErrInvalidQuery)
+	}
+	if q.Kind != KNN && (q.MinRecall > 0 || q.MaxCost > 0) {
+		return fmt.Errorf("%w: approximate knobs on a %s query", ErrInvalidQuery, q.Kind)
+	}
 	switch q.Kind {
 	case KNN:
 		if q.Point == nil {
@@ -117,6 +141,11 @@ func (q Query) Validate() error {
 		return fmt.Errorf("%w: unknown kind %d", ErrInvalidQuery, int(q.Kind))
 	}
 	return nil
+}
+
+// approx returns the query's approximate-execution knob in index form.
+func (q Query) approx() index.Approx {
+	return index.Approx{MinRecall: q.MinRecall, MaxCost: q.MaxCost}
 }
 
 // Result is the outcome of one Query.
@@ -176,6 +205,7 @@ type Engine struct {
 	panics     *obs.Counter
 	sheds      *obs.Counter
 	cancels    *obs.Counter
+	approxQs   *obs.Counter
 	simLat     *obs.Histogram
 	wallLat    *obs.Histogram
 
@@ -269,6 +299,7 @@ func New(sto *store.Store, idx index.Index, workers int, opts ...Option) *Engine
 	e.panics = e.reg.Counter("engine.panics")
 	e.sheds = e.reg.Counter("engine.sheds")
 	e.cancels = e.reg.Counter("engine.cancellations")
+	e.approxQs = e.reg.Counter("engine.approx.queries")
 	e.simLat = e.reg.Histogram("engine.sim_latency_seconds")
 	e.wallLat = e.reg.Histogram("engine.wall_latency_seconds")
 	e.sessions.New = func() any { return sto.NewSession() }
@@ -539,6 +570,15 @@ func (e *Engine) execute(s *store.Session, q Query, res *Result) (panicked bool)
 	}()
 	switch q.Kind {
 	case KNN:
+		if ap := q.approx(); ap.Enabled() {
+			e.approxQs.Inc()
+			if as, ok := e.idx.(index.ApproxSearcher); ok {
+				res.Neighbors, res.Err = as.KNNApprox(s, q.Point, q.K, ap)
+				break
+			}
+			// No approximate support: run exact, which trivially satisfies
+			// any recall target (the cost knob degrades to unbounded).
+		}
 		res.Neighbors, res.Err = e.idx.KNN(s, q.Point, q.K)
 	case Range:
 		res.Neighbors, res.Err = e.idx.RangeSearch(s, q.Point, q.Eps)

@@ -139,6 +139,14 @@ func (e *Engine) startShared(j job, lane int) *sharedQuery {
 func (e *Engine) newCursor(q Query, s *store.Session) index.Cursor {
 	switch q.Kind {
 	case KNN:
+		if ap := q.approx(); ap.Enabled() {
+			e.approxQs.Inc()
+			if as, ok := e.scan.(index.ApproxSharedScan); ok {
+				return as.KNNApprox(s, q.Point, q.K, ap)
+			}
+			// No approximate cursor support: run exact (same fallback as
+			// the share-nothing dispatch).
+		}
 		return e.scan.KNN(s, q.Point, q.K)
 	case Range:
 		return e.scan.Range(s, q.Point, q.Eps)
@@ -304,7 +312,7 @@ func (e *Engine) round(active []*sharedQuery) []*sharedQuery {
 					continue
 				}
 				miss *= 1 - sq.cur.AccessProb(pos)
-				if miss < 1e-6 {
+				if miss < pagesched.ProbFloor {
 					return 1
 				}
 			}

@@ -237,6 +237,13 @@ func TestEngineQueryValidation(t *testing.T) {
 		{Kind: Window, Window: vec.MBR{Lo: vec.Point{0, 0}, Hi: vec.Point{1}}},    // mismatched dims
 		{Kind: Window, Window: vec.MBR{Lo: vec.Point{1, 1}, Hi: vec.Point{0, 0}}}, // inverted
 		{Kind: Kind(99), Point: p, K: 1},                                          // unknown kind
+		{Kind: KNN, Point: p, K: 3, MinRecall: -0.1},                              // recall below [0, 1]
+		{Kind: KNN, Point: p, K: 3, MinRecall: 1.5},                               // recall above [0, 1]
+		{Kind: KNN, Point: p, K: 3, MinRecall: math.NaN()},                        // recall NaN
+		{Kind: KNN, Point: p, K: 3, MaxCost: -1},                                  // negative budget
+		{Kind: KNN, Point: p, K: 3, MinRecall: 0.9, MaxCost: 5},                   // both knobs at once
+		{Kind: Range, Point: p, Eps: 0.1, MinRecall: 0.9},                         // approx knob on non-KNN
+		{Kind: Window, Window: vec.MBR{Lo: p, Hi: p}, MaxCost: 5},                 // approx knob on non-KNN
 	}
 	for i, q := range bad {
 		res := e.Submit(q)
@@ -244,8 +251,16 @@ func TestEngineQueryValidation(t *testing.T) {
 			t.Fatalf("bad query %d: err %v, want ErrInvalidQuery", i, res.Err)
 		}
 	}
-	if res := e.Submit(Query{Kind: KNN, Point: p, K: 3}); res.Err != nil {
-		t.Fatalf("valid query rejected: %v", res.Err)
+	good := []Query{
+		{Kind: KNN, Point: p, K: 3},
+		{Kind: KNN, Point: p, K: 3, MinRecall: 0.9}, // recall knob alone
+		{Kind: KNN, Point: p, K: 3, MinRecall: 1},   // exact-degenerate knob
+		{Kind: KNN, Point: p, K: 3, MaxCost: 5},     // budget knob alone
+	}
+	for i, q := range good {
+		if res := e.Submit(q); res.Err != nil {
+			t.Fatalf("valid query %d rejected: %v", i, res.Err)
+		}
 	}
 }
 

@@ -113,3 +113,15 @@ type SharedScanner interface {
 	Index
 	NewSharedScan() SharedScan
 }
+
+// ApproxSharedScan is implemented by shared scans whose KNN cursors can
+// execute under an Approx knob: the cursor stops wanting pages once the
+// knob's termination rule fires, exactly like the share-nothing
+// KNNApprox path. Coordinators fall back to the exact KNN cursor for
+// scans without it.
+type ApproxSharedScan interface {
+	SharedScan
+	// KNNApprox begins one resumable approximate k-NN query charged to
+	// s. A zero (or MinRecall = 1) knob is bit-identical to KNN.
+	KNNApprox(s *store.Session, q vec.Point, k int, ap Approx) Cursor
+}

@@ -89,6 +89,20 @@ type QueryTrace struct {
 	// are excluded from Totals — keeping trace totals equal to the
 	// session's Stats in shared mode too.
 	SharedPages int
+	// SkippedPages counts pending pages the approximate execution mode
+	// left unfetched after its stopping rule fired (0 for exact queries).
+	// Skipped pages charge nothing — they are exactly the reads that were
+	// not performed — so they are excluded from Totals and trace totals
+	// still equal the session's Stats.
+	SkippedPages int
+	// TermProb is the estimated probability, recorded when the
+	// approximate stopping rule fired, that some skipped page could still
+	// have improved the result: the value that dropped below ε, or the
+	// remaining-improvement estimate at a budget stop. Meaningful only
+	// when Terminated is set (a probability of 0 is legitimate).
+	TermProb float64
+	// Terminated reports that the approximate stopping rule fired.
+	Terminated bool
 
 	// SeekCost and XferCost are the per-seek and per-block simulated
 	// costs used to render counter sums as seconds (set by SetCosts).
@@ -245,6 +259,25 @@ func (t *QueryTrace) AddShared(n int) {
 	t.SharedPages += n
 }
 
+// AddSkipped counts n pending pages left unfetched by the approximate
+// stopping rule. Nil-safe.
+func (t *QueryTrace) AddSkipped(n int) {
+	if t == nil {
+		return
+	}
+	t.SkippedPages += n
+}
+
+// NoteTermination records that the approximate stopping rule fired, with
+// the remaining-improvement probability it observed. Nil-safe.
+func (t *QueryTrace) NoteTermination(prob float64) {
+	if t == nil {
+		return
+	}
+	t.Terminated = true
+	t.TermProb = prob
+}
+
 // Degraded reports whether the traced query paid any degraded reads.
 func (t *QueryTrace) Degraded() bool { return t != nil && t.DegradedReads > 0 }
 
@@ -370,6 +403,10 @@ func (t *QueryTrace) Format() string {
 	if t.SharedPages > 0 {
 		fmt.Fprintf(&b, "  scan sharing: %d pages (%d blocks) delivered by other queries' fetches (zero cost here)\n",
 			t.SharedPages, t.SharedBlocks())
+	}
+	if t.Terminated {
+		fmt.Fprintf(&b, "  APPROX: terminated early, %d pages skipped, remaining improvement probability %.2e\n",
+			t.SkippedPages, t.TermProb)
 	}
 	return b.String()
 }

@@ -1,0 +1,144 @@
+package pagesched
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/vec"
+)
+
+// randRegions generates competitor regions around q with consistent
+// MinDist values for the given metric.
+func randRegions(r *rand.Rand, q vec.Point, met vec.Metric, n int) []Region {
+	d := len(q)
+	regions := make([]Region, 0, n)
+	for i := 0; i < n; i++ {
+		lo := make(vec.Point, d)
+		hi := make(vec.Point, d)
+		for j := 0; j < d; j++ {
+			lo[j] = float32(r.Float64()*2 - 1)
+			hi[j] = lo[j] + float32(r.Float64()*0.6)
+		}
+		mbr := vec.MBR{Lo: lo, Hi: hi}
+		regions = append(regions, Region{
+			MBR:     mbr,
+			Count:   1 + r.Intn(80),
+			MinDist: mbr.MinDist(q, met),
+		})
+	}
+	return regions
+}
+
+// TestProbFloorResolution pins the exported floor and the saturation
+// behavior built on it: AccessProbability cuts to exactly 0 below the
+// floor, and ImproveProbability never resolves closer to 1 than
+// 1 − ProbFloor — the resolution limit of the approximate-search ε dial.
+func TestProbFloorResolution(t *testing.T) {
+	if ProbFloor != 1e-6 {
+		t.Fatalf("ProbFloor = %v, want 1e-6", ProbFloor)
+	}
+	q := vec.Point{0, 0}
+	// A region covering the whole b-sphere with many points drives the
+	// miss product below the floor.
+	huge := Region{
+		MBR:   vec.MBR{Lo: vec.Point{-2, -2}, Hi: vec.Point{2, 2}},
+		Count: 100000,
+	}
+	if p := AccessProbability(q, vec.Maximum, 1, []Region{huge}); p != 0 {
+		t.Fatalf("below-floor access probability should cut to 0, got %v", p)
+	}
+	var ps ProbScratch
+	if p := ps.ImproveProbability(q, vec.Maximum, 1, []Region{huge}, 1, 2); p != 1-ProbFloor {
+		t.Fatalf("improvement probability should saturate at 1-ProbFloor, got %v", p)
+	}
+}
+
+func TestImproveProbabilityBasics(t *testing.T) {
+	var ps ProbScratch
+	q := vec.Point{0, 0}
+	some := []Region{{
+		MBR:     vec.MBR{Lo: vec.Point{-1, -1}, Hi: vec.Point{1, 1}},
+		Count:   10,
+		MinDist: 0,
+	}}
+	// Non-positive radius or no regions: nothing can improve.
+	if p := ps.ImproveProbability(q, vec.Euclidean, 0, some, 1, 2); p != 0 {
+		t.Fatalf("zero radius: %v", p)
+	}
+	if p := ps.ImproveProbability(q, vec.Euclidean, 1, nil, 1, 2); p != 0 {
+		t.Fatalf("no regions: %v", p)
+	}
+	// A region entirely beyond the radius contributes nothing.
+	far := []Region{{
+		MBR:     vec.MBR{Lo: vec.Point{5, 5}, Hi: vec.Point{6, 6}},
+		Count:   10000,
+		MinDist: 5,
+	}}
+	if p := ps.ImproveProbability(q, vec.Euclidean, 1, far, 1, 2); p != 0 {
+		t.Fatalf("far region: %v", p)
+	}
+	// The early-exit variant is an admissible lower bound: once the
+	// returned value reaches cut, the full evaluation would too.
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		qd := make(vec.Point, 3)
+		for j := range qd {
+			qd[j] = float32(r.Float64()*2 - 1)
+		}
+		regions := randRegions(r, qd, vec.Euclidean, 1+r.Intn(8))
+		radius := 0.1 + r.Float64()
+		cut := r.Float64()
+		var a, b ProbScratch
+		early := a.ImproveProbability(qd, vec.Euclidean, radius, regions, 1, cut)
+		full := b.ImproveProbability(qd, vec.Euclidean, radius, regions, 1, 2)
+		if early >= cut && full < cut-1e-12 {
+			t.Fatalf("early exit claimed %v >= cut %v but full value is %v", early, cut, full)
+		}
+		if early < cut && early != full {
+			t.Fatalf("no early exit but values differ: %v vs %v", early, full)
+		}
+	}
+}
+
+// Property: both probability estimates are monotone in the radius — the
+// access probability is non-increasing in r (a larger b-sphere meets
+// more competing mass), the improvement probability is non-decreasing in
+// r (a larger prune sphere can only intersect more remaining volume).
+func TestProbabilitiesMonotoneInRadius(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for _, met := range []vec.Metric{vec.Euclidean, vec.Maximum} {
+		for trial := 0; trial < 200; trial++ {
+			d := 1 + r.Intn(6)
+			q := make(vec.Point, d)
+			for j := range q {
+				q[j] = float32(r.Float64()*2 - 1)
+			}
+			regions := randRegions(r, q, met, 1+r.Intn(6))
+			var ps ProbScratch
+			prevAccess, prevImprove := 1.0, 0.0
+			for radius := 0.05; radius < 3.0; radius += 0.05 {
+				pa := ps.AccessProbability(q, met, radius, regions)
+				if pa < 0 || pa > 1 {
+					t.Fatalf("access probability out of range: %v", pa)
+				}
+				if pa > prevAccess+1e-9 {
+					t.Fatalf("%v: access probability increased in r: %v > %v at r=%v", met, pa, prevAccess, radius)
+				}
+				prevAccess = pa
+				pi := ps.ImproveProbability(q, met, radius, regions, 1, 2)
+				if pi < 0 || pi > 1 {
+					t.Fatalf("improvement probability out of range: %v", pi)
+				}
+				if pi < prevImprove-1e-9 {
+					t.Fatalf("%v: improvement probability decreased in r: %v < %v at r=%v", met, pi, prevImprove, radius)
+				}
+				prevImprove = pi
+				// Normalizing over more slots can only shrink the per-slot
+				// probability.
+				if pk := ps.ImproveProbability(q, met, radius, regions, 10, 2); pk > pi+1e-9 {
+					t.Fatalf("%v: per-slot probability %v exceeds any-point probability %v", met, pk, pi)
+				}
+			}
+		}
+	}
+}

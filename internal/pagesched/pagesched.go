@@ -78,12 +78,22 @@ type Region struct {
 	MinDist float64 // MINDIST from the query point
 }
 
+// ProbFloor is the resolution limit of the probability model: products of
+// per-region miss probabilities are cut off once they drop below it, so
+// no estimate this package produces distinguishes probabilities closer to
+// 0 (or, for the complementary improvement estimate, closer to 1) than
+// ProbFloor. It is therefore also the resolution limit of the approximate
+// search ε dial built on these estimates (see core's probability-bounded
+// termination): an ε at or below ProbFloor is indistinguishable from
+// exact execution.
+const ProbFloor = 1e-6
+
 // AccessProbability returns the probability that a page whose b-sphere has
 // radius r (its MINDIST from query q) must be accessed: the probability
 // that none of the higher-priority regions contains a point inside the
 // b-sphere (Eq. 2–5). `higher` must hold the still-unprocessed regions
 // with MinDist < r, closest first. The product is cut off once it drops
-// below 1e-6, and at most maxRegions competitors are examined (the
+// below ProbFloor, and at most maxRegions competitors are examined (the
 // closest regions dominate the product; the estimate only steers the I/O
 // batching heuristic). For the Euclidean metric the box∩sphere volume
 // uses the fast equal-volume-cube surrogate.
@@ -143,11 +153,107 @@ func (ps *ProbScratch) AccessProbability(q vec.Point, met vec.Metric, r float64,
 		frac := mathx.Clamp(vint/vol, 0, 1)
 		// P(no point of this region in the intersection) = (1-frac)^Count.
 		prob *= math.Pow(1-frac, float64(reg.Count))
-		if prob < 1e-6 {
+		if prob < ProbFloor {
 			return 0
 		}
 	}
 	return prob
+}
+
+// ImproveProbability estimates the probability that fetching the given
+// regions would still improve any single slot of a k-nearest-neighbor
+// result whose current kth distance is r. Under the paper's
+// uniformity-within-MBR model (Eq. 1–5) the joint miss probability —
+// no point of any region inside the b-sphere(q, r) — is
+//
+//	M = Π over regions of (1 − vol(MBR ∩ b-sphere(q,r)) / vol(MBR))^Count
+//
+// so the expected number of still-improving points is −ln M, and
+// distributing those over the result's slots (≥ 1) gives the per-slot
+// improvement probability
+//
+//	1 − M^(1/slots)
+//
+// which is the calibrated termination quantity of the approximate
+// search: stopping once it drops below ε bounds the expected fraction
+// of result slots an unfetched page could still change by ε, i.e. the
+// expected recall by 1 − ε. slots = 1 degenerates to the plain
+// any-point-improves probability 1 − M.
+//
+// Regions with MinDist ≥ r or Count ≤ 0 cannot contribute and are
+// skipped. The scan aborts early once the probability provably reaches
+// cut (the caller's decision threshold): the returned value is then ≥ cut
+// but not otherwise meaningful, which makes the common "cannot terminate
+// yet" case cheap. The miss product saturates at ProbFloor, so returned
+// probabilities never resolve closer to 1 than 1−ProbFloor^(1/slots).
+//
+// Unlike AccessProbability — which only ranks pages to steer the I/O
+// batching heuristic and can afford the equal-volume-cube surrogate —
+// this estimate gates result quality, so the Euclidean per-region
+// fraction comes from the central-limit squared-distance approximation
+// (mathx.BoxSphereContainFracEucl): the cube surrogate overestimates
+// thin high-dimensional box∩sphere lenses by orders of magnitude
+// (pinning the estimate near 1, a dead dial), while sample-based
+// integration collapses those same lenses to exactly 0 (premature
+// termination on clustered workloads).
+func (ps *ProbScratch) ImproveProbability(q vec.Point, met vec.Metric, r float64, regions []Region, slots, cut float64) float64 {
+	const maxRegions = 128
+	if r <= 0 || len(regions) == 0 {
+		return 0
+	}
+	if slots < 1 {
+		slots = 1
+	}
+	// miss <= missCut ⟺ 1 − miss^(1/slots) >= cut: the early-exit test in
+	// product space, precomputed once.
+	missCut := 0.0
+	if cut < 1 {
+		missCut = math.Pow(1-cut, slots)
+	}
+	if len(regions) > maxRegions {
+		regions = regions[:maxRegions]
+	}
+	eucl := met != vec.Maximum
+	d := len(q)
+	ps.qf = growF(ps.qf, d)
+	ps.lo = growF(ps.lo, d)
+	ps.hi = growF(ps.hi, d)
+	qf, lo, hi := ps.qf, ps.lo, ps.hi
+	for i, v := range q {
+		qf[i] = float64(v)
+	}
+	miss := 1.0
+	for _, reg := range regions {
+		if reg.MinDist >= r || reg.Count <= 0 {
+			continue
+		}
+		vol := 1.0
+		for i := 0; i < d; i++ {
+			lo[i] = float64(reg.MBR.Lo[i])
+			hi[i] = float64(reg.MBR.Hi[i])
+			side := hi[i] - lo[i]
+			if side <= 0 {
+				side = 1e-12
+				hi[i] = lo[i] + side
+			}
+			vol *= side
+		}
+		var frac float64
+		if eucl {
+			frac = mathx.Clamp(mathx.BoxSphereContainFracEucl(lo, hi, qf, r), 0, 1)
+		} else {
+			frac = mathx.Clamp(mathx.BoxSphereIntersectMax(lo, hi, qf, r)/vol, 0, 1)
+		}
+		miss *= math.Pow(1-frac, float64(reg.Count))
+		if miss < ProbFloor {
+			miss = ProbFloor
+			break
+		}
+		if miss <= missCut {
+			break
+		}
+	}
+	return 1 - math.Pow(miss, 1/slots)
 }
 
 func growF(s []float64, n int) []float64 {

@@ -245,6 +245,19 @@ type Index = index.Index
 // IndexStats is the cross-method physical summary every Index reports.
 type IndexStats = index.Stats
 
+// Approx is the approximate-KNN execution knob: MinRecall ∈ (0,1] sets a
+// target expected recall (the search stops once the modeled probability
+// that any unfetched page still improves the top-k drops below
+// ε = 1 − MinRecall), MaxCost > 0 sets a hard page-fetch budget. The
+// zero value (and MinRecall = 1) executes exactly. Set the same fields
+// on EngineQuery to run approximate queries through an Engine or a
+// shard coordinator.
+type Approx = index.Approx
+
+// ApproxSearcher is implemented by indexes supporting approximate KNN
+// (the IQ-tree). Indexes without it serve approximate queries exactly.
+type ApproxSearcher = index.ApproxSearcher
+
 // Engine is the parallel serving layer: a worker pool draining a query
 // queue against one Index, one pooled session per worker. Queries
 // observe consistent copy-on-write snapshots and never block updates.

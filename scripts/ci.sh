@@ -69,6 +69,15 @@ echo "== durable ingest gate =="
 go run ./cmd/iqbench -ingest default -scale 0.1 -queries 60 \
 	-ingest-out /tmp/iqbench_ingest_gate.json -gate
 
+echo "== approximate search gate =="
+# The probability-bounded recall/latency dial must earn its keep on the
+# high-dimensional workload: the MinRecall sweep a monotone Pareto
+# frontier, recall exactly 1.0 at the exact-degenerate setting (ε = 0),
+# and some setting reaching >= 1.5x the exact simulated QPS while
+# keeping measured recall >= 0.95.
+go run ./cmd/iqbench -approx default -queries 30 \
+	-approx-out /tmp/iqbench_approx_gate.json -gate
+
 echo "== chaos gate =="
 # Seeded fault-injection campaign: transient faults fully retried,
 # corruption fully quarantined and repaired (results identical to the
