@@ -49,19 +49,31 @@ type shardRow struct {
 	Mismatched int     `json:"mismatched"`
 }
 
-// shardChaos summarizes the replica-failover campaign: one replica's
-// directory corrupted at rest (bit flips beneath the checksum sidecars)
-// and another replica's engine killed mid-run. Lost counts queries that
-// returned an error; Mismatched counts answers that changed. Both must
-// be 0 — that is the availability claim.
+// shardChaos summarizes the self-healing replica campaign: one
+// replica's directory corrupted at rest (bit flips beneath the checksum
+// sidecars) and another replica's engine killed mid-batch, on a
+// Durable+SelfHeal fleet taking live writes throughout. Lost counts
+// queries that returned an error; Mismatched counts answers that
+// differed from an untouched twin fed the same writes. Both must be 0,
+// the fleet must converge back to all-Serving (both failed replicas
+// rebuilt from their siblings by WAL shipping), and MTTRSeconds — from
+// injection to all-Serving under load — must stay within the gate's
+// budget. That is the self-healing claim.
 type shardChaos struct {
-	Shards         int   `json:"shards"`
-	Replicas       int   `json:"replicas"`
-	Queries        int   `json:"queries"`
-	Lost           int   `json:"lost"`
-	Mismatched     int   `json:"mismatched"`
-	Failovers      int64 `json:"failovers"`
-	ReplicaRetries int64 `json:"replica_retries"`
+	Shards         int     `json:"shards"`
+	Replicas       int     `json:"replicas"`
+	Queries        int     `json:"queries"`
+	Writes         int     `json:"writes"`
+	Lost           int     `json:"lost"`
+	Mismatched     int     `json:"mismatched"`
+	Failovers      int64   `json:"failovers"`
+	ReplicaRetries int64   `json:"replica_retries"`
+	Drains         int64   `json:"drains"`
+	Probes         int64   `json:"probes"`
+	Readmissions   int64   `json:"readmissions"`
+	Rebuilds       int64   `json:"rebuilds"`
+	AllServing     bool    `json:"all_serving"`
+	MTTRSeconds    float64 `json:"mttr_seconds"`
 }
 
 // shardBatch builds the sweep workload: a KNN/range/window mix. Range
@@ -203,14 +215,16 @@ func runShard(spec string, replicas int, scale float64, queries int, seed int64,
 			sc, row.QPS, row.Speedup, row.Fanout, row.Mismatched)
 	}
 
-	chaos, err := runShardChaos(db, batch, baseline, shardCounts[len(shardCounts)-1], replicas, workers)
+	chaos, err := runShardChaos(db, batch, baseline, shardCounts[len(shardCounts)-1], replicas, workers, seed)
 	if err != nil {
 		return err
 	}
 	report.Chaos = *chaos
-	fmt.Printf("chaos: shards=%d replicas=%d queries=%d lost=%d mismatched=%d failovers=%d retries=%d\n",
-		chaos.Shards, chaos.Replicas, chaos.Queries, chaos.Lost, chaos.Mismatched,
+	fmt.Printf("chaos: shards=%d replicas=%d queries=%d writes=%d lost=%d mismatched=%d failovers=%d retries=%d\n",
+		chaos.Shards, chaos.Replicas, chaos.Queries, chaos.Writes, chaos.Lost, chaos.Mismatched,
 		chaos.Failovers, chaos.ReplicaRetries)
+	fmt.Printf("heal:  drains=%d probes=%d readmissions=%d rebuilds=%d all_serving=%v mttr=%.2fs\n",
+		chaos.Drains, chaos.Probes, chaos.Readmissions, chaos.Rebuilds, chaos.AllServing, chaos.MTTRSeconds)
 
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
@@ -227,57 +241,84 @@ func runShard(spec string, replicas int, scale float64, queries int, seed int64,
 	return nil
 }
 
-// runShardChaos runs the availability campaign: a replicated topology
-// serves the batch once healthy, then keeps serving it after one
-// replica's directory is corrupted at rest and another replica's engine
-// is killed. Every query must still answer, and every answer must match
-// the sweep baseline.
-func runShardChaos(db []vec.Point, batch []engine.Query, baseline [][]vec.Neighbor,
-	shards, replicas, workers int) (*shardChaos, error) {
-	if replicas < 2 {
-		fmt.Println("chaos: skipped (needs -replicas >= 2)")
-		return &shardChaos{Shards: shards, Replicas: replicas}, nil
-	}
-	reg := &obs.Registry{}
-	stores := make(map[[2]int]*store.Store)
-	c, err := shard.New(shard.Config{
+// chaosConfig builds the self-healing fleet configuration: WAL-mode
+// trees over checksummed stores, with the repairer tuned tight enough
+// that MTTR is dominated by the rebuild itself, not the probe cadence.
+func chaosConfig(shards, replicas, workers int, selfHeal bool, reg *obs.Registry,
+	stores map[[2]int]*store.Store) shard.Config {
+	return shard.Config{
 		Shards:   shards,
 		Replicas: replicas,
 		Workers:  workers,
+		Durable:  true,
+		SelfHeal: selfHeal,
+		Heal: shard.HealConfig{
+			Interval:     5 * time.Millisecond,
+			ProbeBackoff: 25 * time.Millisecond,
+		},
 		Registry: reg,
 		NewStore: func(si, ri int) (*store.Store, error) {
 			sto := store.NewSim(store.DefaultConfig())
 			if err := sto.EnableChecksums(); err != nil {
 				return nil, err
 			}
-			stores[[2]int{si, ri}] = sto
+			if stores != nil {
+				stores[[2]int{si, ri}] = sto
+			}
 			return sto, nil
 		},
-	}, db)
+	}
+}
+
+// runShardChaos runs the self-healing campaign: a Durable+SelfHeal
+// topology serves the batch once healthy, then one replica's directory
+// is corrupted at rest and another replica's engine is killed
+// mid-batch. Live writes keep landing while the repairer drains,
+// probes and rebuilds both victims from their siblings by WAL
+// shipping; every query must still answer, every answer must match an
+// untouched twin fed the same writes, and the fleet must converge back
+// to all-Serving. MTTR is the wall-clock from injection to the first
+// all-Serving observation under that load.
+func runShardChaos(db []vec.Point, batch []engine.Query, baseline [][]vec.Neighbor,
+	shards, replicas, workers int, seed int64) (*shardChaos, error) {
+	if replicas < 2 {
+		fmt.Println("chaos: skipped (needs -replicas >= 2)")
+		return &shardChaos{Shards: shards, Replicas: replicas}, nil
+	}
+	reg := &obs.Registry{}
+	stores := make(map[[2]int]*store.Store)
+	c, err := shard.New(chaosConfig(shards, replicas, workers, true, reg, stores), db)
 	if err != nil {
 		return nil, fmt.Errorf("chaos build: %w", err)
 	}
 	defer c.Close()
+	// The untouched twin is the truth for post-write rounds: same
+	// builds, same writes, no faults, no healing.
+	twin, err := shard.New(chaosConfig(shards, replicas, workers, false, &obs.Registry{}, nil), db)
+	if err != nil {
+		return nil, fmt.Errorf("chaos twin build: %w", err)
+	}
+	defer twin.Close()
 
 	chaos := &shardChaos{Shards: shards, Replicas: replicas}
-	verify := func(results []shard.Result) {
+	verify := func(results []shard.Result, want [][]vec.Neighbor) {
 		for i, res := range results {
 			chaos.Queries++
 			if res.Err != nil {
 				chaos.Lost++
 				continue
 			}
-			if !sameShardAnswer(canonicalNbs(batch[i].Kind, res.Neighbors), baseline[i]) {
+			if !sameShardAnswer(canonicalNbs(batch[i].Kind, res.Neighbors), want[i]) {
 				chaos.Mismatched++
 			}
 		}
 	}
-	// Round 1: healthy fleet.
-	verify(c.SubmitBatch(batch))
+	// Round 1: healthy fleet, answers must match the sweep baseline.
+	verify(c.SubmitBatch(batch), baseline)
 
 	// Inject: corrupt replica 0 of shard 0 at rest (flip a bit in every
 	// directory block straight on the backend, beneath the checksum
-	// sidecars) and kill replica 1 of the last shard.
+	// sidecars) and kill replica 1 of the last shard mid-batch.
 	sto := stores[[2]int{0, 0}]
 	bf := sto.Backend().Lookup(core.DirFileName)
 	if bf == nil {
@@ -294,21 +335,79 @@ func runShardChaos(db []vec.Point, batch []engine.Query, baseline [][]vec.Neighb
 			return nil, err
 		}
 	}
-	c.Engine(shards-1, 1).Close()
+	injected := time.Now()
+	killed := make(chan struct{})
+	go func() {
+		defer close(killed)
+		c.Engine(shards-1, 1).Close()
+	}()
+	verify(c.SubmitBatch(batch), baseline)
+	<-killed
 
-	// Rounds 2-3: the degraded fleet must not lose or change anything.
-	verify(c.SubmitBatch(batch))
-	verify(c.SubmitBatch(batch))
+	// Healing rounds: writes and queries keep flowing while both victims
+	// rebuild. The repairer needs query traffic to notice the corrupt
+	// replica (its engine is healthy; only real reads fail), so every
+	// round serves the batch and compares against the twin.
+	dim := len(db[0])
+	r := rand.New(rand.NewSource(seed + 2))
+	rebuildsC := reg.Counter("shard.heal.rebuilds")
+	deadline := injected.Add(120 * time.Second)
+	for {
+		extra := make([]vec.Point, 64)
+		for i := range extra {
+			p := make(vec.Point, dim)
+			for j := range p {
+				p[j] = r.Float32()
+			}
+			extra[i] = p
+		}
+		if _, err := c.Insert(extra); err != nil {
+			return nil, fmt.Errorf("chaos insert: %w", err)
+		}
+		if _, err := twin.Insert(extra); err != nil {
+			return nil, fmt.Errorf("chaos twin insert: %w", err)
+		}
+		chaos.Writes += len(extra)
+
+		tres := twin.SubmitBatch(batch)
+		want := make([][]vec.Neighbor, len(tres))
+		for i, res := range tres {
+			if res.Err != nil {
+				return nil, fmt.Errorf("chaos twin query %d: %w", i, res.Err)
+			}
+			want[i] = canonicalNbs(batch[i].Kind, res.Neighbors)
+		}
+		verify(c.SubmitBatch(batch), want)
+
+		if c.Healthy() && rebuildsC.Value() >= 2 {
+			chaos.MTTRSeconds = time.Since(injected).Seconds()
+			break
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+	}
+	chaos.AllServing = c.Healthy()
 
 	chaos.Failovers = reg.Counter("shard.failovers").Value()
 	chaos.ReplicaRetries = reg.Counter("shard.replica_retries").Value()
+	chaos.Drains = reg.Counter("shard.heal.drains").Value()
+	chaos.Probes = reg.Counter("shard.heal.probes").Value()
+	chaos.Readmissions = reg.Counter("shard.heal.readmissions").Value()
+	chaos.Rebuilds = rebuildsC.Value()
 	return chaos, nil
 }
 
+// shardMTTRBudget is the self-healing gate's recovery budget: from
+// injection (one replica corrupted, one killed) to all-Serving under
+// live reads and writes.
+const shardMTTRBudget = 30 * time.Second
+
 // checkShard enforces the scale-out acceptance thresholds: >= 3x
 // aggregate simulated QPS at 8 shards over 1 shard, no mismatched
-// answers anywhere in the sweep, and a chaos campaign with zero lost
-// and zero mismatched queries plus at least one recorded failover.
+// answers anywhere in the sweep, and a self-healing chaos campaign with
+// zero lost and zero mismatched queries, both failed replicas rebuilt,
+// the fleet back to all-Serving, and MTTR within budget.
 func checkShard(r shardReport) error {
 	var at1, at8 *shardRow
 	for i := range r.Rows {
@@ -337,8 +436,20 @@ func checkShard(r shardReport) error {
 		if r.Chaos.Failovers == 0 && r.Chaos.ReplicaRetries == 0 {
 			return fmt.Errorf("shard gate FAILED: chaos campaign recorded no failovers — nothing was exercised")
 		}
+		if !r.Chaos.AllServing {
+			return fmt.Errorf("shard gate FAILED: fleet never converged back to all-Serving")
+		}
+		if r.Chaos.Rebuilds < 2 {
+			return fmt.Errorf("shard gate FAILED: %d rebuilds recorded, want >= 2 (one corrupt, one killed)",
+				r.Chaos.Rebuilds)
+		}
+		if mttr := time.Duration(r.Chaos.MTTRSeconds * float64(time.Second)); mttr > shardMTTRBudget {
+			return fmt.Errorf("shard gate FAILED: MTTR %.2fs over the %s budget",
+				r.Chaos.MTTRSeconds, shardMTTRBudget)
+		}
 	}
-	fmt.Printf("shard gate OK: %.2fx at 8 shards, chaos %d queries, %d lost, %d mismatched, %d failovers\n",
-		at8.Speedup, r.Chaos.Queries, r.Chaos.Lost, r.Chaos.Mismatched, r.Chaos.Failovers)
+	fmt.Printf("shard gate OK: %.2fx at 8 shards, chaos %d queries, %d lost, %d mismatched, %d failovers, %d rebuilds, MTTR %.2fs\n",
+		at8.Speedup, r.Chaos.Queries, r.Chaos.Lost, r.Chaos.Mismatched, r.Chaos.Failovers,
+		r.Chaos.Rebuilds, r.Chaos.MTTRSeconds)
 	return nil
 }

@@ -32,6 +32,13 @@
 //	iqtool -dir /tmp/iq -wal
 //	iqtool -dir /tmp/iq -wal -wal-replay
 //
+// -shard-status demos the self-healing shard layer in-process: a small
+// replicated fleet takes writes, one replica is killed, and the tool
+// prints every replica lifecycle transition (state, WAL position, LSN
+// lag) until the repairer has rebuilt it from a sibling:
+//
+//	iqtool -shard-status -n 8000
+//
 // -cache attaches a shared LRU buffer pool (in bytes); cached blocks
 // cost no simulated I/O, and -explain reports the pool's hit rate.
 // -trace prints the full per-query plan: a per-level cost table
@@ -90,8 +97,13 @@ func run() (err error) {
 		durable  = flag.Bool("durable", false, "build in WAL mode: updates are logged and group-committed before acknowledgement")
 		walFlg   = flag.Bool("wal", false, "inspect the write-ahead and checkpoint logs in -dir (implies -store file)")
 		walRepl  = flag.Bool("wal-replay", false, "with -wal: force recovery — replay the log, truncate torn tails, checkpoint and compact")
+		shardSt  = flag.Bool("shard-status", false, "demo the self-healing replica lifecycle: build a small fleet, kill a replica, print per-replica state and WAL lag until it heals")
 	)
 	flag.Parse()
+
+	if *shardSt {
+		return runShardStatus(dataset.Name(*name), *seed, *n, *d)
+	}
 
 	if *walFlg {
 		*backend = "file"

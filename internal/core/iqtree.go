@@ -89,6 +89,12 @@ type Options struct {
 	// grows past this many blocks (0 = only explicit/maintenance
 	// checkpoints). Only meaningful with WAL.
 	WALCheckpointBlocks int
+	// AutoReoptimize drives incremental reoptimization from the write
+	// path: when a trigger fires (garbage ratio or quarantine pressure),
+	// each acknowledged mutation also advances the rebuild by one
+	// bounded step. The zero value disables it. A runtime knob — not
+	// persisted in the meta file. See autoreopt.go.
+	AutoReoptimize AutoReoptPolicy
 }
 
 // DefaultOptions returns the paper's full IQ-tree configuration.

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+
+	"repro/internal/store"
+)
+
+// Replica-shipping support (DESIGN.md §15): the LSN accessors the shard
+// repairer uses to measure a replica's catch-up lag, and the watermark
+// of a shipped-but-not-yet-opened directory.
+
+// WALEnabled reports whether the tree logs its mutations (Options.WAL) —
+// the precondition for WAL-shipping replica catch-up.
+func (t *Tree) WALEnabled() bool { return t.wal != nil }
+
+// AppliedLSN returns the LSN of the newest applied mutation (appends
+// happen inside the same critical section as the apply, so appended ==
+// applied), or 0 without WAL mode. This is the watermark a catching-up
+// replica must reach.
+func (t *Tree) AppliedLSN() uint64 {
+	if t.wal == nil {
+		return 0
+	}
+	return t.wal.AppendedLSN()
+}
+
+// DurableLSN returns the highest mutation LSN known durable, or 0
+// without WAL mode.
+func (t *Tree) DurableLSN() uint64 {
+	if t.wal == nil {
+		return 0
+	}
+	return t.wal.DurableLSN()
+}
+
+// RecoveredLSN reports the highest mutation LSN a WAL-mode tree
+// directory covers — the newest checkpoint watermark or the last
+// mutation-log record, whichever is higher — without opening the tree.
+// After a ShipAll this is the resume point for tail shipping; after the
+// tail catches up it is the LSN core.Open will recover to.
+func RecoveredLSN(sto *store.Store) (uint64, error) {
+	meta := sto.File(MetaFileName)
+	if meta == nil || meta.Blocks() == 0 {
+		return 0, errors.New("core: no IQ-tree meta on this store")
+	}
+	buf, err := meta.ReadRaw(0, 1)
+	if err != nil {
+		return 0, err
+	}
+	if binary.LittleEndian.Uint32(buf[0:]) != metaMagic {
+		return 0, errors.New("core: bad meta magic")
+	}
+	dim := int(binary.LittleEndian.Uint32(buf[8:]))
+	backend := sto.Backend()
+	var max uint64
+	for _, name := range backend.Names() {
+		if !store.IsWALFile(name) {
+			continue
+		}
+		if _, ok := genOfName(CkptBaseName, name[:len(name)-len(store.WALSuffix)]); !ok {
+			continue
+		}
+		_, recs, err := store.InspectWAL(backend, name)
+		if err != nil {
+			return 0, err
+		}
+		for i := len(recs) - 1; i >= 0; i-- {
+			c, err := decodeCheckpoint(recs[i].Payload, dim)
+			if err != nil {
+				continue
+			}
+			if c.lsn > max {
+				max = c.lsn
+			}
+			break
+		}
+	}
+	info, _, err := store.InspectWAL(backend, WALFileName)
+	if err != nil {
+		return 0, err
+	}
+	if info.LastLSN > max {
+		max = info.LastLSN
+	}
+	return max, nil
+}

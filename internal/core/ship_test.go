@@ -1,0 +1,137 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/store"
+)
+
+// Shipping tests at the tree level: a Shipper copy of a live WAL-mode
+// tree's directory, opened through the normal recovery path, must
+// reproduce the source bit-identically — the same contract as
+// kill-and-recover, with the "crash image" transported to another
+// backend instead of reopened in place.
+
+// shipTree runs a full ShipAll from the tree's backend onto a fresh sim
+// backend and returns the destination backend with the report.
+func shipTree(t *testing.T, tr *Tree) (store.BlockStore, store.ShipReport) {
+	t.Helper()
+	dst := store.NewSimStore(store.DefaultConfig())
+	sh := &store.Shipper{Src: tr.sto.Backend(), Dst: dst, TailWAL: WALFileName}
+	rep, err := sh.ShipAll()
+	if err != nil {
+		t.Fatalf("ShipAll: %v", err)
+	}
+	return dst, rep
+}
+
+// TestShipCheckpointOnlyFreshReplica: a freshly checkpointed source has
+// an empty mutation log, so the ship is checkpoint-only — zero records —
+// and the destination still opens to an identical tree (the shipped
+// checkpoint is the whole state).
+func TestShipCheckpointOnlyFreshReplica(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	base := randPoints(r, 400, 8)
+	extra := randPoints(r, 120, 8)
+	live := buildWALTree(t, base, walTestOptions())
+	twin := buildWALTree(t, base, walTestOptions())
+	applyInsertDeleteMix(t, []*Tree{live, twin}, base, extra)
+	if err := live.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+
+	dst, rep := shipTree(t, live)
+	// Records counts checkpoint-log frames too; LastLSN is reported for
+	// the mutation log only, and a freshly checkpointed source has none.
+	if rep.LastLSN != 0 {
+		t.Fatalf("checkpoint-only ship carried mutation records to LSN %d", rep.LastLSN)
+	}
+	dstStore := store.Wrap(dst)
+	lsn, err := RecoveredLSN(dstStore)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn != live.AppliedLSN() {
+		t.Fatalf("shipped watermark %d, source applied %d", lsn, live.AppliedLSN())
+	}
+
+	rec, err := Open(dstStore)
+	if err != nil {
+		t.Fatalf("open shipped replica: %v", err)
+	}
+	if err := rec.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	assertTreesEqual(t, rec, twin, randPoints(r, 10, 8))
+}
+
+// TestShipAcrossGenerationSwap: the source reoptimizes (generation 0 →
+// 1, fresh checkpoint log, mutation log reset) and keeps mutating; a
+// full ship plus a tail ship must land the destination on the same
+// generation and the same bytes as a never-shipped twin.
+func TestShipAcrossGenerationSwap(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	base := randPoints(r, 400, 8)
+	extra := randPoints(r, 120, 8)
+	live := buildWALTree(t, base, walTestOptions())
+	twin := buildWALTree(t, base, walTestOptions())
+	applyInsertDeleteMix(t, []*Tree{live, twin}, base, extra)
+	for _, tr := range []*Tree{live, twin} {
+		if err := tr.Reoptimize(); err != nil {
+			t.Fatal(err)
+		}
+		if tr.gen != 1 {
+			t.Fatalf("expected generation 1 after reoptimize, got %d", tr.gen)
+		}
+	}
+	// Post-swap mutations land in the fresh (generation 1) WAL.
+	tail1 := randPoints(r, 40, 8)
+	for _, tr := range []*Tree{live, twin} {
+		s := tr.sto.NewSession()
+		for i, p := range tail1 {
+			if err := tr.Insert(s, p, uint32(300000+i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	dst, _ := shipTree(t, live)
+	dstStore := store.Wrap(dst)
+	baseLSN, err := RecoveredLSN(dstStore)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The source keeps moving after the full copy; the destination
+	// catches up by tail alone.
+	tail2 := randPoints(r, 40, 8)
+	for _, tr := range []*Tree{live, twin} {
+		s := tr.sto.NewSession()
+		for i, p := range tail2 {
+			if err := tr.Insert(s, p, uint32(400000+i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	sh := &store.Shipper{Src: live.sto.Backend(), Dst: dst, TailWAL: WALFileName}
+	rep, err := sh.ShipTail(WALFileName, baseLSN)
+	if err != nil {
+		t.Fatalf("ShipTail: %v", err)
+	}
+	if rep.LastLSN != live.AppliedLSN() {
+		t.Fatalf("tail shipped to LSN %d, source applied %d", rep.LastLSN, live.AppliedLSN())
+	}
+
+	rec, err := Open(store.Wrap(dst))
+	if err != nil {
+		t.Fatalf("open shipped replica: %v", err)
+	}
+	if err := rec.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if rec.gen != 1 {
+		t.Fatalf("shipped replica recovered generation %d, want 1", rec.gen)
+	}
+	assertTreesEqual(t, rec, twin, randPoints(r, 10, 8))
+}

@@ -40,7 +40,10 @@ func (t *Tree) Insert(s *store.Session, p vec.Point, id uint32) error {
 	if err != nil {
 		return err
 	}
-	return t.commitDurable(lsn)
+	if err := t.commitDurable(lsn); err != nil {
+		return err
+	}
+	return t.autoReoptimize(s)
 }
 
 // InsertBatch adds many points at once, grouping them by target page so
@@ -68,7 +71,10 @@ func (t *Tree) InsertBatch(s *store.Session, pts []vec.Point, ids []uint32) erro
 	if err != nil {
 		return err
 	}
-	return t.commitDurable(lsn)
+	if err := t.commitDurable(lsn); err != nil {
+		return err
+	}
+	return t.autoReoptimize(s)
 }
 
 // runMutation applies one logical mutation under the writer locks and
@@ -266,7 +272,10 @@ func (t *Tree) Delete(s *store.Session, p vec.Point, id uint32) (found bool, err
 	if err != nil || !found {
 		return found, err
 	}
-	return true, t.commitDurable(lsn)
+	if err := t.commitDurable(lsn); err != nil {
+		return true, err
+	}
+	return true, t.autoReoptimize(s)
 }
 
 // applyDelete mutates sn in place: remove the first (id, coordinates)

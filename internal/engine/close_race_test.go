@@ -1,0 +1,95 @@
+package engine
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/store"
+	"repro/internal/vec"
+)
+
+// waitUntil polls cond until it holds or the deadline expires.
+func waitUntil(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestEngineClosingVisibleDuringClose is the regression test for the
+// health/close race: Close can block for up to the queue wait behind a
+// submission that holds the closeMu read lock while waiting for queue
+// space, and during that window the engine used to report Ready — a
+// routing layer polling Health would keep sending work to a replica
+// already committed to dying. Close must become visible atomically the
+// moment it starts: Health not Ready, submissions failing ErrClosed.
+func TestEngineClosingVisibleDuringClose(t *testing.T) {
+	sto := store.NewSim(store.DefaultConfig())
+	release := make(chan struct{})
+	entered := make(chan struct{}, 16)
+	idx := &stubIndex{fn: func(s *store.Session) {
+		entered <- struct{}{}
+		<-release
+	}}
+	// One worker, queue capacity 4, and a queue wait long enough that the
+	// pre-fix window (Close stuck behind the waiter's read lock) would be
+	// reliably observable.
+	e := New(sto, idx, 1, WithQueueWait(5*time.Second))
+
+	// Wedge the engine: one query inside the index, four filling the
+	// queue, and a sixth holding the read lock while it waits for space.
+	var wg sync.WaitGroup
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			e.Submit(Query{Kind: KNN, Point: vec.Point{0, 0}, K: 1})
+		}()
+	}
+	<-entered // the worker is parked inside the index
+	waitUntil(t, "queue full plus one waiter", func() bool {
+		return e.Health().QueueDepth == 5
+	})
+
+	closeDone := make(chan struct{})
+	go func() {
+		e.Close()
+		close(closeDone)
+	}()
+	waitUntil(t, "close start visible", func() bool {
+		return e.Health().Closing
+	})
+
+	// Close has started but cannot have finished (the worker is still
+	// parked): the snapshot must already say not-Ready...
+	h := e.Health()
+	if h.Ready() {
+		t.Fatalf("engine reports Ready while Close is draining: %+v", h)
+	}
+	if h.Closed {
+		t.Fatalf("drain cannot have completed with the worker parked: %+v", h)
+	}
+	// ...and a new submission must fail typed immediately, not stall
+	// behind the drain for the full queue wait.
+	start := time.Now()
+	res := e.Submit(Query{Kind: KNN, Point: vec.Point{0, 0}, K: 1})
+	if !errors.Is(res.Err, ErrClosed) {
+		t.Fatalf("submit during close: err = %v, want ErrClosed", res.Err)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("submit during close took %v, want immediate rejection", d)
+	}
+
+	close(release)
+	wg.Wait()
+	<-closeDone
+	if h := e.Health(); !h.Closed || h.Ready() {
+		t.Fatalf("post-close health %+v", h)
+	}
+}

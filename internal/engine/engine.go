@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/index"
@@ -177,7 +178,15 @@ type Engine struct {
 	// on the closed channel is impossible — any enqueue that observed
 	// closed=false finishes its send before Close can proceed.
 	closeMu sync.RWMutex
-	closed  bool
+	closed  atomic.Bool
+	// closing flips before Close takes the write lock, so a health poll
+	// never reports a replica ready while Close is already committed but
+	// still blocked behind in-flight enqueues or the drain (the write
+	// lock can be held out for up to the queue wait). Both flags are
+	// atomics read outside closeMu: Health must stay non-blocking while
+	// a closer waits out a slow enqueue, and enqueues racing Close fail
+	// fast with ErrClosed instead of stalling behind the pending writer.
+	closing atomic.Bool
 
 	busyMu sync.Mutex
 	busy   []float64 // per-lane summed simulated busy seconds
@@ -353,6 +362,7 @@ func (e *Engine) Sharing() bool { return e.scan != nil }
 // that answers badly.
 type Health struct {
 	Closed     bool  // Close was called; every submission fails ErrClosed
+	Closing    bool  // Close has started (set before the drain begins)
 	Sharing    bool  // scan-sharing coordinator instead of the worker pool
 	Workers    int   // pool size (parallel lanes in sharing mode)
 	QueueDepth int64 // jobs currently queued or waiting for queue space
@@ -364,18 +374,20 @@ type Health struct {
 }
 
 // Ready reports whether the engine can accept queries at all. A ready
-// engine may still shed under load; Closed is the only permanent state.
-func (h Health) Ready() bool { return !h.Closed }
+// engine may still shed under load; Closed (and its precursor Closing —
+// Close never un-happens) are the only permanent states.
+func (h Health) Ready() bool { return !h.Closed && !h.Closing }
 
 // Health returns the engine's current readiness snapshot. The counter
 // fields are individually consistent atomic reads, not one cut across
 // all of them — routing decisions tolerate that.
 func (e *Engine) Health() Health {
-	e.closeMu.RLock()
-	closed := e.closed
-	e.closeMu.RUnlock()
+	// Both flags are read outside closeMu on purpose: a health poll must
+	// not block (or report stale readiness) while Close waits for the
+	// write lock behind a slow enqueue's read lock.
 	return Health{
-		Closed:     closed,
+		Closed:     e.closed.Load(),
+		Closing:    e.closing.Load(),
 		Sharing:    e.Sharing(),
 		Workers:    e.workers,
 		QueueDepth: e.queueDepth.Value(),
@@ -433,9 +445,16 @@ func (e *Engine) enqueue(j job) error {
 	if err := j.q.Validate(); err != nil {
 		return err
 	}
+	// Fast path: once Close has started, fail before touching closeMu —
+	// a writer waiting for the lock blocks new readers, so without this
+	// check a submission racing Close would stall behind the drain
+	// instead of failing typed.
+	if e.closing.Load() {
+		return ErrClosed
+	}
 	e.closeMu.RLock()
 	defer e.closeMu.RUnlock()
-	if e.closed {
+	if e.closed.Load() || e.closing.Load() {
 		return ErrClosed
 	}
 	var ctxDone <-chan struct{}
@@ -490,12 +509,13 @@ func (e *Engine) abandon(j job, canceled bool) error {
 // workers. Queries submitted after Close fail with ErrClosed; Close is
 // idempotent.
 func (e *Engine) Close() {
+	e.closing.Store(true)
 	e.closeMu.Lock()
-	if e.closed {
+	if e.closed.Load() {
 		e.closeMu.Unlock()
 		return
 	}
-	e.closed = true
+	e.closed.Store(true)
 	e.closeMu.Unlock()
 	close(e.queue)
 	if e.writeQueue != nil {

@@ -129,9 +129,12 @@ func (e *Engine) enqueueWrite(j writeJob) error {
 	if err := j.w.Validate(); err != nil {
 		return err
 	}
+	if e.closing.Load() { // see enqueue: fail fast once Close has started
+		return ErrClosed
+	}
 	e.closeMu.RLock()
 	defer e.closeMu.RUnlock()
-	if e.closed {
+	if e.closed.Load() || e.closing.Load() {
 		return ErrClosed
 	}
 	var ctxDone <-chan struct{}

@@ -127,7 +127,7 @@ func victimStore(t *testing.T, c *Coordinator, shard, rep int) *store.Store {
 	if shard >= len(c.shards) || rep >= len(c.shards[shard].reps) {
 		t.Fatalf("no replica %d/%d", shard, rep)
 	}
-	return c.shards[shard].reps[rep].sto
+	return c.shards[shard].reps[rep].stack().sto
 }
 
 // TestShardChaosFaultStoreTransients slots a seeded FaultStore under

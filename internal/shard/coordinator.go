@@ -66,6 +66,16 @@ type Config struct {
 	// and capped at 100x (default 100us). It spaces retries of an
 	// overloaded replica without stalling corrupt-replica failover.
 	Backoff time.Duration
+	// Durable makes the default Build construct WAL-mode trees — the
+	// precondition for WAL-shipping replica rebuild and for Insert being
+	// acknowledged durably. A custom Build decides for itself.
+	Durable bool
+	// SelfHeal starts the repairer: failed replicas are drained, probed,
+	// rebuilt from a healthy peer and readmitted instead of PR 7's
+	// permanent drain. See heal.go and DESIGN.md §15.
+	SelfHeal bool
+	// Heal tunes the repairer (zero fields take defaults, see HealConfig).
+	Heal HealConfig
 }
 
 // Result is the outcome of one coordinated query.
@@ -95,24 +105,63 @@ type Result struct {
 	Shards []engine.Result
 }
 
-// replica is one independently built copy of a shard.
-type replica struct {
+// stack is one replica's serving machinery. Rebuild replaces the whole
+// stack atomically: queries racing the swap land on either the old or
+// the new one whole, never a mix, and the old engine drains its
+// in-flight queries before it is closed.
+type stack struct {
 	sto *store.Store
 	idx index.Index
 	eng *engine.Engine
+}
+
+// replica is one independently built copy of a shard.
+type replica struct {
+	shard, id int
+	st        atomic.Pointer[stack]
+	// state is the replica lifecycle (ReplicaState, see heal.go):
+	// Serving → Draining → Rebuilding → CatchingUp → Serving. Without
+	// SelfHeal a replica stays Serving forever and only engine health
+	// gates routing, preserving PR 7 behavior.
+	state atomic.Int32
 	// fails counts consecutive failed attempts; any success resets it.
 	// Replicas with strictly more consecutive failures than a sibling
 	// are deprioritized, so traffic drains away from a broken replica
 	// after its first failure instead of re-probing it every query.
 	fails atomic.Int32
+
+	// Repairer bookkeeping (heal.go). drainedSeq snapshots the shard's
+	// writeSeq at drain time: probe readmission is only legal when no
+	// write has landed since (the drained replica skipped them).
+	drainedSeq atomic.Uint64
+	drainedAt  atomic.Int64 // unix nanos of the drain, for MTTR
+	probeFails int          // owned by the repairer goroutine
+	nextProbe  time.Time    // owned by the repairer goroutine
 }
+
+// stack returns the replica's current serving stack.
+func (r *replica) stack() *stack { return r.st.Load() }
 
 // shardState is one partition: its global ID mapping and its replicas.
 type shardState struct {
-	gids []uint32 // local ID (position in the build slice) -> global ID
+	// gids maps local ID (position in the build slice, extended by
+	// Insert) to global ID. Behind an atomic pointer so the merge path
+	// reads it lock-free while Insert grows it copy-on-write.
+	gids atomic.Pointer[[]uint32]
 	reps []*replica
 	rr   atomic.Uint32 // rotates the preferred replica for load spread
+
+	// writeMu serializes the shard's writes and the rebuild critical
+	// sections (full copy, final tail, stack swap): holding it makes
+	// every replica's files quiescent, which is what lets ShipAll copy a
+	// live peer consistently. writeSeq counts applied write batches —
+	// the staleness witness for probe readmission.
+	writeMu  sync.Mutex
+	writeSeq atomic.Uint64
 }
+
+// ids returns the shard's current local→global ID mapping.
+func (sh *shardState) ids() []uint32 { return *sh.gids.Load() }
 
 // Coordinator scatter-gathers queries across shards with per-shard
 // replica failover. Safe for concurrent use.
@@ -120,11 +169,31 @@ type Coordinator struct {
 	cfg    Config
 	shards []*shardState
 
+	// nextGID hands out global IDs for Insert (starts past the build
+	// points).
+	nextGID atomic.Uint64
+
+	// Repairer lifecycle (heal.go): stopCh ends the loop, healWG tracks
+	// it plus every in-flight rebuild goroutine.
+	stopCh   chan struct{}
+	stopOnce sync.Once
+	healWG   sync.WaitGroup
+
 	reg       *obs.Registry
 	fanout    *obs.Counter // sub-queries dispatched to shards
 	merged    *obs.Counter // queries successfully merged
 	failovers *obs.Counter // queries that needed at least one failover
 	retries   *obs.Counter // failed replica attempts retried on a sibling
+	writes    *obs.Counter // write batches applied
+
+	drains       *obs.Counter // replicas drained by the repairer
+	probes       *obs.Counter // canary probes sent
+	probeFails   *obs.Counter // canary probes failed
+	readmits     *obs.Counter // probe-driven readmissions (no rebuild)
+	rebuilds     *obs.Counter // completed replica rebuilds
+	rebuildFails *obs.Counter // rebuild attempts that gave up
+	shipRestarts *obs.Counter // catch-up restarts from a fresh full copy
+	mttr         *obs.Histogram
 }
 
 // New partitions pts across cfg.Shards shards and builds cfg.Replicas
@@ -153,8 +222,14 @@ func New(cfg Config, pts []vec.Point) (*Coordinator, error) {
 		cfg.NewStore = func(_, _ int) (*store.Store, error) { return store.NewSim(sc), nil }
 	}
 	if cfg.Build == nil {
+		durable := cfg.Durable
 		cfg.Build = func(sto *store.Store, pts []vec.Point) (index.Index, error) {
-			return core.Build(sto, pts, core.DefaultOptions())
+			opt := core.DefaultOptions()
+			if durable {
+				opt.WAL = true
+				opt.WALCheckpointBlocks = 256
+			}
+			return core.Build(sto, pts, opt)
 		}
 	}
 	if cfg.Registry == nil {
@@ -166,6 +241,7 @@ func New(cfg Config, pts []vec.Point) (*Coordinator, error) {
 	if cfg.Backoff <= 0 {
 		cfg.Backoff = 100 * time.Microsecond
 	}
+	cfg.Heal = cfg.Heal.withDefaults()
 
 	assign := cfg.Partitioner.Assign(pts, cfg.Shards)
 	if len(assign) != len(pts) {
@@ -182,15 +258,28 @@ func New(cfg Config, pts []vec.Point) (*Coordinator, error) {
 	}
 
 	c := &Coordinator{
-		cfg:       cfg,
-		reg:       cfg.Registry,
-		fanout:    cfg.Registry.Counter("shard.fanout"),
-		merged:    cfg.Registry.Counter("shard.merged"),
-		failovers: cfg.Registry.Counter("shard.failovers"),
-		retries:   cfg.Registry.Counter("shard.replica_retries"),
+		cfg:          cfg,
+		stopCh:       make(chan struct{}),
+		reg:          cfg.Registry,
+		fanout:       cfg.Registry.Counter("shard.fanout"),
+		merged:       cfg.Registry.Counter("shard.merged"),
+		failovers:    cfg.Registry.Counter("shard.failovers"),
+		retries:      cfg.Registry.Counter("shard.replica_retries"),
+		writes:       cfg.Registry.Counter("shard.writes"),
+		drains:       cfg.Registry.Counter("shard.heal.drains"),
+		probes:       cfg.Registry.Counter("shard.heal.probes"),
+		probeFails:   cfg.Registry.Counter("shard.heal.probe_failures"),
+		readmits:     cfg.Registry.Counter("shard.heal.readmissions"),
+		rebuilds:     cfg.Registry.Counter("shard.heal.rebuilds"),
+		rebuildFails: cfg.Registry.Counter("shard.heal.rebuild_failures"),
+		shipRestarts: cfg.Registry.Counter("shard.heal.ship_restarts"),
+		mttr:         cfg.Registry.Histogram("shard.mttr_seconds"),
 	}
+	c.nextGID.Store(uint64(len(pts)))
 	for si := 0; si < cfg.Shards; si++ {
-		sh := &shardState{gids: gids[si]}
+		sh := &shardState{}
+		g := gids[si]
+		sh.gids.Store(&g)
 		if len(local[si]) > 0 {
 			for ri := 0; ri < cfg.Replicas; ri++ {
 				sto, err := cfg.NewStore(si, ri)
@@ -204,19 +293,29 @@ func New(cfg Config, pts []vec.Point) (*Coordinator, error) {
 					return nil, fmt.Errorf("shard %d replica %d: build: %w", si, ri, err)
 				}
 				eng := engine.New(sto, idx, cfg.Workers, cfg.EngineOpts...)
-				sh.reps = append(sh.reps, &replica{sto: sto, idx: idx, eng: eng})
+				rep := &replica{shard: si, id: ri}
+				rep.st.Store(&stack{sto: sto, idx: idx, eng: eng})
+				rep.state.Store(int32(Serving))
+				sh.reps = append(sh.reps, rep)
 			}
 		}
 		c.shards = append(c.shards, sh)
 	}
+	if cfg.SelfHeal {
+		c.healWG.Add(1)
+		go c.repairer()
+	}
 	return c, nil
 }
 
-// Close shuts down every replica engine (idempotent).
+// Close stops the repairer, waits out in-flight rebuilds, then shuts
+// down every replica engine (idempotent).
 func (c *Coordinator) Close() {
+	c.stopOnce.Do(func() { close(c.stopCh) })
+	c.healWG.Wait()
 	for _, sh := range c.shards {
 		for _, rep := range sh.reps {
-			rep.eng.Close()
+			rep.stack().eng.Close()
 		}
 	}
 }
@@ -234,7 +333,7 @@ func (c *Coordinator) Registry() *obs.Registry { return c.reg }
 func (c *Coordinator) ShardSizes() []int {
 	out := make([]int, len(c.shards))
 	for i, sh := range c.shards {
-		out[i] = len(sh.gids)
+		out[i] = len(sh.ids())
 	}
 	return out
 }
@@ -249,7 +348,7 @@ func (c *Coordinator) Engine(shard, replica int) *engine.Engine {
 	if replica < 0 || replica >= len(sh.reps) {
 		return nil
 	}
-	return sh.reps[replica].eng
+	return sh.reps[replica].stack().eng
 }
 
 // Makespan returns the aggregate simulated wall-clock of the fleet so
@@ -260,7 +359,7 @@ func (c *Coordinator) Makespan() float64 {
 	var m float64
 	for _, sh := range c.shards {
 		for _, rep := range sh.reps {
-			if b := rep.eng.Makespan(); b > m {
+			if b := rep.stack().eng.Makespan(); b > m {
 				m = b
 			}
 		}
@@ -315,7 +414,7 @@ func (c *Coordinator) askShard(sh *shardState, q engine.Query) shardAnswer {
 			}
 			time.Sleep(d)
 		}
-		res := rep.eng.Submit(q)
+		res := rep.stack().eng.Submit(q)
 		ans.res = res
 		ans.stats.Add(res.Stats)
 		ans.simTime += res.SimTime
@@ -338,14 +437,20 @@ func (c *Coordinator) askShard(sh *shardState, q engine.Query) shardAnswer {
 // pick returns the replica to try for attempt number n (already offset
 // by the query's rotation), preferring ready replicas with the fewest
 // consecutive failures so traffic drains away from a broken replica.
-// Returns nil only when every replica is closed.
+// Replicas not in state Serving never serve: a drained replica has
+// skipped writes, so answering from it could return stale results even
+// when its engine looks healthy. Returns nil only when every replica is
+// closed or drained.
 func (sh *shardState) pick(n int) *replica {
 	r := len(sh.reps)
 	var best *replica
 	var bestFails int32
 	for off := 0; off < r; off++ {
 		rep := sh.reps[(n+off)%r]
-		if !rep.eng.Health().Ready() {
+		if ReplicaState(rep.state.Load()) != Serving {
+			continue
+		}
+		if !rep.stack().eng.Health().Ready() {
 			continue
 		}
 		f := rep.fails.Load()
@@ -417,8 +522,9 @@ func (c *Coordinator) Submit(q engine.Query) Result {
 		// Map local IDs (positions in the shard's build slice) back to
 		// global IDs; merge then works purely in the global space.
 		nbs := ans.res.Neighbors
+		gids := c.shards[si].ids()
 		for i := range nbs {
-			nbs[i].ID = c.shards[si].gids[nbs[i].ID]
+			nbs[i].ID = gids[nbs[i].ID]
 		}
 		lists = append(lists, nbs)
 	}

@@ -1,0 +1,548 @@
+// Self-healing replicas: the repairer goroutine watches every replica,
+// drains the ones that stop answering, probes them with canary queries,
+// and either readmits them (transient faults, no missed writes) or
+// rebuilds them from a healthy peer by WAL shipping (see store/ship.go
+// and DESIGN.md §15). The lifecycle is
+//
+//	Serving → Draining → Rebuilding → CatchingUp → Serving
+//	            └──────────── probe readmission ────┘
+//
+// with the probe shortcut legal only when no write landed since the
+// drain — a drained replica skipped every write applied in the
+// meantime, so readmitting it after a write would serve stale answers.
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/obs"
+	"repro/internal/store"
+	"repro/internal/vec"
+)
+
+// ReplicaState is one replica's position in the self-healing lifecycle.
+type ReplicaState int32
+
+const (
+	// Serving: in the query rotation and receiving writes.
+	Serving ReplicaState = iota
+	// Draining: out of rotation, skipping writes, under canary probes.
+	Draining
+	// Rebuilding: a rebuild goroutine is copying a peer's checkpoint.
+	Rebuilding
+	// CatchingUp: full copy done, tailing the peer's WAL down to MaxLag.
+	CatchingUp
+)
+
+func (s ReplicaState) String() string {
+	switch s {
+	case Serving:
+		return "serving"
+	case Draining:
+		return "draining"
+	case Rebuilding:
+		return "rebuilding"
+	case CatchingUp:
+		return "catching-up"
+	}
+	return fmt.Sprintf("state(%d)", int32(s))
+}
+
+// HealConfig tunes the repairer. Zero fields take the listed defaults.
+type HealConfig struct {
+	// Interval is the repairer's tick (default 10ms).
+	Interval time.Duration
+	// ProbeTimeout bounds each canary query (default 250ms): a replica
+	// that cannot answer a trivial KNN inside it is not fit to serve.
+	ProbeTimeout time.Duration
+	// ProbeBackoff is the wait after the first failed probe, doubling
+	// per failure (default 50ms) and capped at ProbeCap (default 2s) —
+	// a circuit breaker that goes half-open on each expiry.
+	ProbeBackoff time.Duration
+	ProbeCap     time.Duration
+	// RebuildAfterProbes is how many consecutive probe failures trigger
+	// a rebuild instead of further probing (default 2).
+	RebuildAfterProbes int
+	// DrainAfter drains a Serving replica after this many consecutive
+	// failed query attempts (default 1 — routing already prefers clean
+	// siblings after one failure, so a broken replica's counter never
+	// climbs past one; the canary probe is what separates a transient
+	// fault from a broken replica, cheaply). Engine un-readiness
+	// (closed) drains immediately regardless.
+	DrainAfter int
+	// MaxLag is the WAL catch-up convergence bound in LSNs: once the
+	// rebuilt replica is within MaxLag of its peer, the final hand-over
+	// (under the shard write lock) closes the rest (default 64).
+	MaxLag uint64
+	// ShipRestarts bounds how many times one rebuild may restart from a
+	// fresh full copy after losing the WAL race to a peer checkpoint
+	// (default 3).
+	ShipRestarts int
+}
+
+func (h HealConfig) withDefaults() HealConfig {
+	if h.Interval <= 0 {
+		h.Interval = 10 * time.Millisecond
+	}
+	if h.ProbeTimeout <= 0 {
+		h.ProbeTimeout = 250 * time.Millisecond
+	}
+	if h.ProbeBackoff <= 0 {
+		h.ProbeBackoff = 50 * time.Millisecond
+	}
+	if h.ProbeCap <= 0 {
+		h.ProbeCap = 2 * time.Second
+	}
+	if h.RebuildAfterProbes <= 0 {
+		h.RebuildAfterProbes = 2
+	}
+	if h.DrainAfter <= 0 {
+		h.DrainAfter = 1
+	}
+	if h.MaxLag <= 0 {
+		h.MaxLag = 64
+	}
+	if h.ShipRestarts <= 0 {
+		h.ShipRestarts = 3
+	}
+	return h
+}
+
+// repairer is the healing loop: one goroutine per coordinator, started
+// by New when SelfHeal is set, stopped by Close.
+func (c *Coordinator) repairer() {
+	defer c.healWG.Done()
+	tick := time.NewTicker(c.cfg.Heal.Interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-c.stopCh:
+			return
+		case <-tick.C:
+		}
+		for _, sh := range c.shards {
+			for _, rep := range sh.reps {
+				c.tend(sh, rep)
+			}
+		}
+	}
+}
+
+// tend advances one replica's lifecycle by at most one step.
+func (c *Coordinator) tend(sh *shardState, rep *replica) {
+	switch ReplicaState(rep.state.Load()) {
+	case Serving:
+		ready := rep.stack().eng.Health().Ready()
+		failing := rep.fails.Load() >= int32(c.cfg.Heal.DrainAfter)
+		if ready && !failing {
+			return
+		}
+		// A flaky-but-alive replica only drains when a sibling can carry
+		// the shard; a dead engine cannot serve anyway, so it always
+		// drains.
+		if ready && failing && !sh.hasOtherServing(rep) {
+			return
+		}
+		c.drain(sh, rep)
+	case Draining:
+		if time.Now().Before(rep.nextProbe) {
+			return // breaker open (probe backoff or failed-rebuild pacing)
+		}
+		if sh.writeSeq.Load() != rep.drainedSeq.Load() {
+			// The shard took writes this replica skipped: probing cannot
+			// prove it current, only a rebuild can.
+			c.startRebuild(sh, rep)
+			return
+		}
+		if c.probe(rep) {
+			c.readmit(rep, c.readmits)
+			return
+		}
+		rep.probeFails++
+		if rep.probeFails >= c.cfg.Heal.RebuildAfterProbes {
+			c.startRebuild(sh, rep)
+			return
+		}
+		back := c.cfg.Heal.ProbeBackoff << uint(rep.probeFails-1)
+		if back > c.cfg.Heal.ProbeCap {
+			back = c.cfg.Heal.ProbeCap
+		}
+		rep.nextProbe = time.Now().Add(back)
+	case Rebuilding, CatchingUp:
+		// Owned by the rebuild goroutine.
+	}
+}
+
+// drain takes a Serving replica out of rotation and arms the probe
+// cycle. Called from the repairer and from the write path (a replica
+// that failed a write has diverged and must stop serving immediately).
+func (c *Coordinator) drain(sh *shardState, rep *replica) {
+	if !rep.state.CompareAndSwap(int32(Serving), int32(Draining)) {
+		return
+	}
+	rep.drainedSeq.Store(sh.writeSeq.Load())
+	rep.drainedAt.Store(time.Now().UnixNano())
+	c.drains.Inc()
+}
+
+// hasOtherServing reports whether any sibling of rep is Serving and
+// ready.
+func (sh *shardState) hasOtherServing(rep *replica) bool {
+	for _, sib := range sh.reps {
+		if sib == rep {
+			continue
+		}
+		if ReplicaState(sib.state.Load()) == Serving && sib.stack().eng.Health().Ready() {
+			return true
+		}
+	}
+	return false
+}
+
+// probe sends one canary KNN with a tight deadline at the drained
+// replica's own engine. Success means the whole stack — queue, worker,
+// index, store — answered end to end.
+func (c *Coordinator) probe(rep *replica) bool {
+	st := rep.stack()
+	if !st.eng.Health().Ready() {
+		return false
+	}
+	c.probes.Inc()
+	ctx, cancel := context.WithTimeout(context.Background(), c.cfg.Heal.ProbeTimeout)
+	defer cancel()
+	res := st.eng.Submit(engine.Query{
+		Kind:  engine.KNN,
+		Point: make(vec.Point, st.idx.Dim()),
+		K:     1,
+		Ctx:   ctx,
+	})
+	if res.Err != nil {
+		c.probeFails.Inc()
+		return false
+	}
+	return true
+}
+
+// readmit returns a replica to Serving and records its MTTR.
+func (c *Coordinator) readmit(rep *replica, how *obs.Counter) {
+	rep.fails.Store(0)
+	rep.probeFails = 0
+	rep.nextProbe = time.Time{}
+	rep.state.Store(int32(Serving))
+	how.Inc()
+	if at := rep.drainedAt.Load(); at > 0 {
+		c.mttr.Observe(time.Since(time.Unix(0, at)).Seconds())
+	}
+}
+
+// startRebuild transitions Draining → Rebuilding and spawns the rebuild
+// goroutine. probeFails resets so a failed rebuild falls back to a full
+// probe cycle (with backoff) before the next attempt — the pacing that
+// keeps an unrecoverable shard from rebuilding in a hot loop.
+func (c *Coordinator) startRebuild(sh *shardState, rep *replica) {
+	if !rep.state.CompareAndSwap(int32(Draining), int32(Rebuilding)) {
+		return
+	}
+	rep.probeFails = 0
+	rep.nextProbe = time.Time{}
+	c.healWG.Add(1)
+	go c.rebuild(sh, rep)
+}
+
+// rebuild replaces a replica's whole stack from a healthy peer:
+//
+//  1. Full copy (ShipAll) of the peer's directory under the shard write
+//     lock — the write path is the only thing that mutates a replica's
+//     files, so holding the lock makes the source quiescent.
+//  2. Catch-up (CatchingUp): repeatedly ship the peer's WAL tail
+//     without the lock until the lag is within MaxLag. A peer
+//     checkpoint can consume un-shipped records (ErrShipGap, or an
+//     empty tail with positive lag); that restarts from a fresh full
+//     copy, bounded by ShipRestarts.
+//  3. Hand-over: under the write lock, ship the final tail (the source
+//     LSN is now frozen), scrub, recover via core.Open, swap the stack
+//     and return to Serving. The old engine is closed after the swap so
+//     its in-flight queries drain on the old stack.
+//
+// Peers without WAL get the logical fallback: re-build from AllPoints
+// under the write lock (exact same local IDs, since the coordinator
+// only appends).
+func (c *Coordinator) rebuild(sh *shardState, rep *replica) {
+	defer c.healWG.Done()
+	err := c.rebuildOnce(sh, rep)
+	if err == nil {
+		return
+	}
+	c.rebuildFails.Inc()
+	// Back to Draining, paced: tend honors nextProbe before anything
+	// else, so an unrecoverable replica (say, no serving peer) retries
+	// on a timer instead of a hot loop. The writes before the state
+	// store are visible to the repairer through the state load.
+	rep.probeFails = 0
+	rep.nextProbe = time.Now().Add(2 * c.cfg.Heal.ProbeBackoff)
+	rep.state.Store(int32(Draining))
+}
+
+// errNoPeer means no Serving sibling could seed a rebuild.
+var errNoPeer = errors.New("shard: no serving peer to rebuild from")
+
+// servingPeer returns a Serving, ready sibling of rep.
+func (sh *shardState) servingPeer(rep *replica) *replica {
+	for _, sib := range sh.reps {
+		if sib == rep {
+			continue
+		}
+		if ReplicaState(sib.state.Load()) == Serving && sib.stack().eng.Health().Ready() {
+			return sib
+		}
+	}
+	return nil
+}
+
+func (c *Coordinator) rebuildOnce(sh *shardState, rep *replica) error {
+	select {
+	case <-c.stopCh:
+		return errors.New("shard: coordinator closing")
+	default:
+	}
+	peer := sh.servingPeer(rep)
+	if peer == nil {
+		return errNoPeer
+	}
+	pst := peer.stack()
+	tree, ok := pst.idx.(*core.Tree)
+	if !ok {
+		return fmt.Errorf("shard %d replica %d: peer index %T cannot seed a rebuild", rep.shard, rep.id, pst.idx)
+	}
+	if !tree.WALEnabled() {
+		return c.rebuildLogical(sh, rep, peer)
+	}
+
+	for restart := 0; restart < c.cfg.Heal.ShipRestarts; restart++ {
+		if restart > 0 {
+			c.shipRestarts.Inc()
+		}
+		ok, err := c.shipRebuild(sh, rep, peer)
+		if err != nil {
+			return err
+		}
+		if ok {
+			return nil
+		}
+		// Lost the WAL race to a peer checkpoint: full copy again.
+	}
+	return fmt.Errorf("shard %d replica %d: catch-up lost the WAL race %d times", rep.shard, rep.id, c.cfg.Heal.ShipRestarts)
+}
+
+// shipRebuild runs one full-copy + catch-up + hand-over attempt.
+// Returns (false, nil) when a peer checkpoint consumed un-shipped WAL
+// records and the attempt must restart from a fresh full copy.
+func (c *Coordinator) shipRebuild(sh *shardState, rep *replica, peer *replica) (bool, error) {
+	pst := peer.stack()
+	tree := pst.idx.(*core.Tree)
+	newSto, err := c.cfg.NewStore(rep.shard, rep.id)
+	if err != nil {
+		return false, fmt.Errorf("shard %d replica %d: rebuild store: %w", rep.shard, rep.id, err)
+	}
+	shipper := &store.Shipper{Src: pst.sto.Backend(), Dst: newSto.Backend(), TailWAL: core.WALFileName}
+
+	// Full copy under the write lock: source quiescent, data and .crc
+	// sidecars consistent.
+	sh.writeMu.Lock()
+	_, err = shipper.ShipAll()
+	sh.writeMu.Unlock()
+	if err != nil {
+		return false, fmt.Errorf("shard %d replica %d: full copy: %w", rep.shard, rep.id, err)
+	}
+
+	// The store wrapper indexes files lazily per name; wrap the shipped
+	// backend fresh so the copied files are visible.
+	sto := store.Wrap(newSto.Backend())
+	if pst.sto.Checked() {
+		if err := sto.EnableChecksums(); err != nil {
+			return false, fmt.Errorf("shard %d replica %d: checksums: %w", rep.shard, rep.id, err)
+		}
+	}
+	lsn, err := core.RecoveredLSN(sto)
+	if err != nil {
+		return false, fmt.Errorf("shard %d replica %d: shipped watermark: %w", rep.shard, rep.id, err)
+	}
+
+	// Catch up outside the lock so live writes keep flowing.
+	rep.state.Store(int32(CatchingUp))
+	for {
+		select {
+		case <-c.stopCh:
+			return false, errors.New("shard: coordinator closing")
+		default:
+		}
+		target := tree.AppliedLSN()
+		if target <= lsn || target-lsn <= c.cfg.Heal.MaxLag {
+			break
+		}
+		srep, err := shipper.ShipTail(core.WALFileName, lsn)
+		if errors.Is(err, store.ErrShipGap) {
+			return false, nil // checkpoint consumed the tail; restart
+		}
+		if err != nil {
+			return false, fmt.Errorf("shard %d replica %d: catch-up: %w", rep.shard, rep.id, err)
+		}
+		if srep.Records == 0 {
+			// No gap but nothing to ship while still behind: the peer
+			// checkpointed everything past lsn. Restart.
+			return false, nil
+		}
+		lsn = srep.LastLSN
+	}
+
+	// Verify the shipped bytes before trusting them with traffic.
+	if sto.Checked() {
+		if _, err := sto.Scrub(); err != nil {
+			return false, fmt.Errorf("shard %d replica %d: scrub: %w", rep.shard, rep.id, err)
+		}
+	}
+
+	// Hand-over: writes blocked, the peer LSN is frozen; the final tail
+	// closes the lag exactly.
+	sh.writeMu.Lock()
+	defer sh.writeMu.Unlock()
+	if target := tree.AppliedLSN(); target > lsn {
+		srep, err := shipper.ShipTail(core.WALFileName, lsn)
+		if errors.Is(err, store.ErrShipGap) {
+			return false, nil
+		}
+		if err != nil {
+			return false, fmt.Errorf("shard %d replica %d: final tail: %w", rep.shard, rep.id, err)
+		}
+		if srep.LastLSN < target {
+			return false, nil // tail incomplete: checkpoint race; restart
+		}
+	}
+	newTree, err := core.Open(sto)
+	if err != nil {
+		return false, fmt.Errorf("shard %d replica %d: recover: %w", rep.shard, rep.id, err)
+	}
+	eng := engine.New(sto, newTree, c.cfg.Workers, c.cfg.EngineOpts...)
+	old := rep.st.Swap(&stack{sto: sto, idx: newTree, eng: eng})
+	c.readmit(rep, c.rebuilds)
+	c.closeAsync(old.eng) // drains in-flight probes on the old stack
+	return true, nil
+}
+
+// rebuildLogical re-builds a non-WAL replica from the peer's live
+// points. The whole rebuild holds the write lock: without a WAL there
+// is no tail to catch up on, the copy must be atomic with respect to
+// writes. Local IDs survive because the coordinator only appends —
+// AllPoints returns exactly the IDs 0..n-1.
+func (c *Coordinator) rebuildLogical(sh *shardState, rep *replica, peer *replica) error {
+	sh.writeMu.Lock()
+	defer sh.writeMu.Unlock()
+	pst := peer.stack()
+	tree := pst.idx.(*core.Tree)
+	pts, ids, err := tree.AllPoints()
+	if err != nil {
+		return fmt.Errorf("shard %d replica %d: peer points: %w", rep.shard, rep.id, err)
+	}
+	order := make([]int, len(ids))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return ids[order[a]] < ids[order[b]] })
+	sorted := make([]vec.Point, len(pts))
+	for i, j := range order {
+		if ids[j] != uint32(i) {
+			return fmt.Errorf("shard %d replica %d: peer IDs not dense (want %d, got %d)", rep.shard, rep.id, i, ids[j])
+		}
+		sorted[i] = pts[j]
+	}
+	newSto, err := c.cfg.NewStore(rep.shard, rep.id)
+	if err != nil {
+		return fmt.Errorf("shard %d replica %d: rebuild store: %w", rep.shard, rep.id, err)
+	}
+	idx, err := c.cfg.Build(newSto, sorted)
+	if err != nil {
+		return fmt.Errorf("shard %d replica %d: rebuild: %w", rep.shard, rep.id, err)
+	}
+	eng := engine.New(newSto, idx, c.cfg.Workers, c.cfg.EngineOpts...)
+	old := rep.st.Swap(&stack{sto: newSto, idx: idx, eng: eng})
+	c.readmit(rep, c.rebuilds)
+	c.closeAsync(old.eng)
+	return nil
+}
+
+// closeAsync closes a replaced engine off the rebuild path (Close
+// drains in-flight queries, which must not block the hand-over) but
+// still tracked by healWG so Coordinator.Close waits it out.
+func (c *Coordinator) closeAsync(eng *engine.Engine) {
+	c.healWG.Add(1)
+	go func() {
+		defer c.healWG.Done()
+		eng.Close()
+	}()
+}
+
+// ReplicaStatus is one replica's row in Status.
+type ReplicaStatus struct {
+	Shard, Replica int
+	State          ReplicaState
+	Ready          bool
+	AppliedLSN     uint64 // 0 on non-WAL indexes
+	Lag            uint64 // behind the most advanced sibling
+	Fails          int32  // consecutive failed query attempts
+	Queries        int64
+	Failures       int64
+}
+
+// Status snapshots every replica's lifecycle state, readiness and WAL
+// position — the view iqtool -shard-status prints and the chaos
+// harness polls for all-Serving convergence.
+func (c *Coordinator) Status() []ReplicaStatus {
+	var out []ReplicaStatus
+	for si, sh := range c.shards {
+		base := len(out)
+		var maxLSN uint64
+		for ri, rep := range sh.reps {
+			st := rep.stack()
+			h := st.eng.Health()
+			row := ReplicaStatus{
+				Shard:    si,
+				Replica:  ri,
+				State:    ReplicaState(rep.state.Load()),
+				Ready:    h.Ready(),
+				Fails:    rep.fails.Load(),
+				Queries:  h.Queries,
+				Failures: h.Failures,
+			}
+			if tree, ok := st.idx.(*core.Tree); ok && tree.WALEnabled() {
+				row.AppliedLSN = tree.AppliedLSN()
+			}
+			if row.AppliedLSN > maxLSN {
+				maxLSN = row.AppliedLSN
+			}
+			out = append(out, row)
+		}
+		for i := base; i < len(out); i++ {
+			out[i].Lag = maxLSN - out[i].AppliedLSN
+		}
+	}
+	return out
+}
+
+// Healthy reports whether every replica is Serving and ready — the
+// chaos harness's convergence predicate.
+func (c *Coordinator) Healthy() bool {
+	for _, sh := range c.shards {
+		for _, rep := range sh.reps {
+			if ReplicaState(rep.state.Load()) != Serving || !rep.stack().eng.Health().Ready() {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -233,14 +233,8 @@ func OpenWAL(backend BlockStore, name string) (*WAL, []WALRecord, WALInfo, error
 	return w, recs, info, nil
 }
 
-// Append buffers one record and returns its LSN. The record is NOT
-// durable until a Commit covering the LSN returns; callers must not
-// acknowledge the mutation before then. Appends never block on I/O.
-func (w *WAL) Append(kind uint8, payload []byte) uint64 {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	lsn := w.nextLSN
-	w.nextLSN++
+// encodeWALFrame serializes one record into its on-disk frame.
+func encodeWALFrame(lsn uint64, kind uint8, payload []byte) []byte {
 	length := walHeaderSize + len(payload)
 	frame := make([]byte, length)
 	le := binary.LittleEndian
@@ -249,11 +243,52 @@ func (w *WAL) Append(kind uint8, payload []byte) uint64 {
 	frame[16] = kind
 	copy(frame[walHeaderSize:], payload)
 	le.PutUint32(frame[4:], crc32.Checksum(frame[8:], castagnoli))
-	w.pending = append(w.pending, frame...)
+	return frame
+}
+
+// Append buffers one record and returns its LSN. The record is NOT
+// durable until a Commit covering the LSN returns; callers must not
+// acknowledge the mutation before then. Appends never block on I/O.
+func (w *WAL) Append(kind uint8, payload []byte) uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	lsn := w.nextLSN
+	w.nextLSN++
+	w.pending = append(w.pending, encodeWALFrame(lsn, kind, payload)...)
 	w.pendRecs++
 	w.appended = lsn
 	metricWALAppends.Inc()
 	return lsn
+}
+
+// AppendRecord buffers a record that already carries its LSN — the
+// shipping path, which transplants frames from a source log while
+// preserving the source's LSN sequence so checkpoint watermarks keep
+// lining up on the destination. The LSN must advance past everything
+// appended so far; LSN assignment resumes after it. Like Append, the
+// record is not durable until a covering Commit returns.
+func (w *WAL) AppendRecord(rec WALRecord) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
+	if rec.LSN <= w.appended {
+		return fmt.Errorf("store: shipped LSN %d not after appended %d", rec.LSN, w.appended)
+	}
+	w.pending = append(w.pending, encodeWALFrame(rec.LSN, rec.Kind, rec.Payload)...)
+	w.pendRecs++
+	w.appended = rec.LSN
+	w.nextLSN = rec.LSN + 1
+	metricWALAppends.Inc()
+	return nil
+}
+
+// ReadFrom returns a streaming reader over the log's flushed extent that
+// yields records with LSN strictly greater than lsn. Records still
+// buffered (appended but not yet flushed by a Commit) are not visible.
+func (w *WAL) ReadFrom(lsn uint64) *WALReader {
+	return &WALReader{bf: w.bf, bs: w.bs, end: w.bf.Blocks(), from: lsn}
 }
 
 // Commit makes every record up to and including lsn durable, group-wise:

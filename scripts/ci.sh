@@ -45,12 +45,15 @@ echo "== scan sharing gate =="
 go run ./cmd/iqbench -share 1,32 -scale 0.2 -queries 128 \
 	-share-out /tmp/iqbench_share_gate.json -gate
 
-echo "== shard scale-out gate =="
-# Sharded scatter-gather must scale out and stay exact: >= 3x aggregate
-# simulated QPS at 8 shards over 1, every merged answer bit-identical to
-# the single-shard answer, and the seeded replica chaos campaign (one
-# replica's directory corrupted at rest, another replica killed mid-run)
-# losing zero queries and changing zero answers.
+echo "== shard scale-out + self-healing gate =="
+# Sharded scatter-gather must scale out, stay exact, and heal itself:
+# >= 3x aggregate simulated QPS at 8 shards over 1, every merged answer
+# bit-identical to the single-shard answer, and the seeded chaos
+# campaign (one replica's directory corrupted at rest, another replica
+# killed mid-batch, live writes throughout) losing zero queries,
+# changing zero answers vs an untouched twin, rebuilding both victims
+# from their siblings by WAL shipping, converging back to all-Serving,
+# and doing so within the 30s MTTR budget.
 go run ./cmd/iqbench -shards 1,8 -replicas 2 -scale 0.05 -queries 42 \
 	-shard-out /tmp/iqbench_shard_gate.json -gate
 
